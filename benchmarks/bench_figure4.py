@@ -1,0 +1,25 @@
+"""Figure 4: how often reconstruction privacy is violated on CENSUS under plain UP."""
+
+from repro.experiments.violation_sweep import run_violation_sweep
+
+
+def test_figure4_census_violation_rates(benchmark, experiment_config, save_result):
+    sweeps = benchmark.pedantic(
+        run_violation_sweep,
+        kwargs=dict(config=experiment_config, datasets=("CENSUS",), include_size_sweep=True),
+        rounds=1,
+        iterations=1,
+    )
+    census = sweeps["CENSUS"]
+    save_result("figure4", "\n\n".join(sweep.render() for sweep in census.values()))
+
+    # CENSUS's many balanced SA values keep the group violation rate far below
+    # ADULT's, while each violating group is large, so coverage exceeds it.
+    for sweep in census.values():
+        for vg, vr in zip(sweep.group_rates, sweep.record_rates):
+            assert vr >= vg - 1e-9
+        assert max(sweep.group_rates) < 0.6
+
+    # Figure 4(d): more data means more (and larger) violating groups.
+    size_sweep = census["|D|"]
+    assert size_sweep.record_rates[-1] >= size_sweep.record_rates[0]

@@ -1,0 +1,50 @@
+"""Benchmark harness configuration.
+
+Each benchmark module regenerates one table or figure of the paper through
+pytest-benchmark (``pytest benchmarks/ --benchmark-only``).  The rendered
+plain-text table/series is written to ``benchmarks/results/`` so the numbers
+can be inspected after the run and are quoted in EXPERIMENTS.md.
+
+Data sizes default to the "default" ExperimentConfig, which is scaled down
+from the paper's full sizes so the whole harness finishes in a few minutes;
+set the environment variable ``REPRO_BENCH_SCALE=paper`` for full-size runs or
+``=quick`` for a smoke run.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.experiments.config import ExperimentConfig  # noqa: E402
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def experiment_config() -> ExperimentConfig:
+    """The experiment configuration used by every benchmark in the session."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", "default")
+    if scale == "paper":
+        return ExperimentConfig.paper_scale()
+    if scale == "quick":
+        return ExperimentConfig.quick()
+    return ExperimentConfig()
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Return a callable that persists a rendered experiment report."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _save

@@ -1,0 +1,12 @@
+"""Pytest bootstrap: make ``src/`` importable even without an installed package.
+
+The canonical workflow is ``pip install -e .``; this shim only covers offline
+environments where the editable install is unavailable.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,72 @@
+"""Publishing a large CENSUS-like table: violations, cost, and scaling.
+
+Walks the CENSUS scenario of Section 6.3: generalise the public attributes
+(Age turns out to carry no information about Occupation and collapses to a
+single value), audit increasingly large samples, publish with SPS, and measure
+the utility cost against plain uniform perturbation on a count-query workload.
+
+Run with::
+
+    python examples/census_scaling.py [max_size]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+from repro.analysis.utility import compare_up_and_sps
+from repro.core.criterion import PrivacySpec
+from repro.core.testing import audit_table
+from repro.dataset.census import generate_census
+from repro.generalization.merging import generalize_table
+from repro.queries.workload import WorkloadConfig, generate_workload
+from repro.utils.textplot import render_table
+
+
+def main(max_size: int = 120_000) -> None:
+    sizes = [max_size // 4, max_size // 2, max_size]
+    rows = []
+    for size in sizes:
+        raw = generate_census(size, seed=20150323)
+        generalization = generalize_table(raw)
+        table = generalization.table
+        spec = PrivacySpec(lam=0.3, delta=0.3, retention_probability=0.5,
+                           domain_size=table.schema.sensitive_domain_size)
+        audit = audit_table(table, spec)
+        queries = generate_workload(
+            raw, table, WorkloadConfig(n_queries=200), generalization=generalization, rng=0
+        )
+        comparison = compare_up_and_sps(table, spec, queries, runs=2, rng=1)
+        rows.append(
+            [
+                size,
+                f"{audit.group_violation_rate:.1%}",
+                f"{audit.record_violation_rate:.1%}",
+                f"{comparison.up_error:.3f}",
+                f"{comparison.sps_error:.3f}",
+                f"{comparison.relative_increase:+.1%}",
+            ]
+        )
+    age_domain = generalization.merge_for("Age").generalized_domain_size
+    print(f"after generalisation the Age attribute collapses to {age_domain} value(s); "
+          "the remaining attributes keep their domains\n")
+    print(
+        render_table(
+            ["|D|", "v_g", "v_r", "UP error", "SPS error", "SPS cost"],
+            rows,
+            title="CENSUS: violations of (0.3, 0.3)-reconstruction privacy and the cost of enforcing it",
+        )
+    )
+    print(
+        "\nReading: violations grow with the data size (more groups exceed s_g), but the"
+        "\nextra error SPS adds over plain UP stays small and shrinks as |D| grows --"
+        "\nthe paper's Figure 4/Figure 5 behaviour."
+    )
+
+
+if __name__ == "__main__":
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 120_000
+    main(size)

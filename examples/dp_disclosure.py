@@ -1,0 +1,69 @@
+"""Example 1 / Section 2 of the paper: differentially private answers can
+still disclose a sensitive rule through non-independent reasoning.
+
+The adversary issues two noisy count queries about Bob's public profile
+(Prof-school, Prof-specialty, White, Male) and gauges the chance Bob earns
+more than 50K from their ratio.  At a low privacy level (epsilon = 0.5) the
+ratio pins the rule's 83.8 % confidence to within a percent, exactly the
+disclosure Table 1 demonstrates; data perturbation with reconstruction privacy
+is the paper's answer to this.
+
+Run with::
+
+    python examples/dp_disclosure.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+from repro.dataset.adult import EXAMPLE_GROUP, generate_adult
+from repro.dp.attack import disclosure_occurs, ratio_error_indicator, run_ratio_attack
+from repro.dp.mechanisms import LaplaceMechanism
+from repro.utils.textplot import render_table
+
+
+def main() -> None:
+    table = generate_adult(45_222, seed=20150323)
+    target = ", ".join(f"{k}={v}" for k, v in EXAMPLE_GROUP.items())
+    true_x = table.count(EXAMPLE_GROUP)
+    true_y = table.count(EXAMPLE_GROUP, ">50K")
+    print(f"target profile: {target}")
+    print(f"true counts: |Q1| = {true_x}, |Q2| = {true_y}, confidence = {true_y / true_x:.4f}\n")
+
+    rows = []
+    for epsilon in (0.01, 0.1, 0.5):
+        mechanism = LaplaceMechanism(epsilon=epsilon, sensitivity=2.0)
+        result = run_ratio_attack(table, EXAMPLE_GROUP, ">50K", mechanism, trials=10, rng=1)
+        indicator = ratio_error_indicator(mechanism.scale, true_x)
+        rows.append(
+            [
+                epsilon,
+                mechanism.scale,
+                f"{result.confidence_mean:.4f} +- {result.confidence_se:.4f}",
+                f"{result.error_q1_mean:.4f}",
+                f"{result.error_q2_mean:.4f}",
+                f"{indicator:.4g}",
+                "yes" if disclosure_occurs(mechanism.scale, true_x) else "no",
+            ]
+        )
+    print(
+        render_table(
+            ["epsilon", "b", "Conf' (mean +- SE)", "rel err Q1", "rel err Q2", "2(b/x)^2", "disclosure?"],
+            rows,
+            title="Laplace-noised answers vs the true confidence 0.8383 (10 trials)",
+        )
+    )
+    print(
+        "\nReading: at epsilon = 0.5 the noisy answers are accurate AND the ratio"
+        "\nreveals the sensitive rule; raising the noise to epsilon = 0.01 hides the"
+        "\nrule but also destroys the answers' utility. Fixed-scale output noise"
+        "\ncannot give both -- the motivation for reconstruction privacy."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""Statistical learning on data published under reconstruction privacy.
+
+This is the utility half of the paper's claim: aggregate reconstruction keeps
+supporting statistical learning even after SPS has made personal
+reconstruction unreliable.  The example
+
+1. publishes a synthetic "smokers and lung cancer" table with SPS,
+2. mines association rules from the published data through MLE reconstruction
+   and recovers the planted "smokers tend to have lung cancer" relationship,
+3. trains a naive Bayes classifier for the sensitive attribute purely from
+   reconstructed 1-D marginals and compares its accuracy with one trained on
+   the raw data.
+
+Run with::
+
+    python examples/statistical_learning.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+import numpy as np
+
+from repro.analysis.learning import NaiveBayesOnReconstruction, mine_rules_from_perturbed
+from repro.core.publisher import ReconstructionPrivacyPublisher
+from repro.dataset.schema import Attribute, Schema
+from repro.dataset.table import Table
+
+
+def build_health_table(n_per_group: int = 6_000, seed: int = 0) -> Table:
+    """A synthetic health survey with a strong smoker -> lung-cancer association."""
+    schema = Schema(
+        public=(
+            Attribute("Smoker", ("smoker", "nonsmoker")),
+            Attribute("AgeBand", ("young", "middle", "senior")),
+        ),
+        sensitive=Attribute("Disease", ("lung-cancer", "heart-disease", "diabetes", "none")),
+    )
+    rng = np.random.default_rng(seed)
+    profiles = {
+        ("smoker", "young"): (0.25, 0.10, 0.10, 0.55),
+        ("smoker", "middle"): (0.40, 0.20, 0.10, 0.30),
+        ("smoker", "senior"): (0.55, 0.25, 0.10, 0.10),
+        ("nonsmoker", "young"): (0.02, 0.05, 0.08, 0.85),
+        ("nonsmoker", "middle"): (0.04, 0.15, 0.15, 0.66),
+        ("nonsmoker", "senior"): (0.06, 0.30, 0.20, 0.44),
+    }
+    diseases = schema.sensitive.values
+    records = []
+    for (smoker, age), weights in profiles.items():
+        draws = rng.choice(len(diseases), size=n_per_group, p=weights)
+        records += [(smoker, age, diseases[d]) for d in draws]
+    return Table.from_records(schema, records)
+
+
+def main() -> None:
+    table = build_health_table()
+    publisher = ReconstructionPrivacyPublisher(
+        lam=0.3, delta=0.3, retention_probability=0.4, generalize=False
+    )
+    result = publisher.publish(table, rng=1)
+    p = result.spec.retention_probability
+    print(
+        f"published {len(result.published)} records; "
+        f"{result.audit.record_violation_rate:.1%} of records were in violating groups, "
+        f"{result.sps.n_sampled_groups} groups sampled\n"
+    )
+
+    # --- Rule mining on the published data -------------------------------- #
+    rules = mine_rules_from_perturbed(
+        result.published, p, min_support=0.2, min_confidence=0.3, max_dimensionality=1
+    )
+    print("association rules reconstructed from the published data:")
+    for rule in rules[:5]:
+        conditions = ", ".join(f"{k}={v}" for k, v in rule.conditions)
+        print(f"  {{{conditions}}} -> {rule.sensitive_value}"
+              f"  (support {rule.support:.2f}, confidence {rule.confidence:.2f})")
+    smoker_lung = [
+        r for r in rules
+        if r.conditions_dict() == {"Smoker": "smoker"} and r.sensitive_value == "lung-cancer"
+    ]
+    true_confidence = table.count({"Smoker": "smoker"}, "lung-cancer") / table.count({"Smoker": "smoker"})
+    if smoker_lung:
+        print(f"\n'smokers tend to have lung cancer': reconstructed confidence "
+              f"{smoker_lung[0].confidence:.3f} vs true {true_confidence:.3f}")
+
+    # --- Naive Bayes from reconstructed marginals -------------------------- #
+    model = NaiveBayesOnReconstruction(retention_probability=p).fit(result.published)
+    accuracy = model.accuracy(table)
+    baseline = max(table.sensitive_frequencies())
+    print(f"\nnaive Bayes trained on the published data: accuracy {accuracy:.3f} "
+          f"(majority-class baseline {baseline:.3f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""repro — a reproduction of "Reconstruction Privacy: Enabling Statistical
+Learning" (Wang, Han, Fu, Wong, Yu; EDBT 2015).
+
+The package implements the paper's privacy criterion and enforcement
+algorithm, together with every substrate the evaluation depends on:
+
+* uniform perturbation of a sensitive attribute and MLE reconstruction;
+* the (lambda, delta)-reconstruction-privacy criterion, its Chernoff-bound
+  test, and the Sampling-Perturbing-Scaling (SPS) enforcement algorithm;
+* chi-square generalisation of public attribute values;
+* a differential-privacy baseline (Laplace/Gaussian count queries) and the
+  ratio attack showing how noisy counts leak rules through non-independent
+  reasoning;
+* synthetic ADULT/CENSUS generators, count-query workloads, violation-rate
+  and utility analyses, and an experiment harness regenerating every table
+  and figure of the paper.
+
+Quickstart::
+
+    from repro import ReconstructionPrivacyPublisher, generate_adult
+
+    table = generate_adult(10_000, seed=0)
+    publisher = ReconstructionPrivacyPublisher(lam=0.3, delta=0.3, retention_probability=0.5)
+    result = publisher.publish(table, rng=0)
+    print(result.audit.group_violation_rate, len(result.published))
+"""
+
+from repro.core.criterion import PrivacySpec, max_group_size, value_is_private, group_is_private
+from repro.core.publisher import PublishResult, ReconstructionPrivacyPublisher
+from repro.core.sps import SPSResult, sps_publish
+from repro.core.testing import PrivacyAudit, audit_table
+from repro.dataset.adult import generate_adult
+from repro.dataset.census import generate_census
+from repro.dataset.loaders import read_csv, write_csv
+from repro.dataset.schema import Attribute, Schema
+from repro.dataset.table import Table
+from repro.dataset.groups import personal_groups
+from repro.generalization.merging import generalize_table
+from repro.perturbation.uniform import UniformPerturbation, perturb_table
+from repro.reconstruction.mle import mle_frequencies, mle_frequencies_clipped, reconstruct_counts
+from repro.queries.workload import WorkloadConfig, generate_workload
+from repro.queries.count_query import CountQuery, answer_on_perturbed, answer_on_raw
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PrivacySpec",
+    "max_group_size",
+    "value_is_private",
+    "group_is_private",
+    "PublishResult",
+    "ReconstructionPrivacyPublisher",
+    "SPSResult",
+    "sps_publish",
+    "PrivacyAudit",
+    "audit_table",
+    "generate_adult",
+    "generate_census",
+    "read_csv",
+    "write_csv",
+    "Attribute",
+    "Schema",
+    "Table",
+    "personal_groups",
+    "generalize_table",
+    "UniformPerturbation",
+    "perturb_table",
+    "mle_frequencies",
+    "mle_frequencies_clipped",
+    "reconstruct_counts",
+    "WorkloadConfig",
+    "generate_workload",
+    "CountQuery",
+    "answer_on_raw",
+    "answer_on_perturbed",
+    "__version__",
+]

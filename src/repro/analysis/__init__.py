@@ -1,0 +1,21 @@
+"""Analysis layer: violation rates, UP-vs-SPS utility comparison, and the
+statistical-learning demonstrations that motivate the paper (rule mining and a
+naive Bayes learner built purely from reconstructed marginals)."""
+
+from repro.analysis.violation import ViolationReport, violation_report
+from repro.analysis.utility import UtilityComparison, compare_up_and_sps
+from repro.analysis.learning import (
+    AssociationRule,
+    NaiveBayesOnReconstruction,
+    mine_rules_from_perturbed,
+)
+
+__all__ = [
+    "ViolationReport",
+    "violation_report",
+    "UtilityComparison",
+    "compare_up_and_sps",
+    "AssociationRule",
+    "NaiveBayesOnReconstruction",
+    "mine_rules_from_perturbed",
+]

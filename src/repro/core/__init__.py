@@ -1,0 +1,56 @@
+"""The paper's primary contribution: reconstruction privacy.
+
+* :mod:`repro.core.bounds` — tail-probability bounds for Poisson trials
+  (Chernoff, Chebyshev, Markov) and the Theorem-2 conversion between bounds on
+  the observed count ``O*`` and bounds on the reconstruction error of ``F'``;
+* :mod:`repro.core.criterion` — the (lambda, delta)-reconstruction-privacy
+  criterion, the per-value test of Corollary 4 and the maximum group size
+  ``s_g`` of Equation (10);
+* :mod:`repro.core.testing` — data-set level auditing: which personal groups
+  violate the criterion, and the violation rates ``v_g`` / ``v_r``;
+* :mod:`repro.core.sps` — the Sampling-Perturbing-Scaling enforcement
+  algorithm of Section 5;
+* :mod:`repro.core.publisher` — the end-to-end publishing pipeline
+  (generalise NA values, audit, enforce, publish).
+"""
+
+from repro.core.bounds import (
+    chernoff_lower_bound,
+    chernoff_upper_bound,
+    chebyshev_bound,
+    markov_bound,
+    convert_omega_to_lambda,
+    convert_lambda_to_omega,
+    reconstruction_error_bounds,
+)
+from repro.core.criterion import (
+    PrivacySpec,
+    max_group_size,
+    value_is_private,
+    group_is_private,
+)
+from repro.core.testing import GroupAudit, PrivacyAudit, audit_table
+from repro.core.sps import SPSResult, sps_group, sps_publish
+from repro.core.publisher import PublishResult, ReconstructionPrivacyPublisher
+
+__all__ = [
+    "chernoff_lower_bound",
+    "chernoff_upper_bound",
+    "chebyshev_bound",
+    "markov_bound",
+    "convert_omega_to_lambda",
+    "convert_lambda_to_omega",
+    "reconstruction_error_bounds",
+    "PrivacySpec",
+    "max_group_size",
+    "value_is_private",
+    "group_is_private",
+    "GroupAudit",
+    "PrivacyAudit",
+    "audit_table",
+    "SPSResult",
+    "sps_group",
+    "sps_publish",
+    "PublishResult",
+    "ReconstructionPrivacyPublisher",
+]

@@ -1,0 +1,165 @@
+"""Tail bounds for Poisson trials and the Theorem-2 bound conversion.
+
+The observed count ``O*`` of a sensitive value in a perturbed subset is a sum
+of independent Bernoulli (Poisson) trials, so classical tail bounds apply:
+
+* Chernoff (Theorem 3):  ``Pr[(X - mu)/mu >  w] < exp(-w^2 mu / (2 + w))`` and
+  ``Pr[(X - mu)/mu < -w] < exp(-w^2 mu / 2)``;
+* Chebyshev and Markov are provided for the ablation comparing how the choice
+  of bound changes the privacy test.
+
+Theorem 2 converts any bound on the relative error of ``O*`` into a bound on
+the relative error of the MLE ``F'`` through ``lambda = w mu / (|S| p f)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.reconstruction.variance import expected_observed_count, observed_count_variance
+
+
+# --------------------------------------------------------------------------- #
+# Poisson-trial tail bounds (on the observed count O*)
+# --------------------------------------------------------------------------- #
+def chernoff_upper_bound(omega: float, mu: float) -> float:
+    """Chernoff bound on ``Pr[(X - mu)/mu > omega]`` for ``omega > 0`` (Eq. 5)."""
+    _validate_omega_mu(omega, mu)
+    return math.exp(-(omega**2) * mu / (2.0 + omega))
+
+
+def chernoff_lower_bound(omega: float, mu: float) -> float:
+    """Chernoff bound on ``Pr[(X - mu)/mu < -omega]`` for ``omega`` in ``(0, 1]`` (Eq. 6)."""
+    _validate_omega_mu(omega, mu)
+    if omega > 1.0:
+        raise ValueError("the lower-tail Chernoff bound requires omega <= 1")
+    return math.exp(-(omega**2) * mu / 2.0)
+
+
+def chebyshev_bound(omega: float, mu: float, variance: float) -> float:
+    """Chebyshev bound on ``Pr[|X - mu| > omega mu]`` (two-sided), capped at 1."""
+    _validate_omega_mu(omega, mu)
+    if variance < 0:
+        raise ValueError("variance must be non-negative")
+    return min(1.0, variance / (omega * mu) ** 2)
+
+
+def markov_bound(omega: float, mu: float) -> float:
+    """Markov bound on ``Pr[X > (1 + omega) mu]``, capped at 1."""
+    _validate_omega_mu(omega, mu)
+    return min(1.0, 1.0 / (1.0 + omega))
+
+
+def _validate_omega_mu(omega: float, mu: float) -> None:
+    if omega <= 0:
+        raise ValueError("omega must be positive")
+    if mu <= 0:
+        raise ValueError("mu must be positive")
+
+
+# --------------------------------------------------------------------------- #
+# Theorem 2: conversion between O* bounds and F' bounds
+# --------------------------------------------------------------------------- #
+def convert_omega_to_lambda(
+    omega: float,
+    subset_size: int,
+    frequency: float,
+    retention_probability: float,
+    domain_size: int,
+) -> float:
+    """Map a relative error ``omega`` on ``O*`` to the error ``lambda`` on ``F'``.
+
+    ``lambda = omega * mu / (|S| p f)`` with ``mu = E[O*]`` (Theorem 2).
+    """
+    _validate_frequency(frequency)
+    mu = expected_observed_count(subset_size, frequency, retention_probability, domain_size)
+    return omega * mu / (subset_size * retention_probability * frequency)
+
+
+def convert_lambda_to_omega(
+    lam: float,
+    subset_size: int,
+    frequency: float,
+    retention_probability: float,
+    domain_size: int,
+) -> float:
+    """Inverse of :func:`convert_omega_to_lambda`: ``omega = lambda |S| p f / mu``."""
+    _validate_frequency(frequency)
+    mu = expected_observed_count(subset_size, frequency, retention_probability, domain_size)
+    return lam * subset_size * retention_probability * frequency / mu
+
+
+def _validate_frequency(frequency: float) -> None:
+    if not 0.0 < frequency <= 1.0:
+        raise ValueError("frequency must lie in (0, 1] for the bound conversion")
+
+
+# --------------------------------------------------------------------------- #
+# Corollary 3: bounds on the reconstruction error of F'
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ErrorBounds:
+    """Upper bounds on the over- and under-estimation tails of ``F'``.
+
+    ``upper`` bounds ``Pr[(F' - f)/f > lambda]`` and ``lower`` bounds
+    ``Pr[(F' - f)/f < -lambda]``.  ``None`` for the lower tail means the
+    requested ``lambda`` maps to ``omega > 1``, where the paper's lower-tail
+    Chernoff bound does not apply (the event is then impossible anyway, since
+    ``O*`` cannot fall below zero by more than its mean).
+    """
+
+    upper: float
+    lower: float | None
+
+    @property
+    def smallest(self) -> float:
+        """``min{U, L}`` as used by Definition 3 (ignoring an inapplicable L)."""
+        if self.lower is None:
+            return self.upper
+        return min(self.upper, self.lower)
+
+
+def reconstruction_error_bounds(
+    lam: float,
+    subset_size: int,
+    frequency: float,
+    retention_probability: float,
+    domain_size: int,
+    method: str = "chernoff",
+) -> ErrorBounds:
+    """Corollary 3: Chernoff-derived bounds on the MLE's relative error.
+
+    Parameters
+    ----------
+    lam:
+        The relative-error threshold ``lambda`` of the privacy criterion.
+    subset_size, frequency, retention_probability, domain_size:
+        ``|S|``, ``f``, ``p`` and ``m``.
+    method:
+        ``"chernoff"`` (the paper's choice), ``"chebyshev"`` or ``"markov"``
+        (ablations; Chebyshev is two-sided and is used for both tails, Markov
+        only has an upper tail and reports 1.0 for the lower tail).
+    """
+    if lam <= 0:
+        raise ValueError("lambda must be positive")
+    _validate_frequency(frequency)
+    mu = expected_observed_count(subset_size, frequency, retention_probability, domain_size)
+    omega = convert_lambda_to_omega(lam, subset_size, frequency, retention_probability, domain_size)
+
+    if method == "chernoff":
+        upper = chernoff_upper_bound(omega, mu)
+        lower = chernoff_lower_bound(omega, mu) if omega <= 1.0 else None
+    elif method == "chebyshev":
+        variance = observed_count_variance(
+            subset_size, frequency, retention_probability, domain_size
+        )
+        two_sided = chebyshev_bound(omega, mu, variance)
+        upper = two_sided
+        lower = two_sided
+    elif method == "markov":
+        upper = markov_bound(omega, mu)
+        lower = None
+    else:
+        raise ValueError(f"unknown bound method {method!r}")
+    return ErrorBounds(upper=upper, lower=lower)

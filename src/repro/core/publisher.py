@@ -1,0 +1,132 @@
+"""End-to-end publishing pipeline.
+
+The paper's workflow for a data publisher is:
+
+1. (optional) generalise public-attribute values that have the same impact on
+   SA, so that aggregating "irrelevant" attributes cannot sharpen a personal
+   reconstruction (Section 3.4);
+2. audit the personal groups of the (generalised) table against the
+   ``(lambda, delta)`` criterion (Corollary 4);
+3. enforce the criterion with SPS, which samples only the violating groups
+   (Section 5);
+4. publish the perturbed table.
+
+:class:`ReconstructionPrivacyPublisher` wires those steps together and records
+everything a downstream analyst or auditor needs (the merge decisions, the
+audit of the original table, the per-group SPS bookkeeping and the published
+table itself).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.criterion import PrivacySpec
+from repro.core.sps import SPSResult, sps_publish
+from repro.core.testing import PrivacyAudit, audit_table
+from repro.dataset.groups import personal_groups
+from repro.dataset.table import Table
+from repro.generalization.merging import GeneralizationResult, generalize_table
+from repro.perturbation.uniform import perturb_table
+from repro.utils.rng import default_rng
+
+
+@dataclass(frozen=True)
+class PublishResult:
+    """Everything produced by one publishing run."""
+
+    spec: PrivacySpec
+    generalization: GeneralizationResult | None
+    prepared: Table
+    audit: PrivacyAudit
+    sps: SPSResult
+
+    @property
+    def published(self) -> Table:
+        """The published table ``D*_2``."""
+        return self.sps.published
+
+
+class ReconstructionPrivacyPublisher:
+    """Publish a table under (lambda, delta)-reconstruction privacy.
+
+    Parameters
+    ----------
+    lam, delta:
+        The privacy parameters of Definition 3.
+    retention_probability:
+        ``p`` of the uniform perturbation; pick it with
+        :func:`repro.perturbation.rho_privacy.max_retention_for_rho_privacy`
+        if a rho1-rho2 guarantee is also wanted.
+    generalize:
+        Whether to run the chi-square generalisation of Section 3.4 before
+        forming personal groups (the paper always does for its experiments).
+    significance:
+        Significance level of the chi-square merging test.
+    """
+
+    def __init__(
+        self,
+        lam: float,
+        delta: float,
+        retention_probability: float,
+        generalize: bool = True,
+        significance: float = 0.05,
+    ) -> None:
+        self._lam = lam
+        self._delta = delta
+        self._p = retention_probability
+        self._generalize = generalize
+        self._significance = significance
+
+    def spec_for(self, table: Table) -> PrivacySpec:
+        """The :class:`PrivacySpec` this publisher applies to ``table``."""
+        return PrivacySpec(
+            lam=self._lam,
+            delta=self._delta,
+            retention_probability=self._p,
+            domain_size=table.schema.sensitive_domain_size,
+        )
+
+    def prepare(self, table: Table) -> tuple[Table, GeneralizationResult | None]:
+        """Run (or skip) the generalisation step and return the table to publish."""
+        if not self._generalize:
+            return table, None
+        result = generalize_table(table, significance=self._significance)
+        return result.table, result
+
+    def audit(self, table: Table) -> PrivacyAudit:
+        """Audit ``table`` (after preparation) without publishing anything."""
+        prepared, _ = self.prepare(table)
+        return audit_table(prepared, self.spec_for(prepared))
+
+    def publish(
+        self,
+        table: Table,
+        rng: int | np.random.Generator | None = None,
+    ) -> PublishResult:
+        """Generalise, audit and publish ``table`` with SPS."""
+        rng = default_rng(rng)
+        prepared, generalization = self.prepare(table)
+        spec = self.spec_for(prepared)
+        groups = personal_groups(prepared)
+        audit = audit_table(prepared, spec, groups=groups)
+        sps = sps_publish(prepared, spec, rng=rng, groups=groups)
+        return PublishResult(
+            spec=spec,
+            generalization=generalization,
+            prepared=prepared,
+            audit=audit,
+            sps=sps,
+        )
+
+    def publish_uniform_baseline(
+        self,
+        table: Table,
+        rng: int | np.random.Generator | None = None,
+    ) -> Table:
+        """Publish the plain uniform-perturbation baseline ``UP`` on the prepared table."""
+        prepared, _ = self.prepare(table)
+        return perturb_table(prepared, self._p, rng=rng)

@@ -1,0 +1,34 @@
+"""Classical posterior/prior privacy criteria used as comparison points.
+
+Section 1 of the paper contrasts reconstruction privacy with the
+posterior/prior family — l-diversity, t-closeness, beta-likeness, small-count
+style criteria — which treat *any* non-independent reasoning as a violation
+and therefore require the per-group SA distribution to stay close to a prior
+or to be sufficiently spread out.  Implementing them makes the comparison
+concrete: the same tables can be audited under every criterion, and the
+utility experiments show why "smoothing" criteria block statistical learning
+that reconstruction privacy deliberately allows.
+
+All checkers share the same shape: they take a table (raw data; these criteria
+are properties of the published micro-data distribution, which uniform
+perturbation leaves reconstructible in aggregate) and report which personal
+groups fail.
+"""
+
+from repro.criteria.classic import (
+    CriterionReport,
+    beta_likeness_report,
+    l_diversity_report,
+    small_count_report,
+    t_closeness_report,
+)
+from repro.criteria.comparison import compare_criteria
+
+__all__ = [
+    "CriterionReport",
+    "l_diversity_report",
+    "t_closeness_report",
+    "beta_likeness_report",
+    "small_count_report",
+    "compare_criteria",
+]

@@ -1,0 +1,163 @@
+"""Personal and aggregate groups (Section 3.2 of the paper).
+
+A *personal group* ``D(x1, ..., xn)`` fixes a concrete value for every public
+attribute; it contains exactly the records that are indistinguishable from a
+target individual using public information.  An *aggregate group* leaves at
+least one public attribute as a wildcard.  Personal reconstruction (privacy
+risk) operates on personal groups; aggregate reconstruction (utility) on
+aggregate groups.
+
+The :class:`GroupIndex` partitions a table into its personal groups in a
+single vectorised pass, mirroring the paper's "sort by NA then SA"
+preprocessing used by both the privacy test (Corollary 4) and the SPS
+algorithm (Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.dataset.table import Table
+
+
+@dataclass(frozen=True)
+class PersonalGroup:
+    """One personal group: a fixed NA key and the row indices carrying it.
+
+    Attributes
+    ----------
+    key:
+        The integer codes of the public attributes shared by every record in
+        the group, in schema column order.
+    indices:
+        Row indices (into the owning table) of the group's records.
+    sensitive_counts:
+        Counts of each SA value inside the group, length ``m``.
+    """
+
+    key: tuple[int, ...]
+    indices: np.ndarray
+    sensitive_counts: np.ndarray
+
+    @property
+    def size(self) -> int:
+        """``|g|``, the number of records in the group."""
+        return int(self.indices.size)
+
+    @property
+    def frequencies(self) -> np.ndarray:
+        """Fractional SA frequencies inside the group."""
+        total = self.sensitive_counts.sum()
+        if total == 0:
+            return np.zeros_like(self.sensitive_counts, dtype=float)
+        return self.sensitive_counts / total
+
+    @property
+    def max_frequency(self) -> float:
+        """``f`` in Equation (10): the largest SA frequency in the group."""
+        if self.size == 0:
+            return 0.0
+        return float(self.sensitive_counts.max() / self.sensitive_counts.sum())
+
+    def decoded_key(self, table: Table) -> tuple[str, ...]:
+        """Return the group's NA key as human-readable strings."""
+        return tuple(
+            attr.decode(code) for attr, code in zip(table.schema.public, self.key)
+        )
+
+
+class GroupIndex:
+    """Partition of a table into personal groups keyed by the full NA tuple."""
+
+    def __init__(self, table: Table) -> None:
+        self._table = table
+        self._groups: dict[tuple[int, ...], PersonalGroup] = {}
+        self._build()
+
+    def _build(self) -> None:
+        table = self._table
+        if len(table) == 0:
+            return
+        public = table.public_codes
+        # Lexicographic sort on the NA columns groups identical keys together.
+        order = np.lexsort(public.T[::-1])
+        sorted_public = public[order]
+        change = np.any(np.diff(sorted_public, axis=0) != 0, axis=1)
+        boundaries = np.concatenate(([0], np.flatnonzero(change) + 1, [len(table)]))
+        m = table.schema.sensitive_domain_size
+        sensitive = table.sensitive_codes
+        for start, stop in zip(boundaries[:-1], boundaries[1:]):
+            indices = order[start:stop]
+            key = tuple(int(c) for c in sorted_public[start])
+            counts = np.bincount(sensitive[indices], minlength=m).astype(np.int64)
+            self._groups[key] = PersonalGroup(key=key, indices=indices, sensitive_counts=counts)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def table(self) -> Table:
+        """The table this index was built over."""
+        return self._table
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    def __iter__(self) -> Iterator[PersonalGroup]:
+        return iter(self._groups.values())
+
+    def __contains__(self, key: tuple[int, ...]) -> bool:
+        return tuple(key) in self._groups
+
+    def get(self, key: Sequence[int]) -> PersonalGroup | None:
+        """Return the personal group with the given NA key, or ``None``."""
+        return self._groups.get(tuple(int(k) for k in key))
+
+    def group_of_record(self, row: int) -> PersonalGroup:
+        """Return the personal group containing table row ``row``."""
+        key = tuple(int(c) for c in self._table.public_codes[row])
+        group = self._groups.get(key)
+        if group is None:
+            raise KeyError(f"row {row} not indexed")
+        return group
+
+    def group_for_values(self, conditions: Mapping[str, str]) -> PersonalGroup | None:
+        """Return the personal group matching string values for *every* public attribute."""
+        schema = self._table.schema
+        if set(conditions) != set(schema.public_names):
+            raise ValueError(
+                "a personal group requires a value for every public attribute; "
+                "use aggregate_group() for partial conditions"
+            )
+        key = tuple(
+            schema.public_attribute(name).encode(conditions[name])
+            for name in schema.public_names
+        )
+        return self._groups.get(key)
+
+    def sizes(self) -> np.ndarray:
+        """Array of group sizes ``|g|`` in iteration order."""
+        return np.array([g.size for g in self], dtype=np.int64)
+
+    def average_group_size(self) -> float:
+        """``|D| / |G|`` as reported in Tables 4 and 5."""
+        if len(self) == 0:
+            return 0.0
+        return len(self._table) / len(self)
+
+
+def personal_groups(table: Table) -> GroupIndex:
+    """Build the :class:`GroupIndex` of all personal groups of ``table``."""
+    return GroupIndex(table)
+
+
+def aggregate_group(table: Table, conditions: Mapping[str, str]) -> np.ndarray:
+    """Boolean mask of the aggregate group defined by partial NA conditions.
+
+    ``conditions`` maps a subset of public attribute names to values; the
+    remaining attributes are wildcards.  Passing every public attribute
+    degenerates to a personal group, which is allowed (the paper's
+    ``D(x1, ..., xn)`` notation covers both).
+    """
+    return table.match_public(dict(conditions))

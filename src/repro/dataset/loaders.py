@@ -1,0 +1,91 @@
+"""CSV import/export for user-supplied data sets.
+
+The experiments in this repository run on the synthetic ADULT/CENSUS
+generators, but a downstream user who has the real files (or any other
+categorical table) can load them with :func:`read_csv`, naming which column is
+the sensitive attribute.  Domains are inferred from the observed values.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from collections.abc import Iterable, Sequence
+
+from repro.dataset.schema import Attribute, Schema, SchemaError
+from repro.dataset.table import Table
+
+
+def infer_schema(
+    header: Sequence[str],
+    rows: Iterable[Sequence[str]],
+    sensitive: str,
+) -> tuple[Schema, list[Sequence[str]]]:
+    """Infer a :class:`Schema` from a header and string rows.
+
+    Returns the schema and the materialised rows (so the caller can encode
+    them without re-reading the source).  The sensitive column may appear at
+    any position in the input; records are reordered so it comes last.
+    """
+    header = [str(h) for h in header]
+    if sensitive not in header:
+        raise SchemaError(f"sensitive column {sensitive!r} not found in header {header}")
+    materialised = [list(map(str, row)) for row in rows]
+    for row in materialised:
+        if len(row) != len(header):
+            raise SchemaError("row width does not match header width")
+
+    sensitive_index = header.index(sensitive)
+    public_names = [h for i, h in enumerate(header) if i != sensitive_index]
+
+    domains: dict[str, list[str]] = {name: [] for name in header}
+    seen: dict[str, set[str]] = {name: set() for name in header}
+    for row in materialised:
+        for name, value in zip(header, row):
+            if value not in seen[name]:
+                seen[name].add(value)
+                domains[name].append(value)
+
+    schema = Schema(
+        public=tuple(Attribute(name, tuple(sorted(domains[name]))) for name in public_names),
+        sensitive=Attribute(sensitive, tuple(sorted(domains[sensitive]))),
+    )
+    reordered = [
+        [row[header.index(name)] for name in public_names] + [row[sensitive_index]]
+        for row in materialised
+    ]
+    return schema, reordered
+
+
+def read_csv(path: str | Path, sensitive: str, delimiter: str = ",") -> Table:
+    """Load a categorical CSV file (with header) into a :class:`Table`.
+
+    Parameters
+    ----------
+    path:
+        CSV file path.
+    sensitive:
+        Name of the column to treat as the sensitive attribute SA.
+    delimiter:
+        Field delimiter (default comma).
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"{path} is empty") from None
+        rows = [row for row in reader if row]
+    schema, reordered = infer_schema(header, rows, sensitive)
+    return Table.from_records(schema, reordered)
+
+
+def write_csv(table: Table, path: str | Path, delimiter: str = ",") -> None:
+    """Write a table (public columns then the sensitive column) to CSV."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(list(table.schema.public_names) + [table.schema.sensitive_name])
+        for record in table.records():
+            writer.writerow(record)

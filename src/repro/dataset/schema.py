@@ -1,0 +1,144 @@
+"""Schema: named categorical attributes and the public/sensitive split.
+
+The paper (Section 3.1) assumes a table with public attributes
+``NA = {A1, ..., An}`` and exactly one sensitive attribute ``SA`` whose domain
+has ``m > 2`` values (ADULT's Income with m=2 is the deliberately hard corner
+case of the evaluation).  All attributes here are categorical; values are
+stored as strings in the schema and as integer codes in :class:`Table`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Iterable, Sequence
+
+
+class SchemaError(ValueError):
+    """Raised when a schema or a value does not satisfy its contract."""
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named categorical attribute with an ordered domain of values."""
+
+    name: str
+    values: tuple[str, ...]
+    _index: dict[str, int] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute name must be non-empty")
+        values = tuple(str(v) for v in self.values)
+        if len(values) == 0:
+            raise SchemaError(f"attribute {self.name!r} must have at least one value")
+        if len(set(values)) != len(values):
+            raise SchemaError(f"attribute {self.name!r} has duplicate values")
+        object.__setattr__(self, "values", values)
+        object.__setattr__(self, "_index", {v: i for i, v in enumerate(values)})
+
+    @property
+    def size(self) -> int:
+        """Domain size of the attribute."""
+        return len(self.values)
+
+    def encode(self, value: str) -> int:
+        """Return the integer code of ``value`` (raises ``SchemaError`` if unknown)."""
+        try:
+            return self._index[str(value)]
+        except KeyError:
+            raise SchemaError(f"unknown value {value!r} for attribute {self.name!r}") from None
+
+    def decode(self, code: int) -> str:
+        """Return the string value for integer ``code``."""
+        if not 0 <= code < self.size:
+            raise SchemaError(f"code {code} out of range for attribute {self.name!r}")
+        return self.values[code]
+
+    def __contains__(self, value: object) -> bool:
+        return str(value) in self._index
+
+
+@dataclass(frozen=True)
+class Schema:
+    """Ordered public attributes plus one sensitive attribute.
+
+    Parameters
+    ----------
+    public:
+        The ``NA`` attributes, in column order.
+    sensitive:
+        The ``SA`` attribute.
+    """
+
+    public: tuple[Attribute, ...]
+    sensitive: Attribute
+
+    def __init__(self, public: Iterable[Attribute], sensitive: Attribute) -> None:
+        public = tuple(public)
+        names = [a.name for a in public] + [sensitive.name]
+        if len(set(names)) != len(names):
+            raise SchemaError("attribute names must be unique across NA and SA")
+        if len(public) == 0:
+            raise SchemaError("schema needs at least one public attribute")
+        object.__setattr__(self, "public", public)
+        object.__setattr__(self, "sensitive", sensitive)
+
+    @property
+    def public_names(self) -> tuple[str, ...]:
+        """Names of the public attributes in column order."""
+        return tuple(a.name for a in self.public)
+
+    @property
+    def sensitive_name(self) -> str:
+        """Name of the sensitive attribute."""
+        return self.sensitive.name
+
+    @property
+    def sensitive_domain_size(self) -> int:
+        """``m``, the number of SA values (Section 3.1)."""
+        return self.sensitive.size
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        """All attribute names, public first, sensitive last."""
+        return self.public_names + (self.sensitive_name,)
+
+    def public_attribute(self, name: str) -> Attribute:
+        """Return the public attribute called ``name``."""
+        for attr in self.public:
+            if attr.name == name:
+                return attr
+        raise SchemaError(f"no public attribute named {name!r}")
+
+    def public_index(self, name: str) -> int:
+        """Return the column index of public attribute ``name``."""
+        for i, attr in enumerate(self.public):
+            if attr.name == name:
+                return i
+        raise SchemaError(f"no public attribute named {name!r}")
+
+    def with_public(self, public: Sequence[Attribute]) -> "Schema":
+        """Return a copy of this schema with different public attributes.
+
+        Used by the generalisation step (Section 3.4) which replaces each
+        public attribute's domain with merged (generalised) values.
+        """
+        return Schema(public, self.sensitive)
+
+    def encode_record(self, record: Sequence[str]) -> tuple[int, ...]:
+        """Encode one string record (NA values then SA value) to integer codes."""
+        expected = len(self.public) + 1
+        if len(record) != expected:
+            raise SchemaError(f"record has {len(record)} fields, expected {expected}")
+        codes = [attr.encode(v) for attr, v in zip(self.public, record[:-1])]
+        codes.append(self.sensitive.encode(record[-1]))
+        return tuple(codes)
+
+    def decode_record(self, codes: Sequence[int]) -> tuple[str, ...]:
+        """Decode one integer-coded record back to string values."""
+        expected = len(self.public) + 1
+        if len(codes) != expected:
+            raise SchemaError(f"record has {len(codes)} fields, expected {expected}")
+        values = [attr.decode(int(c)) for attr, c in zip(self.public, codes[:-1])]
+        values.append(self.sensitive.decode(int(codes[-1])))
+        return tuple(values)

@@ -1,0 +1,38 @@
+"""Differential-privacy substrate and the NIR ratio attack of Section 2.
+
+The paper's Section 2 analyses when two differentially private count answers
+disclose a sensitive rule through their ratio.  This package provides the
+output-perturbation substrate needed for that analysis and for Table 1 and
+Table 2 of the paper:
+
+* :mod:`repro.dp.mechanisms` — the Laplace and Gaussian mechanisms;
+* :mod:`repro.dp.queries` — count queries with an epsilon budget over a raw
+  table;
+* :mod:`repro.dp.attack` — the ratio attack (Lemma 1, Corollaries 1-2) and
+  the confidence-disclosure experiment of Example 1.
+"""
+
+from repro.dp.mechanisms import GaussianMechanism, LaplaceMechanism
+from repro.dp.queries import PrivateCountQuerier
+from repro.dp.attack import (
+    RatioAttackResult,
+    expected_ratio,
+    ratio_error_indicator,
+    ratio_variance,
+    run_ratio_attack,
+)
+from repro.dp.bayes_attack import BayesAttackResult, DPNaiveBayesAttacker, run_bayes_attack
+
+__all__ = [
+    "LaplaceMechanism",
+    "GaussianMechanism",
+    "PrivateCountQuerier",
+    "RatioAttackResult",
+    "expected_ratio",
+    "ratio_variance",
+    "ratio_error_indicator",
+    "run_ratio_attack",
+    "BayesAttackResult",
+    "DPNaiveBayesAttacker",
+    "run_bayes_attack",
+]

@@ -1,0 +1,163 @@
+"""The non-independent-reasoning ratio attack on DP answers (Section 2).
+
+An adversary who knows a target's public values issues two noisy count
+queries, ``Q1: NA = t.NA`` and ``Q2: NA = t.NA and SA = sa``, and gauges the
+chance that ``t`` has the sensitive value by the ratio ``Y / X`` of the noisy
+answers.  Lemma 1 (via a second-order Taylor expansion) gives
+
+    E[Y/X]   ~  (y/x) (1 + V / x^2)
+    Var[Y/X] ~  (V / x^2) (1 + y^2 / x^2)
+
+for noises of zero mean and fixed variance ``V``, so the ratio concentrates on
+the true confidence ``y/x`` once the true answer ``x`` is large relative to
+the noise scale.  For the Laplace mechanism, Corollary 2 reduces this to the
+indicator ``2 (b/x)^2`` tabulated in Table 2; ``b/x <= 1/20`` is the paper's
+rule of thumb for when a disclosure occurs.  :func:`run_ratio_attack` runs the
+empirical attack of Example 1 / Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.dataset.table import Table
+from repro.dp.mechanisms import GaussianMechanism, LaplaceMechanism
+from repro.utils.rng import default_rng, spawn_rngs
+from repro.utils.stats import mean_and_standard_error
+
+
+# --------------------------------------------------------------------------- #
+# Analytical results (Lemma 1, Corollary 2)
+# --------------------------------------------------------------------------- #
+def expected_ratio(true_x: float, true_y: float, noise_variance: float) -> float:
+    """Lemma 1: the approximate mean of ``Y/X``: ``(y/x)(1 + V/x^2)``."""
+    _validate_xy(true_x, true_y)
+    return (true_y / true_x) * (1.0 + noise_variance / true_x**2)
+
+
+def ratio_variance(true_x: float, true_y: float, noise_variance: float) -> float:
+    """Lemma 1: the approximate variance of ``Y/X``: ``(V/x^2)(1 + y^2/x^2)``."""
+    _validate_xy(true_x, true_y)
+    return (noise_variance / true_x**2) * (1.0 + true_y**2 / true_x**2)
+
+
+def ratio_error_indicator(scale: float, true_x: float) -> float:
+    """Corollary 2's disclosure indicator ``2 (b/x)^2`` for the Laplace mechanism.
+
+    ``|E[Y/X] - y/x| <= 2 (b/x)^2`` and ``Var[Y/X] <= 4 (b/x)^2``; small values
+    mean the noisy ratio is a good estimate of the true confidence.  This is
+    exactly the quantity tabulated in the paper's Table 2.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    if true_x <= 0:
+        raise ValueError("the true answer x must be positive")
+    return 2.0 * (scale / true_x) ** 2
+
+
+def disclosure_occurs(scale: float, true_x: float, threshold: float = 1.0 / 20.0) -> bool:
+    """The paper's rule of thumb: a disclosure occurs when ``b/x <= 1/20``."""
+    if scale <= 0 or true_x <= 0:
+        raise ValueError("scale and true answer must be positive")
+    return scale / true_x <= threshold
+
+
+def _validate_xy(true_x: float, true_y: float) -> None:
+    if true_x <= 0:
+        raise ValueError("the true answer x must be positive")
+    if true_y < 0:
+        raise ValueError("the true answer y must be non-negative")
+    if true_y > true_x:
+        raise ValueError("y cannot exceed x for the nested queries Q1 and Q2")
+
+
+# --------------------------------------------------------------------------- #
+# Empirical attack (Example 1 / Table 1)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class RatioAttackResult:
+    """Outcome of the empirical ratio attack over several noise trials.
+
+    Attributes mirror the rows of Table 1: the mean and standard error of the
+    estimated confidence ``Conf' = Y/X`` and of the two relative query errors.
+    """
+
+    true_confidence: float
+    true_x: float
+    true_y: float
+    confidence_mean: float
+    confidence_se: float
+    error_q1_mean: float
+    error_q1_se: float
+    error_q2_mean: float
+    error_q2_se: float
+    trials: int
+
+    @property
+    def confidence_gap(self) -> float:
+        """``|mean(Conf') - Conf|`` — how well the attack recovers the rule."""
+        return abs(self.confidence_mean - self.true_confidence)
+
+
+def run_ratio_attack(
+    table: Table,
+    conditions: Mapping[str, str],
+    sensitive_value: str,
+    mechanism: LaplaceMechanism | GaussianMechanism,
+    trials: int = 10,
+    rng: int | np.random.Generator | None = None,
+) -> RatioAttackResult:
+    """Run the two-query ratio attack of Example 1.
+
+    Parameters
+    ----------
+    table:
+        The raw table the DP mechanism protects.
+    conditions:
+        The target's public values ``t.NA`` (the WHERE clause of Q1).
+    sensitive_value:
+        The sensitive value ``sa`` whose likelihood the adversary gauges.
+    mechanism:
+        The noise mechanism answering the queries.
+    trials:
+        Number of independent noise draws (the paper uses 10).
+    rng:
+        Seed or generator.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    true_x = float(table.count(dict(conditions)))
+    true_y = float(table.count(dict(conditions), sensitive_value))
+    if true_x <= 0:
+        raise ValueError("the target personal group is empty; the attack is undefined")
+    true_confidence = true_y / true_x
+
+    rngs = spawn_rngs(default_rng(rng), trials)
+    confidences = []
+    errors_q1 = []
+    errors_q2 = []
+    for trial_rng in rngs:
+        noisy_x = float(mechanism.add_noise(true_x, rng=trial_rng))
+        noisy_y = float(mechanism.add_noise(true_y, rng=trial_rng))
+        confidences.append(noisy_y / noisy_x)
+        errors_q1.append(abs(true_x - noisy_x) / true_x)
+        errors_q2.append(abs(true_y - noisy_y) / true_y if true_y > 0 else float("nan"))
+
+    confidence_mean, confidence_se = mean_and_standard_error(confidences)
+    error_q1_mean, error_q1_se = mean_and_standard_error(errors_q1)
+    error_q2_mean, error_q2_se = mean_and_standard_error(errors_q2)
+    return RatioAttackResult(
+        true_confidence=true_confidence,
+        true_x=true_x,
+        true_y=true_y,
+        confidence_mean=confidence_mean,
+        confidence_se=confidence_se,
+        error_q1_mean=error_q1_mean,
+        error_q1_se=error_q1_se,
+        error_q2_mean=error_q2_mean,
+        error_q2_se=error_q2_se,
+        trials=trials,
+    )

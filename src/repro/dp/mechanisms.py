@@ -1,0 +1,113 @@
+"""Output-perturbation mechanisms (Laplace and Gaussian).
+
+The standard epsilon-differential-privacy mechanism adds zero-mean noise of a
+fixed scale to query answers.  For the Laplace mechanism the scale is
+``b = sensitivity / epsilon`` and the variance is ``2 b^2``; for the
+(epsilon, delta) Gaussian mechanism the standard deviation is
+``sigma = sensitivity * sqrt(2 ln(1.25/delta)) / epsilon``.  Both expose the
+fixed variance the paper's Corollary 1 relies on.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.utils.rng import default_rng
+
+
+class LaplaceMechanism:
+    """The Laplace mechanism ``Lap(b)`` with ``b = sensitivity / epsilon``."""
+
+    def __init__(self, epsilon: float, sensitivity: float = 1.0) -> None:
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        if sensitivity <= 0:
+            raise ValueError("sensitivity must be positive")
+        self._epsilon = float(epsilon)
+        self._sensitivity = float(sensitivity)
+
+    @classmethod
+    def from_scale(cls, scale: float) -> "LaplaceMechanism":
+        """Build a mechanism directly from the scale factor ``b`` (sensitivity 1)."""
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        return cls(epsilon=1.0 / scale, sensitivity=1.0)
+
+    @property
+    def epsilon(self) -> float:
+        """The privacy parameter epsilon."""
+        return self._epsilon
+
+    @property
+    def sensitivity(self) -> float:
+        """The query sensitivity Delta."""
+        return self._sensitivity
+
+    @property
+    def scale(self) -> float:
+        """The Laplace scale factor ``b = sensitivity / epsilon``."""
+        return self._sensitivity / self._epsilon
+
+    @property
+    def variance(self) -> float:
+        """``Var[noise] = 2 b^2`` — fixed for a given query class (Section 2)."""
+        return 2.0 * self.scale**2
+
+    def add_noise(
+        self, answers: float | np.ndarray, rng: int | np.random.Generator | None = None
+    ) -> float | np.ndarray:
+        """Return ``answers`` plus independent Laplace noise of scale ``b``."""
+        rng = default_rng(rng)
+        arr = np.asarray(answers, dtype=float)
+        noisy = arr + rng.laplace(loc=0.0, scale=self.scale, size=arr.shape)
+        if np.isscalar(answers) or arr.shape == ():
+            return float(noisy)
+        return noisy
+
+
+class GaussianMechanism:
+    """The analytic (epsilon, delta) Gaussian mechanism."""
+
+    def __init__(self, epsilon: float, delta: float, sensitivity: float = 1.0) -> None:
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        if not 0.0 < delta < 1.0:
+            raise ValueError("delta must lie strictly between 0 and 1")
+        if sensitivity <= 0:
+            raise ValueError("sensitivity must be positive")
+        self._epsilon = float(epsilon)
+        self._delta = float(delta)
+        self._sensitivity = float(sensitivity)
+
+    @property
+    def epsilon(self) -> float:
+        """The privacy parameter epsilon."""
+        return self._epsilon
+
+    @property
+    def delta(self) -> float:
+        """The privacy parameter delta."""
+        return self._delta
+
+    @property
+    def sigma(self) -> float:
+        """Noise standard deviation ``Delta * sqrt(2 ln(1.25/delta)) / epsilon``."""
+        return self._sensitivity * math.sqrt(2.0 * math.log(1.25 / self._delta)) / self._epsilon
+
+    @property
+    def variance(self) -> float:
+        """``sigma^2`` — again fixed for a given query class."""
+        return self.sigma**2
+
+    def add_noise(
+        self, answers: float | np.ndarray, rng: int | np.random.Generator | None = None
+    ) -> float | np.ndarray:
+        """Return ``answers`` plus independent Gaussian noise of deviation ``sigma``."""
+        rng = default_rng(rng)
+        arr = np.asarray(answers, dtype=float)
+        noisy = arr + rng.normal(loc=0.0, scale=self.sigma, size=arr.shape)
+        if np.isscalar(answers) or arr.shape == ():
+            return float(noisy)
+        return noisy

@@ -1,0 +1,35 @@
+"""Experiment harness.
+
+Each module regenerates one table or figure of the paper and returns both the
+structured result and a plain-text rendering.  ``python -m
+repro.experiments.runner`` (or the ``repro-experiments`` console script) runs
+any subset from the command line.
+"""
+
+from repro.experiments.config import (
+    DEFAULT_DELTA,
+    DEFAULT_LAMBDA,
+    DEFAULT_RETENTION,
+    PARAMETER_SWEEP,
+    ExperimentConfig,
+)
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.aggregation import run_aggregation_impact
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.violation_sweep import run_violation_sweep
+from repro.experiments.error_sweep import run_error_sweep
+
+__all__ = [
+    "DEFAULT_DELTA",
+    "DEFAULT_LAMBDA",
+    "DEFAULT_RETENTION",
+    "PARAMETER_SWEEP",
+    "ExperimentConfig",
+    "run_table1",
+    "run_table2",
+    "run_aggregation_impact",
+    "run_figure1",
+    "run_violation_sweep",
+    "run_error_sweep",
+]

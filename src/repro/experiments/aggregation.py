@@ -1,0 +1,84 @@
+"""Tables 4 and 5: impact of chi-square NA aggregation on the data sets.
+
+For each data set the experiment reports, before and after generalisation, the
+domain size of every public attribute, the number of personal groups ``|G|``
+and the average group size ``|D| / |G|``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dataset.adult import generate_adult
+from repro.dataset.census import generate_census
+from repro.dataset.groups import personal_groups
+from repro.dataset.table import Table
+from repro.experiments.config import ExperimentConfig
+from repro.generalization.merging import GeneralizationResult, generalize_table
+from repro.utils.textplot import render_table
+
+
+@dataclass(frozen=True)
+class AggregationImpact:
+    """Before/after statistics for one data set (one of Tables 4 / 5)."""
+
+    dataset_name: str
+    n_records: int
+    domain_sizes_before: dict[str, int]
+    domain_sizes_after: dict[str, int]
+    n_groups_before: int
+    n_groups_after: int
+    generalization: GeneralizationResult
+
+    @property
+    def average_group_size_before(self) -> float:
+        """``|D| / |G|`` before aggregation."""
+        return self.n_records / self.n_groups_before if self.n_groups_before else 0.0
+
+    @property
+    def average_group_size_after(self) -> float:
+        """``|D| / |G|`` after aggregation."""
+        return self.n_records / self.n_groups_after if self.n_groups_after else 0.0
+
+    def render(self) -> str:
+        """Plain-text rendering shaped like the paper's Tables 4 / 5."""
+        attributes = list(self.domain_sizes_before)
+        headers = ["", *attributes, "|G|", "|D|/|G|"]
+        rows = [
+            ["Before aggregation"]
+            + [self.domain_sizes_before[a] for a in attributes]
+            + [self.n_groups_before, round(self.average_group_size_before)],
+            ["After aggregation"]
+            + [self.domain_sizes_after[a] for a in attributes]
+            + [self.n_groups_after, round(self.average_group_size_after)],
+        ]
+        title = f"NA aggregation impact on {self.dataset_name} (|D| = {self.n_records})"
+        return render_table(headers, rows, title=title)
+
+
+def aggregation_impact(table: Table, dataset_name: str) -> AggregationImpact:
+    """Measure the aggregation impact on an arbitrary table."""
+    before_groups = personal_groups(table)
+    result = generalize_table(table)
+    after_groups = personal_groups(result.table)
+    return AggregationImpact(
+        dataset_name=dataset_name,
+        n_records=len(table),
+        domain_sizes_before={a.name: a.size for a in table.schema.public},
+        domain_sizes_after={a.name: a.size for a in result.table.schema.public},
+        n_groups_before=len(before_groups),
+        n_groups_after=len(after_groups),
+        generalization=result,
+    )
+
+
+def run_aggregation_impact(
+    config: ExperimentConfig = ExperimentConfig(),
+) -> dict[str, AggregationImpact]:
+    """Run the aggregation-impact measurement on ADULT (Table 4) and CENSUS (Table 5)."""
+    adult = generate_adult(config.adult_size, seed=config.seed)
+    census = generate_census(config.census_size, seed=config.seed)
+    return {
+        "ADULT": aggregation_impact(adult, "ADULT"),
+        "CENSUS": aggregation_impact(census, f"CENSUS {config.census_size // 1000}K"),
+    }

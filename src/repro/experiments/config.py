@@ -1,0 +1,63 @@
+"""Shared experiment configuration (the paper's Table 6 parameter settings)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Default retention probability (boldface in Table 6).
+DEFAULT_RETENTION = 0.5
+#: Default lambda (boldface in Table 6).
+DEFAULT_LAMBDA = 0.3
+#: Default delta (boldface in Table 6).
+DEFAULT_DELTA = 0.3
+
+#: The parameter sweeps of Table 6.
+PARAMETER_SWEEP = {
+    "p": (0.1, 0.3, 0.5, 0.7, 0.9),
+    "lambda": (0.1, 0.2, 0.3, 0.4, 0.5),
+    "delta": (0.1, 0.2, 0.3, 0.4, 0.5),
+}
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by the data-driven experiments.
+
+    The defaults reproduce the paper's settings scaled down where noted so
+    that the whole suite runs in minutes on a laptop; pass ``paper_scale=True``
+    factories (see :meth:`paper_scale`) to use the full sizes.
+    """
+
+    adult_size: int = 45_222
+    census_size: int = 100_000
+    census_sweep_sizes: tuple[int, ...] = (50_000, 100_000, 150_000, 200_000, 250_000)
+    workload_queries: int = 600
+    runs: int = 3
+    attack_trials: int = 10
+    seed: int = 20150323
+    retention: float = DEFAULT_RETENTION
+    lam: float = DEFAULT_LAMBDA
+    delta: float = DEFAULT_DELTA
+    sweep: dict = field(default_factory=lambda: dict(PARAMETER_SWEEP))
+
+    @classmethod
+    def paper_scale(cls) -> "ExperimentConfig":
+        """The full-size configuration matching the paper's evaluation."""
+        return cls(
+            adult_size=45_222,
+            census_size=300_000,
+            census_sweep_sizes=(100_000, 200_000, 300_000, 400_000, 500_000),
+            workload_queries=5_000,
+            runs=10,
+        )
+
+    @classmethod
+    def quick(cls) -> "ExperimentConfig":
+        """A small configuration for smoke tests and CI."""
+        return cls(
+            adult_size=8_000,
+            census_size=20_000,
+            census_sweep_sizes=(10_000, 20_000, 30_000),
+            workload_queries=150,
+            runs=2,
+        )

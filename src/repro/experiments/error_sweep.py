@@ -1,0 +1,166 @@
+"""Figures 3 and 5: the relative-error cost of SPS compared to plain UP.
+
+For each parameter setting the experiment publishes the generalised table with
+both UP and SPS, answers the same random query workload on both, and reports
+the average relative error of each (Figure 3 for ADULT, Figure 5 for CENSUS,
+including the data-size sweep of Figure 5(d)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.utility import UtilityComparison, compare_up_and_sps
+from repro.core.criterion import PrivacySpec
+from repro.dataset.adult import generate_adult
+from repro.dataset.census import generate_census
+from repro.dataset.groups import personal_groups
+from repro.dataset.table import Table
+from repro.experiments.config import ExperimentConfig
+from repro.generalization.merging import GeneralizationResult, generalize_table
+from repro.queries.count_query import CountQuery
+from repro.queries.workload import WorkloadConfig, generate_workload
+from repro.utils.textplot import render_series
+
+
+@dataclass(frozen=True)
+class ErrorSweep:
+    """UP and SPS average relative errors along one swept parameter."""
+
+    dataset_name: str
+    parameter: str
+    values: tuple[float, ...]
+    comparisons: tuple[UtilityComparison, ...]
+
+    @property
+    def up_errors(self) -> tuple[float, ...]:
+        """Average relative error of plain uniform perturbation per swept value."""
+        return tuple(c.up_error for c in self.comparisons)
+
+    @property
+    def sps_errors(self) -> tuple[float, ...]:
+        """Average relative error of SPS per swept value."""
+        return tuple(c.sps_error for c in self.comparisons)
+
+    def render(self) -> str:
+        """Plain-text rendering of one panel of Figure 3 / Figure 5."""
+        return render_series(
+            self.parameter,
+            list(self.values),
+            {"SPS": self.sps_errors, "UP": self.up_errors},
+            title=f"Average relative error on {self.dataset_name} vs {self.parameter}",
+        )
+
+
+def _prepare(raw: Table) -> tuple[Table, GeneralizationResult]:
+    result = generalize_table(raw)
+    return result.table, result
+
+
+def _workload(
+    raw: Table,
+    prepared: Table,
+    generalization: GeneralizationResult,
+    config: ExperimentConfig,
+) -> list[CountQuery]:
+    return generate_workload(
+        source_table=raw,
+        target_table=prepared,
+        config=WorkloadConfig(n_queries=config.workload_queries),
+        generalization=generalization,
+        rng=config.seed,
+    )
+
+
+def sweep_parameter(
+    prepared: Table,
+    queries: list[CountQuery],
+    dataset_name: str,
+    parameter: str,
+    values: tuple[float, ...],
+    config: ExperimentConfig,
+) -> ErrorSweep:
+    """Sweep one of ``p``, ``lambda`` or ``delta`` and compare UP against SPS."""
+    if parameter not in {"p", "lambda", "delta"}:
+        raise ValueError("parameter must be one of 'p', 'lambda', 'delta'")
+    groups = personal_groups(prepared)
+    comparisons = []
+    for i, value in enumerate(values):
+        p = value if parameter == "p" else config.retention
+        lam = value if parameter == "lambda" else config.lam
+        delta = value if parameter == "delta" else config.delta
+        spec = PrivacySpec(
+            lam=lam,
+            delta=delta,
+            retention_probability=p,
+            domain_size=prepared.schema.sensitive_domain_size,
+        )
+        comparisons.append(
+            compare_up_and_sps(
+                prepared,
+                spec,
+                queries,
+                runs=config.runs,
+                rng=config.seed + 1000 * i,
+                groups=groups,
+            )
+        )
+    return ErrorSweep(
+        dataset_name=dataset_name,
+        parameter=parameter,
+        values=values,
+        comparisons=tuple(comparisons),
+    )
+
+
+def sweep_data_size(sizes: tuple[int, ...], config: ExperimentConfig) -> ErrorSweep:
+    """Figure 5(d): UP vs SPS error on CENSUS samples of increasing size."""
+    comparisons = []
+    for i, size in enumerate(sizes):
+        raw = generate_census(size, seed=config.seed)
+        prepared, generalization = _prepare(raw)
+        queries = _workload(raw, prepared, generalization, config)
+        spec = PrivacySpec(
+            lam=config.lam,
+            delta=config.delta,
+            retention_probability=config.retention,
+            domain_size=prepared.schema.sensitive_domain_size,
+        )
+        comparisons.append(
+            compare_up_and_sps(
+                prepared, spec, queries, runs=config.runs, rng=config.seed + 7000 * i
+            )
+        )
+    return ErrorSweep(
+        dataset_name="CENSUS",
+        parameter="|D|",
+        values=tuple(float(s) for s in sizes),
+        comparisons=tuple(comparisons),
+    )
+
+
+def run_error_sweep(
+    config: ExperimentConfig = ExperimentConfig(),
+    datasets: tuple[str, ...] = ("ADULT", "CENSUS"),
+    include_size_sweep: bool = True,
+) -> dict[str, dict[str, ErrorSweep]]:
+    """Run the error sweeps of Figure 3 (ADULT) and Figure 5 (CENSUS)."""
+    results: dict[str, dict[str, ErrorSweep]] = {}
+    for name in datasets:
+        if name == "ADULT":
+            raw = generate_adult(config.adult_size, seed=config.seed)
+        elif name == "CENSUS":
+            raw = generate_census(config.census_size, seed=config.seed)
+        else:
+            raise ValueError(f"unknown dataset {name!r}")
+        prepared, generalization = _prepare(raw)
+        queries = _workload(raw, prepared, generalization, config)
+        sweeps = {
+            "p": sweep_parameter(prepared, queries, name, "p", config.sweep["p"], config),
+            "lambda": sweep_parameter(prepared, queries, name, "lambda", config.sweep["lambda"], config),
+            "delta": sweep_parameter(prepared, queries, name, "delta", config.sweep["delta"], config),
+        }
+        if name == "CENSUS" and include_size_sweep:
+            sweeps["|D|"] = sweep_data_size(config.census_sweep_sizes, config)
+        results[name] = sweeps
+    return results

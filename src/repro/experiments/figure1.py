@@ -1,0 +1,72 @@
+"""Figure 1: the maximum group size ``s_g`` versus the maximum frequency ``f``.
+
+The paper plots ``s_g`` (Equation 10) against ``f`` for retention
+probabilities p = 0.3, 0.5, 0.7, once with the ADULT domain size (m = 2,
+f >= 0.5) and once with the CENSUS domain size (m = 50, f from 0.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.criterion import PrivacySpec, max_group_size
+from repro.experiments.config import DEFAULT_DELTA, DEFAULT_LAMBDA
+from repro.utils.textplot import render_series
+
+#: Retention probabilities of the three curves in each panel.
+FIGURE1_RETENTIONS = (0.3, 0.5, 0.7)
+
+
+@dataclass(frozen=True)
+class Figure1Panel:
+    """One panel of Figure 1: s_g as a function of f for several p."""
+
+    dataset_name: str
+    domain_size: int
+    frequencies: tuple[float, ...]
+    curves: dict[float, tuple[float, ...]]
+
+    def render(self) -> str:
+        """Plain-text rendering of the panel (one column per retention probability)."""
+        series = {f"p={p:g}": self.curves[p] for p in sorted(self.curves)}
+        return render_series(
+            "f",
+            [round(f, 3) for f in self.frequencies],
+            series,
+            title=f"Figure 1 ({self.dataset_name}, m={self.domain_size}): s_g vs f",
+        )
+
+
+def figure1_panel(
+    dataset_name: str,
+    domain_size: int,
+    frequencies: tuple[float, ...],
+    lam: float = DEFAULT_LAMBDA,
+    delta: float = DEFAULT_DELTA,
+    retentions: tuple[float, ...] = FIGURE1_RETENTIONS,
+) -> Figure1Panel:
+    """Compute one panel of Figure 1."""
+    curves = {}
+    for p in retentions:
+        spec = PrivacySpec(lam=lam, delta=delta, retention_probability=p, domain_size=domain_size)
+        curves[p] = tuple(max_group_size(spec, f) for f in frequencies)
+    return Figure1Panel(
+        dataset_name=dataset_name,
+        domain_size=domain_size,
+        frequencies=frequencies,
+        curves=curves,
+    )
+
+
+def run_figure1(
+    lam: float = DEFAULT_LAMBDA, delta: float = DEFAULT_DELTA
+) -> dict[str, Figure1Panel]:
+    """Compute both panels of Figure 1 (ADULT-like m=2 and CENSUS-like m=50)."""
+    adult_frequencies = tuple(np.round(np.arange(0.5, 0.91, 0.05), 3))
+    census_frequencies = tuple(np.round(np.arange(0.1, 0.91, 0.1), 3))
+    return {
+        "ADULT": figure1_panel("ADULT", 2, adult_frequencies, lam=lam, delta=delta),
+        "CENSUS": figure1_panel("CENSUS", 50, census_frequencies, lam=lam, delta=delta),
+    }

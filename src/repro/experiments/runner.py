@@ -1,0 +1,90 @@
+"""Command-line runner for the whole experiment suite.
+
+Usage (installed console script)::
+
+    repro-experiments --all
+    repro-experiments table1 table2 figure1
+    repro-experiments --scale quick figures2-3
+    repro-experiments --scale paper --all     # full paper-size runs (slow)
+
+Each experiment prints a plain-text table or series shaped like the paper's
+corresponding table or figure.
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections.abc import Sequence
+
+from repro.experiments.aggregation import run_aggregation_impact
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.error_sweep import run_error_sweep
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.violation_sweep import run_violation_sweep
+
+#: Experiment names accepted on the command line.
+EXPERIMENTS = ("table1", "table2", "tables4-5", "figure1", "figures2-4", "figures3-5")
+
+
+def _config_for(scale: str) -> ExperimentConfig:
+    if scale == "paper":
+        return ExperimentConfig.paper_scale()
+    if scale == "quick":
+        return ExperimentConfig.quick()
+    if scale == "default":
+        return ExperimentConfig()
+    raise ValueError(f"unknown scale {scale!r}")
+
+
+def run_experiment(name: str, config: ExperimentConfig) -> str:
+    """Run one named experiment and return its plain-text report."""
+    if name == "table1":
+        return run_table1(config).render()
+    if name == "table2":
+        return run_table2().render()
+    if name == "tables4-5":
+        impacts = run_aggregation_impact(config)
+        return "\n\n".join(impact.render() for impact in impacts.values())
+    if name == "figure1":
+        panels = run_figure1()
+        return "\n\n".join(panel.render() for panel in panels.values())
+    if name == "figures2-4":
+        sweeps = run_violation_sweep(config)
+        blocks = []
+        for dataset in sweeps.values():
+            blocks.extend(sweep.render() for sweep in dataset.values())
+        return "\n\n".join(blocks)
+    if name == "figures3-5":
+        sweeps = run_error_sweep(config)
+        blocks = []
+        for dataset in sweeps.values():
+            blocks.extend(sweep.render() for sweep in dataset.values())
+        return "\n\n".join(blocks)
+    raise ValueError(f"unknown experiment {name!r}; choose from {EXPERIMENTS}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of the ``repro-experiments`` console script."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("experiments", nargs="*", choices=[*EXPERIMENTS, []], help="experiments to run")
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument(
+        "--scale",
+        choices=("quick", "default", "paper"),
+        default="default",
+        help="data-size / run-count preset (paper = full sizes from the paper, slow)",
+    )
+    args = parser.parse_args(argv)
+
+    names = list(EXPERIMENTS) if args.all or not args.experiments else list(args.experiments)
+    config = _config_for(args.scale)
+    for name in names:
+        print(run_experiment(name, config))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    raise SystemExit(main())

@@ -1,0 +1,40 @@
+"""Table 2: the disclosure indicator ``2 (b/x)^2`` for a grid of b and x."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dp.attack import ratio_error_indicator
+from repro.utils.textplot import render_table
+
+#: The Laplace scales of Table 2 and their epsilon equivalents for Delta = 2.
+TABLE2_SCALES = (10.0, 20.0, 40.0, 200.0)
+TABLE2_EPSILONS = (0.2, 0.1, 0.05, 0.01)
+#: The true-answer columns of Table 2.
+TABLE2_ANSWERS = (5000, 1000, 500, 200, 100)
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    """The full grid, indexed ``grid[scale][answer] = 2 (b/x)^2``."""
+
+    grid: dict[float, dict[int, float]]
+
+    def render(self) -> str:
+        """Plain-text rendering shaped like the paper's Table 2."""
+        headers = ["b (epsilon)"] + [f"x={x}" for x in TABLE2_ANSWERS]
+        rows = []
+        for scale, epsilon in zip(TABLE2_SCALES, TABLE2_EPSILONS):
+            rows.append(
+                [f"b={scale:g} (eps={epsilon:g})"] + [self.grid[scale][x] for x in TABLE2_ANSWERS]
+            )
+        return render_table(headers, rows, title="Table 2: 2*(b/x)^2 disclosure indicator")
+
+
+def run_table2() -> Table2Result:
+    """Compute the Table 2 grid (a pure closed-form computation)."""
+    grid = {
+        scale: {answer: ratio_error_indicator(scale, answer) for answer in TABLE2_ANSWERS}
+        for scale in TABLE2_SCALES
+    }
+    return Table2Result(grid=grid)

@@ -1,0 +1,132 @@
+"""Figures 2 and 4: how often reconstruction privacy is violated by plain UP.
+
+For each parameter setting (sweeping p, lambda, delta, and for CENSUS the data
+size |D|) the experiment audits the generalised table and reports the group
+violation rate ``v_g`` and the record violation rate ``v_r``.  The audit is a
+property of the raw data and the perturbation parameters, so no actual
+perturbation is needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.violation import ViolationReport, violation_report
+from repro.core.criterion import PrivacySpec
+from repro.dataset.adult import generate_adult
+from repro.dataset.census import generate_census
+from repro.dataset.groups import personal_groups
+from repro.dataset.table import Table
+from repro.experiments.config import ExperimentConfig
+from repro.generalization.merging import generalize_table
+from repro.utils.textplot import render_series
+
+
+@dataclass(frozen=True)
+class ViolationSweep:
+    """Violation rates along one swept parameter."""
+
+    dataset_name: str
+    parameter: str
+    values: tuple[float, ...]
+    reports: tuple[ViolationReport, ...]
+
+    @property
+    def group_rates(self) -> tuple[float, ...]:
+        """``v_g`` for each swept value."""
+        return tuple(report.group_rate for report in self.reports)
+
+    @property
+    def record_rates(self) -> tuple[float, ...]:
+        """``v_r`` for each swept value."""
+        return tuple(report.record_rate for report in self.reports)
+
+    def render(self) -> str:
+        """Plain-text rendering of one panel of Figure 2 / Figure 4."""
+        return render_series(
+            self.parameter,
+            list(self.values),
+            {"v_r": self.record_rates, "v_g": self.group_rates},
+            title=f"Violation rates on {self.dataset_name} vs {self.parameter}",
+        )
+
+
+def _spec(table: Table, p: float, lam: float, delta: float) -> PrivacySpec:
+    return PrivacySpec(
+        lam=lam,
+        delta=delta,
+        retention_probability=p,
+        domain_size=table.schema.sensitive_domain_size,
+    )
+
+
+def sweep_parameter(
+    table: Table,
+    dataset_name: str,
+    parameter: str,
+    values: tuple[float, ...],
+    config: ExperimentConfig,
+) -> ViolationSweep:
+    """Sweep one of ``p``, ``lambda`` or ``delta`` on an already generalised table."""
+    if parameter not in {"p", "lambda", "delta"}:
+        raise ValueError("parameter must be one of 'p', 'lambda', 'delta'")
+    groups = personal_groups(table)
+    reports = []
+    for value in values:
+        p = value if parameter == "p" else config.retention
+        lam = value if parameter == "lambda" else config.lam
+        delta = value if parameter == "delta" else config.delta
+        reports.append(violation_report(table, _spec(table, p, lam, delta), groups=groups))
+    return ViolationSweep(
+        dataset_name=dataset_name,
+        parameter=parameter,
+        values=values,
+        reports=tuple(reports),
+    )
+
+
+def sweep_data_size(
+    sizes: tuple[int, ...],
+    config: ExperimentConfig,
+) -> ViolationSweep:
+    """Figure 4(d): violation rates of CENSUS samples of increasing size."""
+    reports = []
+    for size in sizes:
+        census = generalize_table(generate_census(size, seed=config.seed)).table
+        reports.append(
+            violation_report(
+                census, _spec(census, config.retention, config.lam, config.delta)
+            )
+        )
+    return ViolationSweep(
+        dataset_name="CENSUS",
+        parameter="|D|",
+        values=tuple(float(s) for s in sizes),
+        reports=tuple(reports),
+    )
+
+
+def run_violation_sweep(
+    config: ExperimentConfig = ExperimentConfig(),
+    datasets: tuple[str, ...] = ("ADULT", "CENSUS"),
+    include_size_sweep: bool = True,
+) -> dict[str, dict[str, ViolationSweep]]:
+    """Run the violation sweeps of Figure 2 (ADULT) and Figure 4 (CENSUS)."""
+    results: dict[str, dict[str, ViolationSweep]] = {}
+    for name in datasets:
+        if name == "ADULT":
+            raw = generate_adult(config.adult_size, seed=config.seed)
+        elif name == "CENSUS":
+            raw = generate_census(config.census_size, seed=config.seed)
+        else:
+            raise ValueError(f"unknown dataset {name!r}")
+        table = generalize_table(raw).table
+        sweeps = {
+            "p": sweep_parameter(table, name, "p", config.sweep["p"], config),
+            "lambda": sweep_parameter(table, name, "lambda", config.sweep["lambda"], config),
+            "delta": sweep_parameter(table, name, "delta", config.sweep["delta"], config),
+        }
+        if name == "CENSUS" and include_size_sweep:
+            sweeps["|D|"] = sweep_data_size(config.census_sweep_sizes, config)
+        results[name] = sweeps
+    return results

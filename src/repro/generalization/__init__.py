@@ -1,0 +1,29 @@
+"""Chi-square based generalisation of public-attribute values (Section 3.4).
+
+Before personal groups are formed, each public attribute's values that have
+the *same impact* on the sensitive attribute are merged into a single
+generalised value.  Two values are considered indistinguishable when the
+chi-square test for two binned distributions with unequal sample sizes
+(Equation 4) cannot reject, at 5 % significance, the hypothesis that their SA
+distributions come from the same population.  Indistinguishable values are
+connected in a graph and every connected component becomes one generalised
+value.
+"""
+
+from repro.generalization.chi_square import chi_square_statistic, chi_square_threshold, same_distribution
+from repro.generalization.merging import (
+    AttributeMerge,
+    GeneralizationResult,
+    generalize_table,
+    merge_attribute_values,
+)
+
+__all__ = [
+    "chi_square_statistic",
+    "chi_square_threshold",
+    "same_distribution",
+    "AttributeMerge",
+    "GeneralizationResult",
+    "generalize_table",
+    "merge_attribute_values",
+]

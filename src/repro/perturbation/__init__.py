@@ -1,0 +1,27 @@
+"""Uniform perturbation (randomised response) substrate.
+
+Implements the data-perturbation operator of Section 3.1: for each record the
+sensitive value is retained with probability ``p`` and otherwise replaced by a
+value drawn uniformly from the whole SA domain.  The operator is characterised
+by the ``m x m`` matrix **P** of Equation (3), implemented in
+:mod:`repro.perturbation.matrix`.  :mod:`repro.perturbation.rho_privacy`
+relates the retention probability to the rho1-rho2 privacy-breach criterion,
+which the paper cites as the usual way to pick ``p``.
+"""
+
+from repro.perturbation.matrix import PerturbationMatrix
+from repro.perturbation.uniform import UniformPerturbation, perturb_table
+from repro.perturbation.rho_privacy import (
+    amplification_factor,
+    max_retention_for_rho_privacy,
+    satisfies_rho_privacy,
+)
+
+__all__ = [
+    "PerturbationMatrix",
+    "UniformPerturbation",
+    "perturb_table",
+    "amplification_factor",
+    "max_retention_for_rho_privacy",
+    "satisfies_rho_privacy",
+]

@@ -1,0 +1,98 @@
+"""The uniform-perturbation matrix **P** of Equation (3).
+
+``P[j, i]`` is the probability that an original sensitive value ``sa_i`` is
+published as ``sa_j``:
+
+* ``P[i, i] = p + (1 - p) / m``   (the value is retained, or replaced by itself),
+* ``P[j, i] = (1 - p) / m`` for ``j != i``.
+
+The matrix is column-stochastic, symmetric, and invertible for every
+``0 < p <= 1``; its inverse is what the matrix-form MLE of Theorem 1 applies
+to the observed counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class PerturbationMatrix:
+    """The ``m x m`` uniform-perturbation transition matrix.
+
+    Parameters
+    ----------
+    retention_probability:
+        ``p`` in the paper, with ``0 < p <= 1``.  ``p = 1`` publishes the data
+        unchanged and is allowed as the degenerate no-privacy case.
+    domain_size:
+        ``m``, the number of sensitive values, at least 2.
+    """
+
+    def __init__(self, retention_probability: float, domain_size: int) -> None:
+        if not 0 < retention_probability <= 1:
+            raise ValueError("retention probability must be in (0, 1]")
+        if domain_size < 2:
+            raise ValueError("the sensitive domain must have at least 2 values")
+        self._p = float(retention_probability)
+        self._m = int(domain_size)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def retention_probability(self) -> float:
+        """``p``: the probability a sensitive value survives perturbation unchanged."""
+        return self._p
+
+    @property
+    def domain_size(self) -> int:
+        """``m``: the sensitive domain size."""
+        return self._m
+
+    @property
+    def off_diagonal(self) -> float:
+        """``(1 - p) / m``: probability mass moved to each specific other value."""
+        return (1.0 - self._p) / self._m
+
+    @property
+    def diagonal(self) -> float:
+        """``p + (1 - p) / m``: probability the published value equals the original."""
+        return self._p + self.off_diagonal
+
+    # ------------------------------------------------------------------ #
+    def as_array(self) -> np.ndarray:
+        """Materialise **P** as an ``(m, m)`` array (column ``i`` = original value ``i``)."""
+        matrix = np.full((self._m, self._m), self.off_diagonal, dtype=float)
+        np.fill_diagonal(matrix, self.diagonal)
+        return matrix
+
+    def inverse(self) -> np.ndarray:
+        """The closed-form inverse of **P**.
+
+        ``P = p * I + ((1 - p) / m) * J`` where ``J`` is the all-ones matrix,
+        so by the Sherman-Morrison formula
+        ``P^-1 = (1/p) * I - ((1 - p) / (p * m)) * J``.
+        """
+        identity = np.eye(self._m)
+        ones = np.ones((self._m, self._m))
+        return identity / self._p - ones * (1.0 - self._p) / (self._p * self._m)
+
+    def apply_to_frequencies(self, frequencies: np.ndarray) -> np.ndarray:
+        """Expected published frequencies ``P @ f`` for original frequencies ``f``."""
+        frequencies = np.asarray(frequencies, dtype=float)
+        if frequencies.shape != (self._m,):
+            raise ValueError(f"frequencies must have shape ({self._m},)")
+        return self._p * frequencies + self.off_diagonal * frequencies.sum()
+
+    def invert_frequencies(self, observed: np.ndarray) -> np.ndarray:
+        """Apply ``P^-1`` to observed frequencies (the matrix-form MLE of Theorem 1)."""
+        observed = np.asarray(observed, dtype=float)
+        if observed.shape != (self._m,):
+            raise ValueError(f"observed must have shape ({self._m},)")
+        return (observed - self.off_diagonal * observed.sum()) / self._p
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PerturbationMatrix):
+            return NotImplemented
+        return self._p == other._p and self._m == other._m
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PerturbationMatrix(p={self._p}, m={self._m})"

@@ -1,0 +1,74 @@
+"""rho1-rho2 privacy-breach analysis for uniform perturbation.
+
+The paper (Section 3.1 and Definition 4) leaves the retention probability
+``p`` as an input and notes that "other privacy criteria, such as rho1-rho2
+privacy, can be enforced through a proper choice of p".  This module supplies
+that choice, following Evfimievski, Gehrke & Srikant (PODS 2003): a
+randomisation operator permits no upward (rho1, rho2) privacy breach if its
+*amplification factor* gamma satisfies
+
+    rho2 / (1 - rho2) * (1 - rho1) / rho1  >=  gamma,
+
+where gamma is the largest ratio ``P[j, i] / P[j, i']`` over published value
+``j`` and original values ``i, i'``.  For uniform perturbation
+``gamma = (p + (1 - p) / m) / ((1 - p) / m)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.perturbation.matrix import PerturbationMatrix
+
+
+def amplification_factor(retention_probability: float, domain_size: int) -> float:
+    """The amplification factor ``gamma`` of uniform perturbation.
+
+    ``gamma = (p + (1 - p)/m) / ((1 - p)/m)``; it is ``inf`` for ``p = 1``
+    (publishing the raw value amplifies without bound).
+    """
+    matrix = PerturbationMatrix(retention_probability, domain_size)
+    if matrix.off_diagonal == 0:
+        return math.inf
+    return matrix.diagonal / matrix.off_diagonal
+
+
+def breach_threshold(rho1: float, rho2: float) -> float:
+    """The largest amplification factor compatible with no (rho1, rho2) breach."""
+    _validate_rhos(rho1, rho2)
+    return (rho2 / (1.0 - rho2)) * ((1.0 - rho1) / rho1)
+
+
+def satisfies_rho_privacy(
+    retention_probability: float, domain_size: int, rho1: float, rho2: float
+) -> bool:
+    """Whether uniform perturbation with this ``p`` avoids (rho1, rho2) breaches.
+
+    A small relative tolerance absorbs floating-point error so that the ``p``
+    returned by :func:`max_retention_for_rho_privacy` (which sits exactly on
+    the boundary) tests as satisfying.
+    """
+    threshold = breach_threshold(rho1, rho2)
+    return amplification_factor(retention_probability, domain_size) <= threshold * (1 + 1e-12) + 1e-12
+
+
+def max_retention_for_rho_privacy(domain_size: int, rho1: float, rho2: float) -> float:
+    """The largest retention probability ``p`` that avoids (rho1, rho2) breaches.
+
+    Solving ``(p + (1-p)/m) / ((1-p)/m) <= threshold`` for ``p`` gives
+    ``p <= (threshold - 1) / (threshold - 1 + m)``.
+    Returns 0 if no positive ``p`` works (i.e. ``threshold <= 1``).
+    """
+    if domain_size < 2:
+        raise ValueError("the sensitive domain must have at least 2 values")
+    threshold = breach_threshold(rho1, rho2)
+    if threshold <= 1.0:
+        return 0.0
+    return (threshold - 1.0) / (threshold - 1.0 + domain_size)
+
+
+def _validate_rhos(rho1: float, rho2: float) -> None:
+    if not 0.0 < rho1 < 1.0 or not 0.0 < rho2 < 1.0:
+        raise ValueError("rho1 and rho2 must lie strictly between 0 and 1")
+    if rho2 <= rho1:
+        raise ValueError("a breach requires rho2 > rho1")

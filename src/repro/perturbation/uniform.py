@@ -1,0 +1,81 @@
+"""Uniform perturbation of the sensitive attribute (Section 3.1).
+
+For each record independently: toss a coin with head probability ``p``; on
+heads keep the SA value, on tails replace it with a value drawn uniformly at
+random from the whole SA domain (the original value included, hence the
+``(1 - p) / m`` off-diagonal of the perturbation matrix).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataset.table import Table
+from repro.perturbation.matrix import PerturbationMatrix
+from repro.utils.rng import default_rng
+
+
+class UniformPerturbation:
+    """The uniform-perturbation operator ``UP`` used as the paper's baseline.
+
+    Parameters
+    ----------
+    retention_probability:
+        ``p``, the probability a record keeps its original sensitive value.
+    domain_size:
+        ``m``, the sensitive domain size.
+    """
+
+    def __init__(self, retention_probability: float, domain_size: int) -> None:
+        self._matrix = PerturbationMatrix(retention_probability, domain_size)
+
+    @property
+    def matrix(self) -> PerturbationMatrix:
+        """The transition matrix **P** characterising the operator."""
+        return self._matrix
+
+    @property
+    def retention_probability(self) -> float:
+        """``p``."""
+        return self._matrix.retention_probability
+
+    @property
+    def domain_size(self) -> int:
+        """``m``."""
+        return self._matrix.domain_size
+
+    def perturb_codes(
+        self, sensitive_codes: np.ndarray, rng: int | np.random.Generator | None = None
+    ) -> np.ndarray:
+        """Perturb an array of SA integer codes and return the published codes."""
+        rng = default_rng(rng)
+        codes = np.asarray(sensitive_codes, dtype=np.int64)
+        if codes.ndim != 1:
+            raise ValueError("sensitive_codes must be one-dimensional")
+        if codes.size and (codes.min() < 0 or codes.max() >= self.domain_size):
+            raise ValueError("sensitive code outside the SA domain")
+        retain = rng.random(codes.size) < self.retention_probability
+        replacements = rng.integers(0, self.domain_size, size=codes.size)
+        return np.where(retain, codes, replacements).astype(np.int64)
+
+    def perturb_table(self, table: Table, rng: int | np.random.Generator | None = None) -> Table:
+        """Publish ``D*``: the same NA columns with a perturbed SA column."""
+        if table.schema.sensitive_domain_size != self.domain_size:
+            raise ValueError(
+                "perturbation domain size does not match the table's sensitive domain"
+            )
+        return table.with_sensitive_codes(self.perturb_codes(table.sensitive_codes, rng))
+
+
+def perturb_table(
+    table: Table,
+    retention_probability: float,
+    rng: int | np.random.Generator | None = None,
+) -> Table:
+    """Convenience wrapper: uniformly perturb ``table``'s SA column.
+
+    Equivalent to constructing :class:`UniformPerturbation` with the table's
+    own sensitive domain size and calling :meth:`~UniformPerturbation.perturb_table`.
+    """
+    operator = UniformPerturbation(retention_probability, table.schema.sensitive_domain_size)
+    return operator.perturb_table(table, rng)

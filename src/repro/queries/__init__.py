@@ -1,0 +1,25 @@
+"""Count-query workloads and utility evaluation (Section 6.1).
+
+Utility of the published data is measured by the relative error of count
+queries of the form
+
+    SELECT COUNT(*) FROM D WHERE A1 = a1 AND ... AND Ad = ad AND SA = sa
+
+answered on the perturbed data by ``est = |S*| * F'`` where ``S*`` is the set
+of perturbed records matching the NA conditions and ``F'`` is the MLE of the
+``sa`` frequency inside ``S*``.
+"""
+
+from repro.queries.count_query import CountQuery, answer_on_perturbed, answer_on_raw
+from repro.queries.workload import WorkloadConfig, generate_workload
+from repro.queries.error import average_relative_error, evaluate_workload
+
+__all__ = [
+    "CountQuery",
+    "answer_on_raw",
+    "answer_on_perturbed",
+    "WorkloadConfig",
+    "generate_workload",
+    "average_relative_error",
+    "evaluate_workload",
+]

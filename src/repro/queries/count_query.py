@@ -1,0 +1,74 @@
+"""Count queries over public attributes plus one sensitive value.
+
+A :class:`CountQuery` is the WHERE clause of Equation (11): equality
+conditions on ``d`` public attributes and one sensitive value.  It can be
+answered exactly on the raw table or estimated on a perturbed table through
+the MLE reconstruction of the matching aggregate group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dataset.table import Table
+from repro.reconstruction.mle import mle_frequency
+
+
+@dataclass(frozen=True)
+class CountQuery:
+    """A conjunctive count query ``A1 = a1 AND ... AND Ad = ad AND SA = sa``.
+
+    Attributes
+    ----------
+    conditions:
+        Mapping from public attribute names to required values.  May be empty
+        (a query on the SA marginal alone).
+    sensitive_value:
+        The required SA value.
+    """
+
+    conditions: tuple[tuple[str, str], ...]
+    sensitive_value: str
+
+    @classmethod
+    def build(cls, conditions: dict[str, str], sensitive_value: str) -> "CountQuery":
+        """Construct a query from a plain dict of conditions."""
+        return cls(
+            conditions=tuple(sorted((str(k), str(v)) for k, v in conditions.items())),
+            sensitive_value=str(sensitive_value),
+        )
+
+    @property
+    def dimensionality(self) -> int:
+        """``d``: the number of public attributes constrained by the query."""
+        return len(self.conditions)
+
+    def conditions_dict(self) -> dict[str, str]:
+        """The NA conditions as a dict."""
+        return dict(self.conditions)
+
+
+def answer_on_raw(query: CountQuery, table: Table) -> int:
+    """The exact answer ``ans`` of the query on the raw table ``D``."""
+    return table.count(query.conditions_dict(), query.sensitive_value)
+
+
+def answer_on_perturbed(query: CountQuery, perturbed: Table, retention_probability: float) -> float:
+    """The estimate ``est = |S*| * F'`` of the query on a perturbed table.
+
+    ``S*`` is the set of perturbed records matching the NA conditions and
+    ``F'`` is the closed-form MLE (Lemma 2(ii)) of the frequency of the
+    query's sensitive value inside ``S*``.  Returns 0.0 when ``S*`` is empty.
+    """
+    mask = perturbed.match_public(query.conditions_dict())
+    subset_size = int(mask.sum())
+    if subset_size == 0:
+        return 0.0
+    observed = perturbed.count(query.conditions_dict(), query.sensitive_value)
+    frequency = mle_frequency(
+        observed_count=observed,
+        subset_size=subset_size,
+        retention_probability=retention_probability,
+        domain_size=perturbed.schema.sensitive_domain_size,
+    )
+    return subset_size * frequency

@@ -1,0 +1,75 @@
+"""Relative-error evaluation of a query workload on perturbed data."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.dataset.table import Table
+from repro.queries.count_query import CountQuery, answer_on_perturbed, answer_on_raw
+from repro.utils.stats import relative_error
+
+
+@dataclass(frozen=True)
+class WorkloadEvaluation:
+    """Per-query and aggregate relative errors of one published table."""
+
+    errors: tuple[float, ...]
+    true_answers: tuple[float, ...]
+    estimates: tuple[float, ...]
+
+    @property
+    def average_error(self) -> float:
+        """The mean relative error over the workload (the paper's utility metric)."""
+        if not self.errors:
+            return 0.0
+        return float(np.mean(self.errors))
+
+    @property
+    def median_error(self) -> float:
+        """The median relative error (robust companion to the mean)."""
+        if not self.errors:
+            return 0.0
+        return float(np.median(self.errors))
+
+
+def evaluate_workload(
+    queries: Sequence[CountQuery],
+    raw_table: Table,
+    published_table: Table,
+    retention_probability: float,
+) -> WorkloadEvaluation:
+    """Answer every query on the published table and compare with the raw answers.
+
+    Queries whose true answer on ``raw_table`` is zero are skipped (relative
+    error is undefined for them; the workload generator's selectivity filter
+    normally prevents this, but the guard keeps the function total).
+    """
+    errors = []
+    true_answers = []
+    estimates = []
+    for query in queries:
+        truth = answer_on_raw(query, raw_table)
+        if truth == 0:
+            continue
+        estimate = answer_on_perturbed(query, published_table, retention_probability)
+        errors.append(relative_error(estimate, truth))
+        true_answers.append(float(truth))
+        estimates.append(float(estimate))
+    return WorkloadEvaluation(
+        errors=tuple(errors),
+        true_answers=tuple(true_answers),
+        estimates=tuple(estimates),
+    )
+
+
+def average_relative_error(
+    queries: Sequence[CountQuery],
+    raw_table: Table,
+    published_table: Table,
+    retention_probability: float,
+) -> float:
+    """Shorthand for ``evaluate_workload(...).average_error``."""
+    return evaluate_workload(queries, raw_table, published_table, retention_probability).average_error

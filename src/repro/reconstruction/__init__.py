@@ -1,0 +1,34 @@
+"""Frequency reconstruction from uniformly perturbed data.
+
+Given a perturbed subset ``S*`` and the perturbation parameters ``(p, m)``,
+this package estimates the original SA frequency vector of ``S``:
+
+* :mod:`repro.reconstruction.mle` — the maximum-likelihood estimator of
+  Theorem 1 / Lemma 2, in its closed form, matrix-inverse form, and a clipped
+  variant that projects onto the probability simplex;
+* :mod:`repro.reconstruction.iterative` — the iterative Bayesian (EM)
+  reconstruction of Agrawal & Srikant, used as a robustness ablation;
+* :mod:`repro.reconstruction.variance` — the exact variance of the MLE and
+  the error analysis behind Section 4.2.
+"""
+
+from repro.reconstruction.mle import (
+    mle_frequencies,
+    mle_frequencies_matrix,
+    mle_frequencies_clipped,
+    mle_frequency,
+    reconstruct_counts,
+)
+from repro.reconstruction.iterative import iterative_bayes_frequencies
+from repro.reconstruction.variance import mle_variance, expected_observed_count
+
+__all__ = [
+    "mle_frequencies",
+    "mle_frequencies_matrix",
+    "mle_frequencies_clipped",
+    "mle_frequency",
+    "reconstruct_counts",
+    "iterative_bayes_frequencies",
+    "mle_variance",
+    "expected_observed_count",
+]

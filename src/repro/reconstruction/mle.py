@@ -1,0 +1,125 @@
+"""Maximum-likelihood frequency reconstruction (Theorem 1 and Lemma 2).
+
+The perturbation operation implies ``P . f = E[O*] / |S|``.  Approximating the
+expectation by the observed counts gives the MLE
+
+    F' = P^-1 . (O* / |S|)                       (matrix form, Theorem 1)
+    F'_i = (O*_i / |S| - (1 - p)/m) / p          (closed form, Lemma 2(ii))
+
+Both forms are implemented and are numerically identical; the closed form is
+used everywhere else in the library because it avoids building the matrix.
+The MLE is unbiased (Lemma 2(iii)) but may fall outside ``[0, 1]`` for small
+samples; :func:`mle_frequencies_clipped` projects it back onto the simplex for
+consumers that need a proper distribution (e.g. the naive Bayes learner).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perturbation.matrix import PerturbationMatrix
+
+
+def _validate(observed_counts: np.ndarray, domain_size: int) -> np.ndarray:
+    counts = np.asarray(observed_counts, dtype=float)
+    if counts.shape != (domain_size,):
+        raise ValueError(f"observed_counts must have shape ({domain_size},)")
+    if (counts < 0).any():
+        raise ValueError("observed counts must be non-negative")
+    return counts
+
+
+def mle_frequency(
+    observed_count: float,
+    subset_size: int,
+    retention_probability: float,
+    domain_size: int,
+) -> float:
+    """The closed-form MLE of Lemma 2(ii) for a single SA value.
+
+    ``F' = (O*/|S| - (1 - p)/m) / p``.
+    """
+    if subset_size <= 0:
+        raise ValueError("subset_size must be positive")
+    matrix = PerturbationMatrix(retention_probability, domain_size)
+    observed_frequency = observed_count / subset_size
+    return (observed_frequency - matrix.off_diagonal) / matrix.retention_probability
+
+
+def mle_frequencies(
+    observed_counts: np.ndarray,
+    retention_probability: float,
+    domain_size: int | None = None,
+) -> np.ndarray:
+    """Closed-form MLE for the full SA frequency vector of a perturbed subset.
+
+    Parameters
+    ----------
+    observed_counts:
+        The counts ``O*_i`` of each SA value in the perturbed subset ``S*``,
+        length ``m``.  Their sum is ``|S|``.
+    retention_probability:
+        ``p`` used during perturbation.
+    domain_size:
+        ``m``; defaults to ``len(observed_counts)``.
+    """
+    counts = np.asarray(observed_counts, dtype=float)
+    m = int(domain_size) if domain_size is not None else counts.shape[0]
+    counts = _validate(counts, m)
+    total = counts.sum()
+    if total <= 0:
+        raise ValueError("the perturbed subset must contain at least one record")
+    matrix = PerturbationMatrix(retention_probability, m)
+    return (counts / total - matrix.off_diagonal) / matrix.retention_probability
+
+
+def mle_frequencies_matrix(
+    observed_counts: np.ndarray,
+    retention_probability: float,
+    domain_size: int | None = None,
+) -> np.ndarray:
+    """Matrix-form MLE ``P^-1 . O*/|S|`` (Theorem 1); equals :func:`mle_frequencies`."""
+    counts = np.asarray(observed_counts, dtype=float)
+    m = int(domain_size) if domain_size is not None else counts.shape[0]
+    counts = _validate(counts, m)
+    total = counts.sum()
+    if total <= 0:
+        raise ValueError("the perturbed subset must contain at least one record")
+    matrix = PerturbationMatrix(retention_probability, m)
+    return matrix.inverse() @ (counts / total)
+
+
+def mle_frequencies_clipped(
+    observed_counts: np.ndarray,
+    retention_probability: float,
+    domain_size: int | None = None,
+) -> np.ndarray:
+    """MLE projected onto the probability simplex (non-negative, sums to one).
+
+    The raw MLE already sums to one; clipping negative entries to zero and
+    renormalising gives the standard feasible estimator used when the result
+    must be a valid distribution.
+    """
+    raw = mle_frequencies(observed_counts, retention_probability, domain_size)
+    clipped = np.clip(raw, 0.0, None)
+    total = clipped.sum()
+    if total == 0:
+        return np.full_like(clipped, 1.0 / clipped.size)
+    return clipped / total
+
+
+def reconstruct_counts(
+    observed_counts: np.ndarray,
+    retention_probability: float,
+    domain_size: int | None = None,
+    clip: bool = False,
+) -> np.ndarray:
+    """Reconstructed absolute counts ``|S| * F'`` for a perturbed subset.
+
+    This is the estimator behind the paper's query answering (Section 6.1):
+    ``est = |S*| * F'``.  With ``clip=True`` the clipped MLE is used.
+    """
+    counts = np.asarray(observed_counts, dtype=float)
+    total = counts.sum()
+    estimator = mle_frequencies_clipped if clip else mle_frequencies
+    return total * estimator(counts, retention_probability, domain_size)

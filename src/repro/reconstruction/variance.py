@@ -1,0 +1,75 @@
+"""Exact moments of the observed count and the MLE.
+
+Section 4.2 of the paper bounds the tail probabilities of the MLE ``F'`` by
+converting bounds on the observed count ``O*``.  The exact first and second
+moments of those quantities are useful both for tests (verifying the law of
+large numbers behaviour the paper leverages) and for the variance-based
+Chebyshev alternative to the Chernoff test.
+
+``O*`` is a sum of independent Bernoulli indicators: a record originally
+holding the target value contributes with probability ``p + (1-p)/m``, any
+other record with probability ``(1-p)/m`` (Lemma 2(i) and the discussion after
+Theorem 3).
+"""
+
+from __future__ import annotations
+
+from repro.perturbation.matrix import PerturbationMatrix
+
+
+def expected_observed_count(
+    subset_size: int,
+    frequency: float,
+    retention_probability: float,
+    domain_size: int,
+) -> float:
+    """``E[O*] = |S| (f p + (1 - p)/m)`` — Lemma 2(i)."""
+    _validate(subset_size, frequency)
+    matrix = PerturbationMatrix(retention_probability, domain_size)
+    return subset_size * (frequency * matrix.retention_probability + matrix.off_diagonal)
+
+
+def observed_count_variance(
+    subset_size: int,
+    frequency: float,
+    retention_probability: float,
+    domain_size: int,
+) -> float:
+    """Exact variance of ``O*`` as a sum of independent Bernoulli trials.
+
+    ``Var[O*] = |S| f q1 (1 - q1) + |S| (1 - f) q0 (1 - q0)`` where
+    ``q1 = p + (1-p)/m`` (records originally holding the value) and
+    ``q0 = (1-p)/m`` (all other records).
+    """
+    _validate(subset_size, frequency)
+    matrix = PerturbationMatrix(retention_probability, domain_size)
+    q1 = matrix.diagonal
+    q0 = matrix.off_diagonal
+    holders = subset_size * frequency
+    others = subset_size * (1.0 - frequency)
+    return holders * q1 * (1.0 - q1) + others * q0 * (1.0 - q0)
+
+
+def mle_variance(
+    subset_size: int,
+    frequency: float,
+    retention_probability: float,
+    domain_size: int,
+) -> float:
+    """Exact variance of the MLE ``F' = (O*/|S| - (1-p)/m) / p``.
+
+    Since ``F'`` is an affine function of ``O*``,
+    ``Var[F'] = Var[O*] / (|S| p)^2``.  It shrinks like ``1/|S|``, which is
+    precisely the law-of-large-numbers gap the paper exploits: personal groups
+    are small (large variance), aggregate groups are large (small variance).
+    """
+    _validate(subset_size, frequency)
+    variance = observed_count_variance(subset_size, frequency, retention_probability, domain_size)
+    return variance / (subset_size * retention_probability) ** 2
+
+
+def _validate(subset_size: int, frequency: float) -> None:
+    if subset_size <= 0:
+        raise ValueError("subset_size must be positive")
+    if not 0.0 <= frequency <= 1.0:
+        raise ValueError("frequency must lie in [0, 1]")

@@ -1,0 +1,42 @@
+"""Random number generator helpers.
+
+Every stochastic component of the library (perturbation, sampling, workload
+generation, synthetic data generation, Laplace noise) accepts either an
+integer seed, an existing :class:`numpy.random.Generator`, or ``None``.  This
+module centralises that normalisation so experiments are reproducible by
+passing a single seed at the top level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Seed used by experiments when the caller does not provide one.
+DEFAULT_SEED = 20150323  # EDBT 2015 started on March 23, 2015.
+
+
+def default_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh entropy), an integer seed, or an already constructed
+        generator (returned unchanged).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int | np.random.Generator | None, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent generators from one seed.
+
+    Used by multi-trial experiments so that each trial gets its own stream
+    while the whole experiment remains reproducible from a single seed.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    root = default_rng(seed)
+    seeds = root.integers(0, 2**63 - 1, size=count)
+    return [np.random.default_rng(int(s)) for s in seeds]

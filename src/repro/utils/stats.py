@@ -1,0 +1,58 @@
+"""Statistical helpers shared by experiments and analysis modules."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+
+def mean_and_standard_error(values: Sequence[float]) -> tuple[float, float]:
+    """Return ``(mean, standard error of the mean)`` of ``values``.
+
+    The paper's Table 1 reports the mean and SE over 10 random trials; this is
+    the same estimator (sample standard deviation with Bessel's correction,
+    divided by ``sqrt(n)``).  For a single value the SE is 0.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("values must not be empty")
+    mean = float(arr.mean())
+    if arr.size == 1:
+        return mean, 0.0
+    se = float(arr.std(ddof=1) / math.sqrt(arr.size))
+    return mean, se
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """Return ``|estimate - truth| / truth``.
+
+    This is the utility metric of Section 6.1 of the paper.  ``truth`` must be
+    non-zero; queries with a zero true answer are excluded from the paper's
+    pool by the selectivity filter, and we enforce the same contract here.
+    """
+    if truth == 0:
+        raise ValueError("relative error is undefined for a zero true answer")
+    return abs(estimate - truth) / abs(truth)
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` into the closed interval ``[low, high]``."""
+    if low > high:
+        raise ValueError(f"empty interval: [{low}, {high}]")
+    return max(low, min(high, value))
+
+
+def normalise_frequencies(counts: Sequence[float]) -> np.ndarray:
+    """Convert non-negative counts to frequencies that sum to one.
+
+    Raises ``ValueError`` if all counts are zero or any count is negative.
+    """
+    arr = np.asarray(list(counts), dtype=float)
+    if (arr < 0).any():
+        raise ValueError("counts must be non-negative")
+    total = arr.sum()
+    if total <= 0:
+        raise ValueError("counts must not all be zero")
+    return arr / total

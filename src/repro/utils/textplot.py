@@ -1,0 +1,68 @@
+"""Plain-text rendering of tables and series.
+
+The original paper presents results as LaTeX tables and MATLAB figures.  This
+reproduction runs in a terminal, so every experiment renders its output with
+these helpers: a fixed-width table renderer and a "series" renderer that
+prints the x/y pairs of a figure as aligned columns (one column per curve).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def _format_cell(value: object, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    precision: int = 6,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned plain-text table."""
+    header_cells = [str(h) for h in headers]
+    body = [[_format_cell(cell, precision) for cell in row] for row in rows]
+    for row in body:
+        if len(row) != len(header_cells):
+            raise ValueError("every row must have the same number of cells as the header")
+    widths = [len(h) for h in header_cells]
+    for row in body:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(header_cells))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in body)
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Render a figure's data as one x column plus one column per curve.
+
+    ``series`` maps curve names (e.g. ``"UP"``, ``"SPS"``) to y values aligned
+    with ``x_values``.
+    """
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(f"series {name!r} length does not match x_values")
+    headers = [x_label, *series.keys()]
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x, *(series[name][i] for name in series)])
+    return render_table(headers, rows, title=title, precision=precision)

@@ -1,0 +1,57 @@
+"""Shared fixtures: small hand-built tables and schemas used across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataset.schema import Attribute, Schema
+from repro.dataset.table import Table
+
+
+@pytest.fixture()
+def disease_schema() -> Schema:
+    """The Gender/Job/Disease schema of the paper's Example 2."""
+    return Schema(
+        public=(
+            Attribute("Gender", ("male", "female")),
+            Attribute("Job", ("eng", "lawyer", "artist")),
+        ),
+        sensitive=Attribute("Disease", tuple(f"d{i}" for i in range(10))),
+    )
+
+
+@pytest.fixture()
+def small_table(disease_schema: Schema) -> Table:
+    """A tiny deterministic table with two personal groups of known frequencies."""
+    records = []
+    # Personal group (male, eng): 8 records, 6 x d0, 2 x d1.
+    records += [("male", "eng", "d0")] * 6 + [("male", "eng", "d1")] * 2
+    # Personal group (female, eng): 4 records, 2 x d0, 2 x d2.
+    records += [("female", "eng", "d0")] * 2 + [("female", "eng", "d2")] * 2
+    # Personal group (male, lawyer): 3 records, all d3.
+    records += [("male", "lawyer", "d3")] * 3
+    return Table.from_records(disease_schema, records)
+
+
+@pytest.fixture()
+def binary_schema() -> Schema:
+    """A minimal schema with a binary sensitive attribute (ADULT-like)."""
+    return Schema(
+        public=(Attribute("Group", ("a", "b", "c")),),
+        sensitive=Attribute("Income", ("low", "high")),
+    )
+
+
+@pytest.fixture()
+def skewed_binary_table(binary_schema: Schema) -> Table:
+    """A table whose groups have very different sizes and frequencies."""
+    rng = np.random.default_rng(7)
+    rows = []
+    sizes = {"a": 400, "b": 60, "c": 8}
+    high_rates = {"a": 0.8, "b": 0.5, "c": 0.25}
+    for group, size in sizes.items():
+        highs = rng.random(size) < high_rates[group]
+        for is_high in highs:
+            rows.append((group, "high" if is_high else "low"))
+    return Table.from_records(binary_schema, rows)

@@ -1,0 +1,106 @@
+"""Tests for the analysis layer: UP-vs-SPS utility and statistical learning."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.learning import NaiveBayesOnReconstruction, mine_rules_from_perturbed
+from repro.analysis.utility import compare_up_and_sps
+from repro.core.criterion import PrivacySpec
+from repro.dataset.adult import generate_adult
+from repro.dataset.schema import Attribute, Schema
+from repro.dataset.table import Table
+from repro.perturbation.uniform import perturb_table
+from repro.queries.workload import WorkloadConfig, generate_workload
+
+
+@pytest.fixture(scope="module")
+def adult():
+    return generate_adult(12_000, seed=3)
+
+
+class TestCompareUpAndSps:
+    def test_sps_error_is_at_least_up_error_on_violating_data(self, adult):
+        spec = PrivacySpec(lam=0.3, delta=0.3, retention_probability=0.5, domain_size=2)
+        queries = generate_workload(adult, adult, WorkloadConfig(n_queries=80), rng=0)
+        comparison = compare_up_and_sps(adult, spec, queries, runs=3, rng=0)
+        assert comparison.up_error > 0
+        # Sampling can only lose information, so on average SPS is no better
+        # than UP (allow a small Monte-Carlo slack).
+        assert comparison.sps_error >= comparison.up_error - 0.01
+        assert comparison.relative_increase >= -0.05
+
+    def test_runs_must_be_positive(self, adult):
+        spec = PrivacySpec(lam=0.3, delta=0.3, retention_probability=0.5, domain_size=2)
+        with pytest.raises(ValueError):
+            compare_up_and_sps(adult, spec, [], runs=0)
+
+
+class TestRuleMining:
+    def test_planted_relationship_recovered(self):
+        """A strong 1-D association survives perturbation + reconstruction."""
+        schema = Schema(
+            public=(Attribute("Job", ("smoker", "nonsmoker")),),
+            sensitive=Attribute("Disease", ("lung", "other", "none")),
+        )
+        rng = np.random.default_rng(0)
+        records = []
+        for job, lung_rate in (("smoker", 0.7), ("nonsmoker", 0.05)):
+            for _ in range(3000):
+                roll = rng.random()
+                disease = "lung" if roll < lung_rate else ("other" if roll < lung_rate + 0.1 else "none")
+                records.append((job, disease))
+        table = Table.from_records(schema, records)
+        published = perturb_table(table, 0.3, rng=1)
+        rules = mine_rules_from_perturbed(published, 0.3, min_support=0.1, min_confidence=0.5)
+        matching = [
+            r for r in rules if r.conditions_dict() == {"Job": "smoker"} and r.sensitive_value == "lung"
+        ]
+        assert matching, "expected the smoker -> lung rule to be recovered"
+        assert matching[0].confidence == pytest.approx(0.7, abs=0.1)
+
+    def test_thresholds_validated(self, adult):
+        published = perturb_table(adult, 0.5, rng=0)
+        with pytest.raises(ValueError):
+            mine_rules_from_perturbed(published, 0.5, min_support=-0.1)
+        with pytest.raises(ValueError):
+            mine_rules_from_perturbed(published, 0.5, max_dimensionality=0)
+
+    def test_empty_table_yields_no_rules(self):
+        schema = Schema(
+            public=(Attribute("A", ("x",)),),
+            sensitive=Attribute("S", ("0", "1")),
+        )
+        empty = Table.from_records(schema, [])
+        assert mine_rules_from_perturbed(empty, 0.5) == []
+
+
+class TestNaiveBayes:
+    def test_learner_beats_majority_class_on_perturbed_adult(self, adult):
+        published = perturb_table(adult, 0.5, rng=4)
+        model = NaiveBayesOnReconstruction(retention_probability=0.5).fit(published)
+        accuracy = model.accuracy(adult)
+        majority = max(adult.sensitive_frequencies())
+        assert accuracy > majority + 0.02
+
+    def test_predict_proba_is_a_distribution(self, adult):
+        published = perturb_table(adult, 0.5, rng=4)
+        model = NaiveBayesOnReconstruction(retention_probability=0.5).fit(published)
+        records = [record[:-1] for record in adult.records()[:20]]
+        probabilities = model.predict_proba(records)
+        assert probabilities.shape == (20, 2)
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_unfitted_model_rejected(self):
+        model = NaiveBayesOnReconstruction(retention_probability=0.5)
+        with pytest.raises(RuntimeError):
+            model.predict([["Bachelors", "Sales", "White", "Male"]])
+
+    def test_invalid_smoothing_rejected(self):
+        with pytest.raises(ValueError):
+            NaiveBayesOnReconstruction(retention_probability=0.5, smoothing=-1.0)
+
+    def test_wrong_record_width_rejected(self, adult):
+        published = perturb_table(adult, 0.5, rng=4)
+        model = NaiveBayesOnReconstruction(retention_probability=0.5).fit(published)
+        with pytest.raises(ValueError):
+            model.predict([["Bachelors", "Sales"]])

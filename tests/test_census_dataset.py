@@ -1,0 +1,82 @@
+"""Tests for the synthetic CENSUS generator and its paper calibration."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.census import (
+    AGE_DOMAIN_SIZE,
+    CENSUS_SIZE,
+    OCCUPATION_DOMAIN_SIZE,
+    census_sample_sizes,
+    census_schema,
+    generate_census,
+)
+from repro.generalization.chi_square import chi_square_statistic, chi_square_threshold
+
+
+@pytest.fixture(scope="module")
+def census_small():
+    return generate_census(30_000, seed=20150323)
+
+
+class TestSchema:
+    def test_domain_sizes_match_the_paper(self):
+        schema = census_schema()
+        assert schema.public_attribute("Age").size == 77
+        assert schema.public_attribute("Gender").size == 2
+        assert schema.public_attribute("Education").size == 14
+        assert schema.public_attribute("Marital").size == 6
+        assert schema.public_attribute("Race").size == 9
+        assert schema.sensitive.size == 50
+
+    def test_full_size_and_sample_sizes(self):
+        assert CENSUS_SIZE == 500_000
+        assert census_sample_sizes() == (100_000, 200_000, 300_000, 400_000, 500_000)
+
+
+class TestGenerator:
+    def test_requested_size(self, census_small):
+        assert len(census_small) == 30_000
+
+    def test_reproducible(self):
+        assert generate_census(5_000, seed=11) == generate_census(5_000, seed=11)
+
+    def test_all_occupations_occur(self, census_small):
+        counts = census_small.sensitive_counts()
+        assert (counts > 0).all()
+
+    def test_occupation_reasonably_balanced(self, census_small):
+        frequencies = census_small.sensitive_frequencies()
+        # No single occupation dominates: the paper calls CENSUS "balanced".
+        assert frequencies.max() < 0.15
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            generate_census(-1)
+
+    def test_occupation_independent_of_age(self, census_small):
+        """Age should carry no information about Occupation (Table 5: 77 -> 1)."""
+        ages = census_small.public_codes[:, 0]
+        young = ages < AGE_DOMAIN_SIZE // 3
+        old = ages >= 2 * AGE_DOMAIN_SIZE // 3
+        counts_young = census_small.sensitive_counts(young)
+        counts_old = census_small.sensitive_counts(old)
+        statistic = chi_square_statistic(counts_young, counts_old)
+        threshold = chi_square_threshold(OCCUPATION_DOMAIN_SIZE, 0.05)
+        assert statistic <= threshold
+
+    def test_occupation_depends_on_gender(self, census_small):
+        """Gender should remain informative (Table 5 keeps Gender's domain)."""
+        genders = census_small.public_codes[:, 1]
+        counts_male = census_small.sensitive_counts(genders == 0)
+        counts_female = census_small.sensitive_counts(genders == 1)
+        statistic = chi_square_statistic(counts_male, counts_female)
+        threshold = chi_square_threshold(OCCUPATION_DOMAIN_SIZE, 0.05)
+        assert statistic > threshold
+
+    def test_all_public_values_observed(self, census_small):
+        public = census_small.public_codes
+        schema = census_small.schema
+        for column, attribute in enumerate(schema.public):
+            observed = np.unique(public[:, column])
+            assert len(observed) == attribute.size

@@ -1,0 +1,93 @@
+"""Tests for the unequal-size two-sample chi-square test (Equation 4)."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.generalization.chi_square import (
+    chi_square_statistic,
+    chi_square_threshold,
+    same_distribution,
+)
+
+
+class TestStatistic:
+    def test_identical_scaled_samples_give_zero(self):
+        a = np.array([10.0, 20.0, 30.0])
+        b = 3 * a
+        assert chi_square_statistic(a, b) == pytest.approx(0.0)
+
+    def test_symmetry(self):
+        a = np.array([12.0, 30.0, 8.0])
+        b = np.array([40.0, 35.0, 25.0])
+        assert chi_square_statistic(a, b) == pytest.approx(chi_square_statistic(b, a))
+
+    def test_manual_value(self):
+        a = np.array([10.0, 30.0])
+        b = np.array([30.0, 10.0])
+        ratio = 1.0  # equal totals
+        expected = ((ratio * 10 - ratio * 30) ** 2) / 40 + ((ratio * 30 - ratio * 10) ** 2) / 40
+        assert chi_square_statistic(a, b) == pytest.approx(expected)
+
+    def test_empty_bins_skipped(self):
+        a = np.array([10.0, 0.0, 30.0])
+        b = np.array([12.0, 0.0, 28.0])
+        assert np.isfinite(chi_square_statistic(a, b))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            chi_square_statistic(np.ones(3), np.ones(4))
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            chi_square_statistic(np.array([1.0, -1.0]), np.array([1.0, 1.0]))
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            chi_square_statistic(np.zeros(3), np.ones(3))
+
+
+class TestThreshold:
+    def test_matches_scipy_quantile(self):
+        assert chi_square_threshold(2, 0.05) == pytest.approx(stats.chi2.ppf(0.95, df=2))
+        assert chi_square_threshold(50, 0.05) == pytest.approx(stats.chi2.ppf(0.95, df=50))
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            chi_square_threshold(0)
+        with pytest.raises(ValueError):
+            chi_square_threshold(2, 0.0)
+
+
+class TestSameDistribution:
+    def test_same_underlying_distribution_not_rejected(self):
+        rng = np.random.default_rng(0)
+        p = np.array([0.5, 0.3, 0.2])
+        a = rng.multinomial(500, p).astype(float)
+        b = rng.multinomial(2000, p).astype(float)
+        assert same_distribution(a, b)
+
+    def test_clearly_different_distributions_rejected(self):
+        rng = np.random.default_rng(1)
+        a = rng.multinomial(800, [0.7, 0.2, 0.1]).astype(float)
+        b = rng.multinomial(800, [0.2, 0.3, 0.5]).astype(float)
+        assert not same_distribution(a, b)
+
+    def test_small_samples_rarely_rejected(self):
+        # With only a handful of records the test has little power, which is
+        # exactly why unobserved/rare values end up merged.
+        a = np.array([2.0, 1.0, 1.0])
+        b = np.array([1.0, 2.0, 1.0])
+        assert same_distribution(a, b)
+
+    def test_false_rejection_rate_close_to_significance(self):
+        rng = np.random.default_rng(3)
+        p = np.array([0.4, 0.35, 0.25])
+        rejections = 0
+        trials = 400
+        for _ in range(trials):
+            a = rng.multinomial(600, p).astype(float)
+            b = rng.multinomial(900, p).astype(float)
+            if not same_distribution(a, b, significance=0.05):
+                rejections += 1
+        assert rejections / trials < 0.12

@@ -1,0 +1,159 @@
+"""Tests for the tail bounds and the Theorem-2 bound conversion."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import (
+    chebyshev_bound,
+    chernoff_lower_bound,
+    chernoff_upper_bound,
+    convert_lambda_to_omega,
+    convert_omega_to_lambda,
+    markov_bound,
+    reconstruction_error_bounds,
+)
+from repro.dataset.schema import Attribute, Schema
+from repro.dataset.table import Table
+from repro.perturbation.uniform import perturb_table
+from repro.reconstruction.mle import mle_frequencies
+
+
+class TestChernoffBounds:
+    def test_equation_5_value(self):
+        assert chernoff_upper_bound(0.5, 100) == pytest.approx(math.exp(-0.25 * 100 / 2.5))
+
+    def test_equation_6_value(self):
+        assert chernoff_lower_bound(0.5, 100) == pytest.approx(math.exp(-0.25 * 100 / 2))
+
+    def test_lower_bound_is_tighter_for_omega_below_one(self):
+        for omega in (0.1, 0.5, 0.99):
+            assert chernoff_lower_bound(omega, 50) < chernoff_upper_bound(omega, 50)
+
+    def test_bounds_decrease_with_mu(self):
+        assert chernoff_upper_bound(0.3, 1000) < chernoff_upper_bound(0.3, 100)
+        assert chernoff_lower_bound(0.3, 1000) < chernoff_lower_bound(0.3, 100)
+
+    def test_bounds_decrease_with_omega(self):
+        assert chernoff_upper_bound(0.6, 100) < chernoff_upper_bound(0.2, 100)
+
+    def test_lower_bound_rejects_omega_above_one(self):
+        with pytest.raises(ValueError):
+            chernoff_lower_bound(1.5, 100)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            chernoff_upper_bound(0.0, 10)
+        with pytest.raises(ValueError):
+            chernoff_upper_bound(0.5, 0)
+
+    def test_bound_actually_bounds_the_tail(self):
+        """Monte-Carlo sanity check that Theorem 3 is a valid upper bound."""
+        rng = np.random.default_rng(0)
+        n, q = 400, 0.3
+        mu = n * q
+        omega = 0.25
+        trials = rng.binomial(n, q, size=4000)
+        empirical_upper = np.mean((trials - mu) / mu > omega)
+        empirical_lower = np.mean((trials - mu) / mu < -omega)
+        assert empirical_upper <= chernoff_upper_bound(omega, mu)
+        assert empirical_lower <= chernoff_lower_bound(omega, mu)
+
+
+class TestOtherBounds:
+    def test_chebyshev_caps_at_one(self):
+        assert chebyshev_bound(0.01, 10, 1000) == 1.0
+
+    def test_chebyshev_formula(self):
+        assert chebyshev_bound(0.5, 100, 25) == pytest.approx(25 / (0.5 * 100) ** 2)
+
+    def test_markov_formula(self):
+        assert markov_bound(1.0, 10) == pytest.approx(0.5)
+
+    def test_chernoff_tighter_than_chebyshev_for_large_mu(self):
+        mu, omega = 500.0, 0.3
+        variance = mu * 0.7  # Bernoulli-ish variance, smaller than mu
+        assert chernoff_upper_bound(omega, mu) < chebyshev_bound(omega, mu, variance)
+
+
+class TestBoundConversion:
+    def test_roundtrip(self):
+        kwargs = dict(subset_size=200, frequency=0.4, retention_probability=0.5, domain_size=10)
+        omega = 0.37
+        lam = convert_omega_to_lambda(omega, **kwargs)
+        assert convert_lambda_to_omega(lam, **kwargs) == pytest.approx(omega)
+
+    def test_theorem_2_relation(self):
+        # lambda = omega mu / (|S| p f)
+        subset_size, f, p, m = 100, 0.5, 0.2, 10
+        mu = subset_size * (f * p + (1 - p) / m)
+        omega = 0.2
+        lam = convert_omega_to_lambda(omega, subset_size, f, p, m)
+        assert lam == pytest.approx(omega * mu / (subset_size * p * f))
+
+    def test_zero_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            convert_omega_to_lambda(0.1, 100, 0.0, 0.5, 2)
+
+
+class TestReconstructionErrorBounds:
+    def test_smallest_is_lower_tail_for_moderate_lambda(self):
+        bounds = reconstruction_error_bounds(0.3, 500, 0.5, 0.5, 2)
+        assert bounds.lower is not None
+        assert bounds.smallest == bounds.lower
+
+    def test_large_lambda_drops_lower_tail(self):
+        spec_lambda = 10.0  # far beyond 1 + ((1-p)/m)/(p f)
+        bounds = reconstruction_error_bounds(spec_lambda, 500, 0.5, 0.5, 2)
+        assert bounds.lower is None
+        assert bounds.smallest == bounds.upper
+
+    def test_bounds_grow_as_group_shrinks(self):
+        big = reconstruction_error_bounds(0.3, 2000, 0.5, 0.5, 2)
+        small = reconstruction_error_bounds(0.3, 50, 0.5, 0.5, 2)
+        assert small.smallest > big.smallest
+
+    def test_alternative_methods_are_valid_bounds(self):
+        chernoff = reconstruction_error_bounds(0.3, 300, 0.5, 0.5, 2, method="chernoff")
+        chebyshev = reconstruction_error_bounds(0.3, 300, 0.5, 0.5, 2, method="chebyshev")
+        markov = reconstruction_error_bounds(0.3, 300, 0.5, 0.5, 2, method="markov")
+        for bounds in (chernoff, chebyshev, markov):
+            assert 0.0 < bounds.smallest <= 1.0
+        assert markov.lower is None
+
+    def test_chernoff_eventually_beats_chebyshev_for_large_groups(self):
+        # The exponential fall-off wins once the deviation is many standard
+        # deviations, i.e. for large subsets at the same relative error.
+        chernoff = reconstruction_error_bounds(0.3, 5000, 0.5, 0.5, 2, method="chernoff")
+        chebyshev = reconstruction_error_bounds(0.3, 5000, 0.5, 0.5, 2, method="chebyshev")
+        assert chernoff.smallest < chebyshev.smallest
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            reconstruction_error_bounds(0.3, 100, 0.5, 0.5, 2, method="hoeffding")
+
+    def test_invalid_lambda_rejected(self):
+        with pytest.raises(ValueError):
+            reconstruction_error_bounds(0.0, 100, 0.5, 0.5, 2)
+
+    def test_corollary_3_bounds_the_reconstruction_error_empirically(self):
+        """The Chernoff-derived bound on Pr[(F'-f)/f > lambda] holds on simulated data."""
+        schema = Schema(
+            public=(Attribute("G", ("x",)),),
+            sensitive=Attribute("S", ("s0", "s1", "s2", "s3", "s4")),
+        )
+        size, f, p, m, lam = 300, 0.4, 0.4, 5, 0.25
+        records = [("x", "s0")] * int(size * f) + [("x", "s1")] * (size - int(size * f))
+        table = Table.from_records(schema, records)
+        over, under = 0, 0
+        trials = 1500
+        for seed in range(trials):
+            published = perturb_table(table, p, rng=seed)
+            estimate = mle_frequencies(published.sensitive_counts(), p)[0]
+            relative = (estimate - f) / f
+            over += relative > lam
+            under += relative < -lam
+        bounds = reconstruction_error_bounds(lam, size, f, p, m)
+        assert over / trials <= bounds.upper + 0.02
+        assert under / trials <= bounds.lower + 0.02

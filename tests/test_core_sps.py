@@ -1,0 +1,147 @@
+"""Tests for the Sampling-Perturbing-Scaling algorithm (Section 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.criterion import PrivacySpec, max_group_size
+from repro.core.sps import sps_group, sps_publish
+from repro.core.testing import audit_table
+from repro.dataset.groups import personal_groups
+from repro.dataset.table import Table
+from repro.perturbation.uniform import UniformPerturbation
+from repro.reconstruction.mle import mle_frequencies
+from repro.utils.rng import default_rng
+
+
+@pytest.fixture()
+def binary_spec() -> PrivacySpec:
+    return PrivacySpec(lam=0.3, delta=0.3, retention_probability=0.5, domain_size=2)
+
+
+class TestSpsGroup:
+    def test_small_group_not_sampled(self, small_table):
+        spec = PrivacySpec(lam=0.3, delta=0.3, retention_probability=0.5, domain_size=10)
+        group = next(iter(personal_groups(small_table)))
+        perturbation = UniformPerturbation(0.5, 10)
+        codes, record = sps_group(group, spec, perturbation, default_rng(0))
+        assert not record.sampled
+        assert record.sample_size == group.size
+        assert codes.size == group.size
+
+    def test_large_group_sampled_to_threshold(self, skewed_binary_table, binary_spec):
+        index = personal_groups(skewed_binary_table)
+        group = index.group_for_values({"Group": "a"})
+        threshold = max_group_size(binary_spec, group.max_frequency)
+        assert group.size > threshold  # precondition for the test
+        perturbation = UniformPerturbation(0.5, 2)
+        codes, record = sps_group(group, binary_spec, perturbation, default_rng(1))
+        assert record.sampled
+        # The sample size equals s_g up to the stochastic rounding of each value.
+        assert abs(record.sample_size - threshold) <= 2
+        # Scaling restores roughly the original size.
+        assert abs(codes.size - group.size) <= record.sample_size
+
+    def test_published_codes_stay_in_domain(self, skewed_binary_table, binary_spec):
+        perturbation = UniformPerturbation(0.5, 2)
+        rng = default_rng(3)
+        for group in personal_groups(skewed_binary_table):
+            codes, _ = sps_group(group, binary_spec, perturbation, rng)
+            assert codes.min() >= 0 and codes.max() < 2
+
+
+class TestSpsPublish:
+    def test_published_size_close_to_original(self, skewed_binary_table, binary_spec):
+        result = sps_publish(skewed_binary_table, binary_spec, rng=0)
+        assert abs(len(result.published) - len(skewed_binary_table)) < 0.1 * len(skewed_binary_table)
+
+    def test_public_key_structure_preserved(self, skewed_binary_table, binary_spec):
+        result = sps_publish(skewed_binary_table, binary_spec, rng=0)
+        original_keys = {g.key for g in personal_groups(skewed_binary_table)}
+        published_keys = {g.key for g in personal_groups(result.published)}
+        assert published_keys == original_keys
+
+    def test_only_violating_groups_sampled(self, skewed_binary_table, binary_spec):
+        audit = audit_table(skewed_binary_table, binary_spec)
+        result = sps_publish(skewed_binary_table, binary_spec, rng=0)
+        expected_sampled = {a.group.key for a in audit.violating_groups}
+        actual_sampled = {g.key for g in result.groups if g.sampled}
+        assert actual_sampled == expected_sampled
+        assert result.n_sampled_groups == len(expected_sampled)
+
+    def test_domain_mismatch_rejected(self, small_table, binary_spec):
+        with pytest.raises(ValueError):
+            sps_publish(small_table, binary_spec)
+
+    def test_reproducible_with_seed(self, skewed_binary_table, binary_spec):
+        a = sps_publish(skewed_binary_table, binary_spec, rng=11)
+        b = sps_publish(skewed_binary_table, binary_spec, rng=11)
+        assert a.published == b.published
+
+    def test_no_sampling_when_data_already_private(self, small_table):
+        spec = PrivacySpec(lam=0.3, delta=0.3, retention_probability=0.5, domain_size=10)
+        result = sps_publish(small_table, spec, rng=0)
+        assert result.n_sampled_groups == 0
+        assert result.sampled_fraction == 0.0
+        assert len(result.published) == len(small_table)
+
+    def test_empty_table(self, binary_schema, binary_spec):
+        empty = Table.from_records(binary_schema, [])
+        result = sps_publish(empty, binary_spec, rng=0)
+        assert len(result.published) == 0
+        assert result.groups == ()
+
+
+class TestTheorem4Privacy:
+    def test_sample_sizes_satisfy_the_criterion(self, binary_schema):
+        """Theorem 4: privacy is achieved on the sampled records g1.
+
+        Reconstruction privacy is a property of the number of independent coin
+        tosses, which after SPS equals the sample size |g1| ~ s_g; every
+        published group's sample size must therefore pass Corollary 4.
+        """
+        from repro.core.criterion import value_is_private
+
+        spec = PrivacySpec(lam=0.3, delta=0.3, retention_probability=0.5, domain_size=2)
+        records = [("a", "high")] * 800 + [("a", "low")] * 200
+        table = Table.from_records(binary_schema, records)
+        group = next(iter(personal_groups(table)))
+        for seed in range(20):
+            result = sps_publish(table, spec, rng=seed)
+            record = result.groups[0]
+            assert record.sampled
+            # Allow the +-1 per SA value of stochastic rounding.
+            assert value_is_private(spec, record.sample_size - spec.domain_size, group.max_frequency)
+
+    def test_sps_widens_personal_reconstruction_error_relative_to_up(self, binary_schema):
+        """The point of sampling: the personal estimate from D*_2 is noisier
+        than the estimate from plain UP on the same (violating) group."""
+        from repro.perturbation.uniform import perturb_table
+
+        spec = PrivacySpec(lam=0.3, delta=0.3, retention_probability=0.5, domain_size=2)
+        records = [("a", "high")] * 800 + [("a", "low")] * 200
+        table = Table.from_records(binary_schema, records)
+        up_estimates, sps_estimates = [], []
+        for seed in range(200):
+            up = perturb_table(table, 0.5, rng=seed)
+            up_estimates.append(mle_frequencies(up.sensitive_counts(), 0.5)[1])
+            sps = sps_publish(table, spec, rng=seed)
+            sps_estimates.append(mle_frequencies(sps.published.sensitive_counts(), 0.5)[1])
+        assert np.std(sps_estimates) > 1.5 * np.std(up_estimates)
+
+
+class TestTheorem5Utility:
+    def test_aggregate_reconstruction_stays_unbiased(self, binary_schema):
+        """Theorem 5: the frequency reconstructed from D*_2 is unbiased for aggregates."""
+        spec = PrivacySpec(lam=0.3, delta=0.3, retention_probability=0.5, domain_size=2)
+        rng = np.random.default_rng(5)
+        records = []
+        for group, size, rate in (("a", 700, 0.7), ("b", 500, 0.4), ("c", 300, 0.2)):
+            highs = rng.random(size) < rate
+            records += [(group, "high" if h else "low") for h in highs]
+        table = Table.from_records(binary_schema, records)
+        true_high = table.sensitive_frequencies()[1]
+        estimates = []
+        for seed in range(250):
+            result = sps_publish(table, spec, rng=seed)
+            estimates.append(mle_frequencies(result.published.sensitive_counts(), 0.5)[1])
+        assert float(np.mean(estimates)) == pytest.approx(true_high, abs=0.03)

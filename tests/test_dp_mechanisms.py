@@ -1,0 +1,66 @@
+"""Tests for the Laplace and Gaussian mechanisms."""
+
+import numpy as np
+import pytest
+
+from repro.dp.mechanisms import GaussianMechanism, LaplaceMechanism
+
+
+class TestLaplaceMechanism:
+    def test_scale_is_sensitivity_over_epsilon(self):
+        mechanism = LaplaceMechanism(epsilon=0.1, sensitivity=2.0)
+        assert mechanism.scale == pytest.approx(20.0)
+        assert mechanism.variance == pytest.approx(2 * 20.0**2)
+
+    def test_from_scale(self):
+        mechanism = LaplaceMechanism.from_scale(5.0)
+        assert mechanism.scale == pytest.approx(5.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            LaplaceMechanism(epsilon=0.0)
+        with pytest.raises(ValueError):
+            LaplaceMechanism(epsilon=0.1, sensitivity=0.0)
+        with pytest.raises(ValueError):
+            LaplaceMechanism.from_scale(0.0)
+
+    def test_scalar_in_scalar_out(self):
+        mechanism = LaplaceMechanism(epsilon=1.0)
+        noisy = mechanism.add_noise(100.0, rng=0)
+        assert isinstance(noisy, float)
+
+    def test_array_in_array_out(self):
+        mechanism = LaplaceMechanism(epsilon=1.0)
+        noisy = mechanism.add_noise(np.array([10.0, 20.0, 30.0]), rng=0)
+        assert noisy.shape == (3,)
+
+    def test_noise_is_zero_mean_with_expected_spread(self):
+        mechanism = LaplaceMechanism(epsilon=0.5, sensitivity=1.0)  # b = 2
+        noisy = mechanism.add_noise(np.zeros(60_000), rng=1)
+        assert abs(noisy.mean()) < 0.05
+        assert noisy.var() == pytest.approx(mechanism.variance, rel=0.05)
+
+    def test_reproducible_with_seed(self):
+        mechanism = LaplaceMechanism(epsilon=1.0)
+        assert mechanism.add_noise(5.0, rng=3) == mechanism.add_noise(5.0, rng=3)
+
+
+class TestGaussianMechanism:
+    def test_sigma_formula(self):
+        mechanism = GaussianMechanism(epsilon=1.0, delta=1e-5, sensitivity=1.0)
+        expected = np.sqrt(2 * np.log(1.25 / 1e-5))
+        assert mechanism.sigma == pytest.approx(expected)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianMechanism(epsilon=0.0, delta=1e-5)
+        with pytest.raises(ValueError):
+            GaussianMechanism(epsilon=1.0, delta=0.0)
+        with pytest.raises(ValueError):
+            GaussianMechanism(epsilon=1.0, delta=1e-5, sensitivity=-1.0)
+
+    def test_noise_statistics(self):
+        mechanism = GaussianMechanism(epsilon=1.0, delta=0.01, sensitivity=1.0)
+        noisy = mechanism.add_noise(np.zeros(60_000), rng=2)
+        assert abs(noisy.mean()) < 0.05
+        assert noisy.std() == pytest.approx(mechanism.sigma, rel=0.05)

@@ -1,0 +1,103 @@
+"""Tests for private count queries and the NIR ratio attack (Section 2)."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.adult import EXAMPLE_GROUP, generate_adult
+from repro.dp.attack import (
+    disclosure_occurs,
+    expected_ratio,
+    ratio_error_indicator,
+    ratio_variance,
+    run_ratio_attack,
+)
+from repro.dp.mechanisms import LaplaceMechanism
+from repro.dp.queries import PrivateCountQuerier
+
+
+class TestPrivateCountQuerier:
+    def test_true_count_matches_table(self, small_table):
+        querier = PrivateCountQuerier(small_table, LaplaceMechanism(epsilon=1.0), rng=0)
+        assert querier.true_count({"Gender": "male", "Job": "eng"}) == 8
+
+    def test_noisy_count_tracks_budget(self, small_table):
+        querier = PrivateCountQuerier(small_table, LaplaceMechanism(epsilon=0.5), rng=0)
+        querier.noisy_count({"Job": "eng"})
+        querier.noisy_count({"Job": "eng"}, "d0")
+        assert querier.queries_answered == 2
+        assert querier.epsilon_spent == pytest.approx(1.0)
+
+    def test_noisy_count_is_noisy_but_centered(self, small_table):
+        answers = []
+        for seed in range(300):
+            querier = PrivateCountQuerier(small_table, LaplaceMechanism(epsilon=1.0), rng=seed)
+            answers.append(querier.noisy_count({"Job": "eng"}))
+        assert np.mean(answers) == pytest.approx(12, abs=0.5)
+        assert np.std(answers) > 0
+
+
+class TestAnalyticalFormulas:
+    def test_lemma_1_mean(self):
+        assert expected_ratio(100, 50, noise_variance=8) == pytest.approx(0.5 * (1 + 8 / 100**2))
+
+    def test_lemma_1_variance(self):
+        expected = (8 / 100**2) * (1 + 50**2 / 100**2)
+        assert ratio_variance(100, 50, noise_variance=8) == pytest.approx(expected)
+
+    def test_corollary_2_table_2_values(self):
+        # Spot-check entries of the paper's Table 2.
+        assert ratio_error_indicator(10, 5000) == pytest.approx(0.000008)
+        assert ratio_error_indicator(20, 500) == pytest.approx(0.0032)
+        assert ratio_error_indicator(200, 100) == pytest.approx(8.0)
+
+    def test_rule_of_thumb(self):
+        assert disclosure_occurs(20, 500)  # b/x = 0.04 <= 1/20
+        assert not disclosure_occurs(200, 500)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            expected_ratio(0, 0, 1)
+        with pytest.raises(ValueError):
+            expected_ratio(10, 20, 1)  # y > x impossible for nested queries
+        with pytest.raises(ValueError):
+            ratio_error_indicator(-1, 100)
+
+
+class TestRatioAttack:
+    @pytest.fixture(scope="class")
+    def adult(self):
+        return generate_adult(20_000, seed=20150323)
+
+    def test_low_privacy_recovers_the_rule(self, adult):
+        mechanism = LaplaceMechanism(epsilon=0.5, sensitivity=2.0)  # b = 4
+        result = run_ratio_attack(adult, EXAMPLE_GROUP, ">50K", mechanism, trials=10, rng=0)
+        assert result.true_confidence == pytest.approx(0.8383, abs=0.001)
+        assert result.confidence_mean == pytest.approx(result.true_confidence, abs=0.05)
+        assert result.error_q1_mean < 0.05
+
+    def test_high_privacy_destroys_both_utility_and_the_rule(self, adult):
+        mechanism = LaplaceMechanism(epsilon=0.01, sensitivity=2.0)  # b = 200
+        result = run_ratio_attack(adult, EXAMPLE_GROUP, ">50K", mechanism, trials=10, rng=0)
+        assert result.error_q1_mean > 0.15  # noisy answers are useless
+        # and the confidence estimate is far less reliable than at eps = 0.5
+        assert result.confidence_se > 0.02
+
+    def test_disclosure_sharpens_with_epsilon(self, adult):
+        gaps = []
+        for epsilon in (0.01, 0.1, 0.5):
+            mechanism = LaplaceMechanism(epsilon=epsilon, sensitivity=2.0)
+            result = run_ratio_attack(adult, EXAMPLE_GROUP, ">50K", mechanism, trials=20, rng=1)
+            gaps.append(result.confidence_gap)
+        assert gaps[2] < gaps[0]
+
+    def test_empty_target_group_rejected(self, adult):
+        mechanism = LaplaceMechanism(epsilon=0.5, sensitivity=2.0)
+        impossible = dict(EXAMPLE_GROUP, Education="Preschool", Occupation="Armed-Forces")
+        if adult.count(impossible) == 0:
+            with pytest.raises(ValueError):
+                run_ratio_attack(adult, impossible, ">50K", mechanism, rng=0)
+
+    def test_invalid_trials_rejected(self, adult):
+        mechanism = LaplaceMechanism(epsilon=0.5, sensitivity=2.0)
+        with pytest.raises(ValueError):
+            run_ratio_attack(adult, EXAMPLE_GROUP, ">50K", mechanism, trials=0)

@@ -1,0 +1,143 @@
+"""Tests for the experiment harness (shapes of the paper's tables and figures)."""
+
+import pytest
+
+from repro.experiments.aggregation import run_aggregation_impact
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.error_sweep import run_error_sweep
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.runner import EXPERIMENTS, main, run_experiment
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import TABLE2_ANSWERS, TABLE2_SCALES, run_table2
+from repro.experiments.violation_sweep import run_violation_sweep
+
+
+@pytest.fixture(scope="module")
+def quick_config():
+    return ExperimentConfig.quick()
+
+
+class TestTable1:
+    def test_shape_of_disclosure(self, quick_config):
+        result = run_table1(quick_config)
+        assert result.true_confidence == pytest.approx(0.8383, abs=0.01)
+        low_privacy = result.per_epsilon[0.5]
+        high_privacy = result.per_epsilon[0.01]
+        # At eps = 0.5 the attack recovers the confidence and the answers are accurate.
+        assert low_privacy.confidence_gap < 0.05
+        assert low_privacy.error_q1_mean < 0.1
+        # At eps = 0.01 the noisy answers are useless.
+        assert high_privacy.error_q1_mean > low_privacy.error_q1_mean
+        assert "Conf" in result.render()
+
+
+class TestTable2:
+    def test_grid_matches_closed_form(self):
+        result = run_table2()
+        assert result.grid[10.0][5000] == pytest.approx(0.000008)
+        assert result.grid[200.0][100] == pytest.approx(8.0)
+        assert set(result.grid) == set(TABLE2_SCALES)
+        assert set(result.grid[10.0]) == set(TABLE2_ANSWERS)
+
+    def test_indicator_monotone_in_scale_and_answer(self):
+        result = run_table2()
+        for x in TABLE2_ANSWERS:
+            assert result.grid[10.0][x] < result.grid[200.0][x]
+        for b in TABLE2_SCALES:
+            assert result.grid[b][5000] < result.grid[b][100]
+
+    def test_render_contains_all_columns(self):
+        text = run_table2().render()
+        for x in TABLE2_ANSWERS:
+            assert f"x={x}" in text
+
+
+class TestAggregation:
+    def test_domains_shrink_and_groups_merge(self, quick_config):
+        impacts = run_aggregation_impact(quick_config)
+        adult = impacts["ADULT"]
+        assert adult.n_groups_after < adult.n_groups_before
+        assert adult.domain_sizes_after["Education"] < adult.domain_sizes_before["Education"]
+        census = impacts["CENSUS"]
+        assert census.domain_sizes_after["Age"] == 1
+        assert census.domain_sizes_after["Gender"] == 2
+        assert "aggregation" in adult.render().lower()
+
+
+class TestFigure1:
+    def test_sg_decreasing_in_f_and_p(self):
+        panels = run_figure1()
+        for panel in panels.values():
+            for curve in panel.curves.values():
+                assert all(a >= b for a, b in zip(curve, curve[1:]))
+            # Larger p gives smaller s_g at the same f.
+            low_p = panel.curves[0.3]
+            high_p = panel.curves[0.7]
+            assert all(low >= high for low, high in zip(low_p, high_p))
+
+    def test_census_panel_has_larger_thresholds_at_small_f(self):
+        panels = run_figure1()
+        census_first = panels["CENSUS"].curves[0.5][0]  # f = 0.1
+        adult_first = panels["ADULT"].curves[0.5][0]  # f = 0.5
+        assert census_first > adult_first
+
+
+class TestSweeps:
+    def test_violation_sweep_shapes(self, quick_config):
+        sweeps = run_violation_sweep(quick_config, datasets=("ADULT",), include_size_sweep=False)
+        adult = sweeps["ADULT"]
+        for parameter in ("p", "lambda", "delta"):
+            sweep = adult[parameter]
+            assert len(sweep.group_rates) == len(sweep.values)
+            # v_r always covers at least as many records as v_g covers groups.
+            for vg, vr in zip(sweep.group_rates, sweep.record_rates):
+                assert vr >= vg - 1e-9
+        # Violations grow as lambda grows: s_g shrinks like 1/lambda^2 (Eq. 9),
+        # matching the upward trend of Figure 2(b).
+        lam_sweep = adult["lambda"]
+        assert lam_sweep.group_rates[-1] >= lam_sweep.group_rates[0]
+
+    def test_error_sweep_shapes(self, quick_config):
+        config = ExperimentConfig(
+            adult_size=6_000,
+            workload_queries=60,
+            runs=1,
+            sweep={"p": (0.3, 0.7), "lambda": (0.3,), "delta": (0.3,)},
+        )
+        sweeps = run_error_sweep(config, datasets=("ADULT",), include_size_sweep=False)
+        adult = sweeps["ADULT"]
+        p_sweep = adult["p"]
+        # Error decreases as p grows for both UP and SPS.
+        assert p_sweep.up_errors[0] > p_sweep.up_errors[-1]
+        assert p_sweep.sps_errors[0] > p_sweep.sps_errors[-1]
+        # SPS is never substantially better than UP.
+        for up, sps in zip(p_sweep.up_errors, p_sweep.sps_errors):
+            assert sps >= up - 0.02
+        assert "relative error" in p_sweep.render().lower()
+
+
+class TestRunner:
+    def test_run_experiment_table2(self, quick_config):
+        text = run_experiment("table2", quick_config)
+        assert "disclosure indicator" in text
+
+    def test_unknown_experiment_rejected(self, quick_config):
+        with pytest.raises(ValueError):
+            run_experiment("table99", quick_config)
+
+    def test_main_runs_cheap_experiments(self, capsys):
+        exit_code = main(["table2", "figure1", "--scale", "quick"])
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "Figure 1" in captured.out
+        assert "Table 2" in captured.out
+
+    def test_experiment_names_are_stable(self):
+        assert set(EXPERIMENTS) == {
+            "table1",
+            "table2",
+            "tables4-5",
+            "figure1",
+            "figures2-4",
+            "figures3-5",
+        }

@@ -1,0 +1,82 @@
+"""Unit tests for repro.dataset.groups (personal and aggregate groups)."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.groups import aggregate_group, personal_groups
+from repro.dataset.table import Table
+
+
+class TestGroupIndex:
+    def test_number_of_groups(self, small_table):
+        index = personal_groups(small_table)
+        assert len(index) == 3
+
+    def test_group_sizes_cover_table(self, small_table):
+        index = personal_groups(small_table)
+        assert index.sizes().sum() == len(small_table)
+
+    def test_group_lookup_by_values(self, small_table):
+        index = personal_groups(small_table)
+        group = index.group_for_values({"Gender": "male", "Job": "eng"})
+        assert group is not None
+        assert group.size == 8
+        assert group.sensitive_counts[0] == 6
+        assert group.sensitive_counts[1] == 2
+
+    def test_group_lookup_requires_all_public_attributes(self, small_table):
+        index = personal_groups(small_table)
+        with pytest.raises(ValueError):
+            index.group_for_values({"Job": "eng"})
+
+    def test_missing_group_returns_none(self, small_table):
+        index = personal_groups(small_table)
+        assert index.group_for_values({"Gender": "female", "Job": "artist"}) is None
+
+    def test_group_of_record(self, small_table):
+        index = personal_groups(small_table)
+        group = index.group_of_record(0)
+        assert tuple(small_table.public_codes[0]) == group.key
+
+    def test_frequencies_and_max_frequency(self, small_table):
+        index = personal_groups(small_table)
+        group = index.group_for_values({"Gender": "male", "Job": "eng"})
+        assert group.frequencies[0] == pytest.approx(0.75)
+        assert group.max_frequency == pytest.approx(0.75)
+        pure = index.group_for_values({"Gender": "male", "Job": "lawyer"})
+        assert pure.max_frequency == pytest.approx(1.0)
+
+    def test_decoded_key(self, small_table):
+        index = personal_groups(small_table)
+        group = index.group_for_values({"Gender": "female", "Job": "eng"})
+        assert group.decoded_key(small_table) == ("female", "eng")
+
+    def test_average_group_size(self, small_table):
+        index = personal_groups(small_table)
+        assert index.average_group_size() == pytest.approx(len(small_table) / 3)
+
+    def test_empty_table_has_no_groups(self, disease_schema):
+        empty = Table.from_records(disease_schema, [])
+        index = personal_groups(empty)
+        assert len(index) == 0
+        assert index.average_group_size() == 0.0
+
+    def test_indices_point_to_matching_rows(self, small_table):
+        index = personal_groups(small_table)
+        for group in index:
+            rows = small_table.public_codes[group.indices]
+            assert np.all(rows == np.asarray(group.key))
+
+
+class TestAggregateGroup:
+    def test_partial_condition(self, small_table):
+        mask = aggregate_group(small_table, {"Job": "eng"})
+        assert mask.sum() == 12
+
+    def test_empty_condition_selects_all(self, small_table):
+        mask = aggregate_group(small_table, {})
+        assert mask.all()
+
+    def test_full_condition_degenerates_to_personal_group(self, small_table):
+        mask = aggregate_group(small_table, {"Gender": "male", "Job": "lawyer"})
+        assert mask.sum() == 3

@@ -1,0 +1,53 @@
+"""Tests for CSV loading and writing."""
+
+import pytest
+
+from repro.dataset.loaders import infer_schema, read_csv, write_csv
+from repro.dataset.schema import SchemaError
+
+
+class TestInferSchema:
+    def test_sensitive_column_moved_last(self):
+        header = ["Income", "Job"]
+        rows = [["high", "eng"], ["low", "artist"]]
+        schema, reordered = infer_schema(header, rows, sensitive="Income")
+        assert schema.sensitive_name == "Income"
+        assert schema.public_names == ("Job",)
+        assert reordered[0] == ["eng", "high"]
+
+    def test_domains_collected_from_data(self):
+        header = ["Job", "Income"]
+        rows = [["eng", "high"], ["artist", "low"], ["eng", "low"]]
+        schema, _ = infer_schema(header, rows, sensitive="Income")
+        assert set(schema.public_attribute("Job").values) == {"eng", "artist"}
+        assert set(schema.sensitive.values) == {"high", "low"}
+
+    def test_missing_sensitive_column_rejected(self):
+        with pytest.raises(SchemaError):
+            infer_schema(["a", "b"], [["1", "2"]], sensitive="c")
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(SchemaError):
+            infer_schema(["a", "b"], [["1"]], sensitive="b")
+
+
+class TestCsvRoundtrip:
+    def test_write_then_read_preserves_counts(self, small_table, tmp_path):
+        path = tmp_path / "data.csv"
+        write_csv(small_table, path)
+        loaded = read_csv(path, sensitive="Disease")
+        assert len(loaded) == len(small_table)
+        assert loaded.count({"Gender": "male", "Job": "eng"}, "d0") == 6
+        assert loaded.count({"Job": "lawyer"}) == 3
+
+    def test_read_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError):
+            read_csv(path, sensitive="Income")
+
+    def test_custom_delimiter(self, small_table, tmp_path):
+        path = tmp_path / "data.tsv"
+        write_csv(small_table, path, delimiter="\t")
+        loaded = read_csv(path, sensitive="Disease", delimiter="\t")
+        assert len(loaded) == len(small_table)

@@ -1,0 +1,114 @@
+"""Tests for graph-based public-attribute value merging (Section 3.4)."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.schema import Attribute, Schema
+from repro.dataset.table import Table
+from repro.generalization.merging import generalize_table, merge_attribute_values
+
+
+def build_table(rates: dict[str, float], size_per_value: int = 600, seed: int = 0) -> Table:
+    """A table with one public attribute whose values have given P(high) rates."""
+    schema = Schema(
+        public=(Attribute("Group", tuple(rates)),),
+        sensitive=Attribute("Income", ("low", "high")),
+    )
+    rng = np.random.default_rng(seed)
+    records = []
+    for value, rate in rates.items():
+        highs = rng.random(size_per_value) < rate
+        records += [(value, "high" if h else "low") for h in highs]
+    return Table.from_records(schema, records)
+
+
+class TestMergeAttributeValues:
+    def test_values_with_same_impact_are_merged(self):
+        table = build_table({"a": 0.3, "b": 0.3, "c": 0.8})
+        merge = merge_attribute_values(table, "Group")
+        assert merge.generalized_domain_size == 2
+        assert merge.value_map["a"] == merge.value_map["b"]
+        assert merge.value_map["a"] != merge.value_map["c"]
+
+    def test_distinct_impacts_stay_separate(self):
+        table = build_table({"a": 0.1, "b": 0.5, "c": 0.9})
+        merge = merge_attribute_values(table, "Group")
+        assert merge.generalized_domain_size == 3
+
+    def test_all_same_impact_collapses_to_one(self):
+        table = build_table({"a": 0.4, "b": 0.4, "c": 0.4, "d": 0.4})
+        merge = merge_attribute_values(table, "Group")
+        assert merge.generalized_domain_size == 1
+
+    def test_unobserved_values_are_merged_together(self):
+        schema = Schema(
+            public=(Attribute("Group", ("a", "b", "ghost1", "ghost2")),),
+            sensitive=Attribute("Income", ("low", "high")),
+        )
+        rng = np.random.default_rng(0)
+        records = []
+        for value, rate in (("a", 0.1), ("b", 0.9)):
+            highs = rng.random(500) < rate
+            records += [(value, "high" if h else "low") for h in highs]
+        table = Table.from_records(schema, records)
+        merge = merge_attribute_values(table, "Group")
+        assert merge.value_map["ghost1"] == merge.value_map["ghost2"]
+
+    def test_code_map_is_consistent_with_value_map(self):
+        table = build_table({"a": 0.2, "b": 0.2, "c": 0.9})
+        merge = merge_attribute_values(table, "Group")
+        code_map = merge.code_map()
+        for original_code, original_value in enumerate(merge.original.values):
+            expected = merge.generalized.encode(merge.value_map[original_value])
+            assert code_map[original_code] == expected
+
+    def test_unknown_attribute_rejected(self, small_table):
+        with pytest.raises(Exception):
+            merge_attribute_values(small_table, "Salary")
+
+
+class TestGeneralizeTable:
+    def test_sensitive_column_untouched(self):
+        table = build_table({"a": 0.3, "b": 0.3, "c": 0.8})
+        result = generalize_table(table)
+        assert np.array_equal(result.table.sensitive_codes, table.sensitive_codes)
+
+    def test_record_count_preserved(self):
+        table = build_table({"a": 0.3, "b": 0.35, "c": 0.8})
+        result = generalize_table(table)
+        assert len(result.table) == len(table)
+
+    def test_group_counts_preserved_under_merge(self):
+        table = build_table({"a": 0.3, "b": 0.3, "c": 0.8})
+        result = generalize_table(table)
+        merge = result.merge_for("Group")
+        merged_label = merge.value_map["a"]
+        merged_count = result.table.count({"Group": merged_label})
+        assert merged_count == table.count({"Group": "a"}) + table.count({"Group": "b"})
+
+    def test_translate_conditions(self):
+        table = build_table({"a": 0.3, "b": 0.3, "c": 0.8})
+        result = generalize_table(table)
+        translated = result.translate_conditions({"Group": "b"})
+        assert translated["Group"] == result.merge_for("Group").value_map["b"]
+
+    def test_merge_for_unknown_attribute_rejected(self):
+        table = build_table({"a": 0.3, "b": 0.8})
+        result = generalize_table(table)
+        with pytest.raises(KeyError):
+            result.merge_for("Salary")
+
+    def test_significance_controls_merging(self):
+        # With a very small significance level (harder to reject), borderline
+        # values merge; with a large one they separate.
+        table = build_table({"a": 0.42, "b": 0.50}, size_per_value=800, seed=2)
+        loose = generalize_table(table, significance=1e-6)
+        strict = generalize_table(table, significance=0.2)
+        assert loose.merge_for("Group").generalized_domain_size <= strict.merge_for(
+            "Group"
+        ).generalized_domain_size
+
+    def test_multi_attribute_table(self, small_table):
+        result = generalize_table(small_table)
+        assert len(result.merges) == 2
+        assert result.table.schema.sensitive_domain_size == 10

@@ -1,0 +1,87 @@
+"""Tests for the uniform-perturbation matrix P (Equation 3)."""
+
+import numpy as np
+import pytest
+
+from repro.perturbation.matrix import PerturbationMatrix
+
+
+class TestConstruction:
+    def test_valid_parameters(self):
+        matrix = PerturbationMatrix(0.2, 10)
+        assert matrix.retention_probability == 0.2
+        assert matrix.domain_size == 10
+
+    @pytest.mark.parametrize("p", [0.0, -0.1, 1.1])
+    def test_invalid_retention_rejected(self, p):
+        with pytest.raises(ValueError):
+            PerturbationMatrix(p, 5)
+
+    def test_retention_of_one_allowed(self):
+        assert PerturbationMatrix(1.0, 3).off_diagonal == 0.0
+
+    @pytest.mark.parametrize("m", [0, 1, -2])
+    def test_invalid_domain_rejected(self, m):
+        with pytest.raises(ValueError):
+            PerturbationMatrix(0.5, m)
+
+
+class TestMatrixValues:
+    def test_entries_match_equation_3(self):
+        matrix = PerturbationMatrix(0.2, 10)
+        array = matrix.as_array()
+        assert array[0, 0] == pytest.approx(0.2 + 0.8 / 10)
+        assert array[3, 7] == pytest.approx(0.8 / 10)
+
+    def test_columns_are_stochastic(self):
+        array = PerturbationMatrix(0.37, 7).as_array()
+        assert np.allclose(array.sum(axis=0), 1.0)
+
+    def test_matrix_is_symmetric(self):
+        array = PerturbationMatrix(0.5, 4).as_array()
+        assert np.allclose(array, array.T)
+
+    def test_example_2_numbers(self):
+        """Example 2 of the paper: p = 0.2, m = 10 gives E[F*] coefficients 0.28/0.08."""
+        matrix = PerturbationMatrix(0.2, 10)
+        assert matrix.diagonal == pytest.approx(0.28)
+        assert matrix.off_diagonal == pytest.approx(0.08)
+
+
+class TestInverse:
+    @pytest.mark.parametrize("p,m", [(0.1, 2), (0.5, 10), (0.9, 50), (1.0, 3)])
+    def test_closed_form_inverse_matches_numpy(self, p, m):
+        matrix = PerturbationMatrix(p, m)
+        assert np.allclose(matrix.inverse(), np.linalg.inv(matrix.as_array()))
+
+    def test_inverse_times_matrix_is_identity(self):
+        matrix = PerturbationMatrix(0.3, 6)
+        assert np.allclose(matrix.inverse() @ matrix.as_array(), np.eye(6), atol=1e-12)
+
+
+class TestFrequencyMaps:
+    def test_apply_matches_matrix_multiplication(self):
+        matrix = PerturbationMatrix(0.4, 5)
+        frequencies = np.array([0.5, 0.2, 0.1, 0.1, 0.1])
+        assert np.allclose(
+            matrix.apply_to_frequencies(frequencies), matrix.as_array() @ frequencies
+        )
+
+    def test_invert_undoes_apply(self):
+        matrix = PerturbationMatrix(0.25, 8)
+        frequencies = np.full(8, 1 / 8)
+        frequencies[0] = 0.3
+        frequencies[1:] = 0.7 / 7
+        observed = matrix.apply_to_frequencies(frequencies)
+        assert np.allclose(matrix.invert_frequencies(observed), frequencies)
+
+    def test_shape_validation(self):
+        matrix = PerturbationMatrix(0.5, 3)
+        with pytest.raises(ValueError):
+            matrix.apply_to_frequencies(np.ones(4))
+        with pytest.raises(ValueError):
+            matrix.invert_frequencies(np.ones(2))
+
+    def test_equality(self):
+        assert PerturbationMatrix(0.5, 3) == PerturbationMatrix(0.5, 3)
+        assert PerturbationMatrix(0.5, 3) != PerturbationMatrix(0.5, 4)

@@ -1,0 +1,73 @@
+"""Tests for the uniform perturbation operator (Section 3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.table import Table
+from repro.perturbation.uniform import UniformPerturbation, perturb_table
+
+
+class TestPerturbCodes:
+    def test_output_stays_in_domain(self):
+        operator = UniformPerturbation(0.3, 5)
+        codes = np.tile(np.arange(5), 200)
+        published = operator.perturb_codes(codes, rng=0)
+        assert published.min() >= 0 and published.max() < 5
+        assert published.shape == codes.shape
+
+    def test_retention_of_one_is_identity(self):
+        operator = UniformPerturbation(1.0, 4)
+        codes = np.array([0, 1, 2, 3, 3, 2])
+        assert np.array_equal(operator.perturb_codes(codes, rng=1), codes)
+
+    def test_reproducible_with_seed(self):
+        operator = UniformPerturbation(0.4, 6)
+        codes = np.random.default_rng(0).integers(0, 6, size=500)
+        assert np.array_equal(
+            operator.perturb_codes(codes, rng=7), operator.perturb_codes(codes, rng=7)
+        )
+
+    def test_retention_rate_statistically_plausible(self):
+        p, m, n = 0.5, 10, 40_000
+        operator = UniformPerturbation(p, m)
+        codes = np.zeros(n, dtype=np.int64)
+        published = operator.perturb_codes(codes, rng=3)
+        observed_same = (published == 0).mean()
+        expected = p + (1 - p) / m
+        assert observed_same == pytest.approx(expected, abs=0.01)
+
+    def test_replacement_is_uniform_over_domain(self):
+        p, m, n = 0.0, 5, 50_000
+        # p must be > 0; use a tiny p so almost everything is replaced.
+        operator = UniformPerturbation(0.001, m)
+        codes = np.zeros(n, dtype=np.int64)
+        published = operator.perturb_codes(codes, rng=9)
+        counts = np.bincount(published, minlength=m) / n
+        assert np.allclose(counts, 1 / m, atol=0.01)
+
+    def test_out_of_domain_input_rejected(self):
+        operator = UniformPerturbation(0.5, 3)
+        with pytest.raises(ValueError):
+            operator.perturb_codes(np.array([0, 3]), rng=0)
+
+    def test_two_dimensional_input_rejected(self):
+        operator = UniformPerturbation(0.5, 3)
+        with pytest.raises(ValueError):
+            operator.perturb_codes(np.zeros((2, 2), dtype=np.int64), rng=0)
+
+
+class TestPerturbTable:
+    def test_public_columns_untouched(self, small_table):
+        published = perturb_table(small_table, 0.2, rng=0)
+        assert np.array_equal(published.public_codes, small_table.public_codes)
+        assert len(published) == len(small_table)
+
+    def test_domain_mismatch_rejected(self, small_table):
+        operator = UniformPerturbation(0.5, 3)  # table's SA domain is 10
+        with pytest.raises(ValueError):
+            operator.perturb_table(small_table, rng=0)
+
+    def test_published_table_is_new_object(self, small_table):
+        published = perturb_table(small_table, 0.2, rng=0)
+        assert published is not small_table
+        assert isinstance(published, Table)

@@ -1,0 +1,133 @@
+"""Property-based tests (hypothesis) for the core mathematical invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import (
+    chernoff_lower_bound,
+    chernoff_upper_bound,
+    convert_lambda_to_omega,
+    convert_omega_to_lambda,
+)
+from repro.core.criterion import PrivacySpec, max_group_size, value_is_private
+from repro.perturbation.matrix import PerturbationMatrix
+from repro.perturbation.uniform import UniformPerturbation
+from repro.reconstruction.mle import mle_frequencies, mle_frequencies_clipped
+from repro.reconstruction.variance import expected_observed_count, observed_count_variance
+
+retention = st.floats(min_value=0.05, max_value=0.99)
+domain = st.integers(min_value=2, max_value=60)
+frequency = st.floats(min_value=0.01, max_value=1.0)
+lam_values = st.floats(min_value=0.05, max_value=2.0)
+delta_values = st.floats(min_value=0.05, max_value=0.95)
+
+
+class TestPerturbationMatrixProperties:
+    @given(p=retention, m=domain)
+    def test_columns_always_stochastic(self, p, m):
+        array = PerturbationMatrix(p, m).as_array()
+        assert np.allclose(array.sum(axis=0), 1.0)
+        assert (array >= 0).all()
+
+    @given(p=retention, m=domain)
+    def test_inverse_is_exact(self, p, m):
+        matrix = PerturbationMatrix(p, m)
+        product = matrix.inverse() @ matrix.as_array()
+        assert np.allclose(product, np.eye(m), atol=1e-9)
+
+    @given(p=retention, m=domain, data=st.data())
+    def test_invert_recovers_any_distribution(self, p, m, data):
+        weights = data.draw(
+            st.lists(st.floats(min_value=0.01, max_value=1.0), min_size=m, max_size=m)
+        )
+        frequencies = np.asarray(weights) / np.sum(weights)
+        matrix = PerturbationMatrix(p, m)
+        observed = matrix.apply_to_frequencies(frequencies)
+        assert np.allclose(matrix.invert_frequencies(observed), frequencies, atol=1e-9)
+
+
+class TestMleProperties:
+    @given(p=retention, m=domain, data=st.data())
+    def test_mle_sums_to_one(self, p, m, data):
+        counts = np.asarray(
+            data.draw(st.lists(st.integers(min_value=0, max_value=500), min_size=m, max_size=m)),
+            dtype=float,
+        )
+        if counts.sum() == 0:
+            counts[0] = 1.0
+        assert mle_frequencies(counts, p, m).sum() == pytest.approx(1.0)
+
+    @given(p=retention, m=domain, data=st.data())
+    def test_clipped_mle_is_a_distribution(self, p, m, data):
+        counts = np.asarray(
+            data.draw(st.lists(st.integers(min_value=0, max_value=500), min_size=m, max_size=m)),
+            dtype=float,
+        )
+        if counts.sum() == 0:
+            counts[0] = 1.0
+        clipped = mle_frequencies_clipped(counts, p, m)
+        assert (clipped >= 0).all()
+        assert clipped.sum() == pytest.approx(1.0)
+
+
+class TestMomentProperties:
+    @given(p=retention, m=domain, f=frequency, size=st.integers(min_value=1, max_value=10_000))
+    def test_expected_count_within_range(self, p, m, f, size):
+        mu = expected_observed_count(size, f, p, m)
+        assert 0 <= mu <= size
+
+    @given(p=retention, m=domain, f=frequency, size=st.integers(min_value=1, max_value=10_000))
+    def test_variance_non_negative(self, p, m, f, size):
+        assert observed_count_variance(size, f, p, m) >= 0
+
+
+class TestBoundProperties:
+    @given(omega=st.floats(min_value=0.01, max_value=0.99), mu=st.floats(min_value=0.1, max_value=1e6))
+    def test_chernoff_bounds_in_unit_interval(self, omega, mu):
+        # The exponential can underflow to exactly 0.0 for huge mu, which is fine.
+        assert 0.0 <= chernoff_upper_bound(omega, mu) <= 1.0
+        assert 0.0 <= chernoff_lower_bound(omega, mu) <= 1.0
+
+    @given(
+        lam=lam_values,
+        p=retention,
+        m=domain,
+        f=frequency,
+        size=st.integers(min_value=1, max_value=100_000),
+    )
+    def test_lambda_omega_conversion_roundtrip(self, lam, p, m, f, size):
+        omega = convert_lambda_to_omega(lam, size, f, p, m)
+        assert convert_omega_to_lambda(omega, size, f, p, m) == pytest.approx(lam, rel=1e-9)
+
+
+class TestCriterionProperties:
+    @given(lam=lam_values, delta=delta_values, p=retention, m=domain, f=frequency)
+    def test_corollary_4_threshold_is_the_privacy_boundary(self, lam, delta, p, m, f):
+        spec = PrivacySpec(lam=lam, delta=delta, retention_probability=p, domain_size=m)
+        threshold = max_group_size(spec, f)
+        if not np.isfinite(threshold) or threshold > 10**7:
+            return
+        at_threshold = int(np.floor(threshold))
+        if at_threshold >= 1:
+            assert value_is_private(spec, at_threshold, f)
+        assert not value_is_private(spec, int(np.floor(threshold)) + 1, f)
+
+    @given(lam=lam_values, delta=delta_values, p=retention, m=domain)
+    def test_max_group_size_decreasing_in_frequency(self, lam, delta, p, m):
+        spec = PrivacySpec(lam=lam, delta=delta, retention_probability=p, domain_size=m)
+        sizes = [max_group_size(spec, f) for f in (0.1, 0.3, 0.5, 0.7, 0.9)]
+        assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+
+
+class TestPerturbationOperatorProperties:
+    @settings(max_examples=25)
+    @given(p=retention, m=domain, seed=st.integers(min_value=0, max_value=2**31 - 1), size=st.integers(min_value=1, max_value=400))
+    def test_perturbed_codes_stay_in_domain_and_preserve_length(self, p, m, seed, size):
+        operator = UniformPerturbation(p, m)
+        rng = np.random.default_rng(seed)
+        codes = rng.integers(0, m, size=size)
+        published = operator.perturb_codes(codes, rng=seed)
+        assert published.shape == codes.shape
+        assert published.min() >= 0 and published.max() < m

@@ -1,0 +1,123 @@
+"""Tests for count queries, workload generation and relative-error evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.adult import generate_adult
+from repro.generalization.merging import generalize_table
+from repro.perturbation.uniform import perturb_table
+from repro.queries.count_query import CountQuery, answer_on_perturbed, answer_on_raw
+from repro.queries.error import average_relative_error, evaluate_workload
+from repro.queries.workload import WorkloadConfig, generate_workload
+
+
+class TestCountQuery:
+    def test_build_normalises_conditions(self):
+        a = CountQuery.build({"B": "2", "A": "1"}, "x")
+        b = CountQuery.build({"A": "1", "B": "2"}, "x")
+        assert a == b
+        assert a.dimensionality == 2
+
+    def test_answer_on_raw(self, small_table):
+        query = CountQuery.build({"Gender": "male", "Job": "eng"}, "d0")
+        assert answer_on_raw(query, small_table) == 6
+
+    def test_answer_on_unperturbed_data_is_exact(self, small_table):
+        published = perturb_table(small_table, 1.0, rng=0)  # p = 1: no change
+        query = CountQuery.build({"Job": "eng"}, "d0")
+        assert answer_on_perturbed(query, published, 1.0) == pytest.approx(
+            answer_on_raw(query, small_table)
+        )
+
+    def test_answer_on_empty_selection_is_zero(self, small_table):
+        published = perturb_table(small_table, 0.5, rng=0)
+        query = CountQuery.build({"Gender": "female", "Job": "artist"}, "d0")
+        assert answer_on_perturbed(query, published, 0.5) == 0.0
+
+    def test_estimate_unbiased_over_perturbations(self, small_table):
+        query = CountQuery.build({"Job": "eng"}, "d0")
+        truth = answer_on_raw(query, small_table)
+        estimates = [
+            answer_on_perturbed(query, perturb_table(small_table, 0.5, rng=seed), 0.5)
+            for seed in range(400)
+        ]
+        assert np.mean(estimates) == pytest.approx(truth, abs=0.6)
+
+
+class TestWorkloadGeneration:
+    @pytest.fixture(scope="class")
+    def adult(self):
+        return generate_adult(10_000, seed=1)
+
+    def test_pool_size_and_dimensionality(self, adult):
+        config = WorkloadConfig(n_queries=50, dimensionalities=(1, 2, 3))
+        queries = generate_workload(adult, adult, config, rng=0)
+        assert len(queries) == 50
+        assert all(1 <= q.dimensionality <= 3 for q in queries)
+
+    def test_selectivity_filter_respected(self, adult):
+        config = WorkloadConfig(n_queries=40, min_selectivity=0.01)
+        queries = generate_workload(adult, adult, config, rng=0)
+        for query in queries:
+            assert answer_on_raw(query, adult) >= 0.01 * len(adult)
+
+    def test_queries_are_unique(self, adult):
+        config = WorkloadConfig(n_queries=60)
+        queries = generate_workload(adult, adult, config, rng=0)
+        assert len(set(queries)) == len(queries)
+
+    def test_generalized_targets_translated(self, adult):
+        generalization = generalize_table(adult)
+        config = WorkloadConfig(n_queries=30)
+        queries = generate_workload(
+            adult, generalization.table, config, generalization=generalization, rng=0
+        )
+        schema = generalization.table.schema
+        for query in queries:
+            for name, value in query.conditions:
+                assert value in schema.public_attribute(name)
+
+    def test_reproducible(self, adult):
+        config = WorkloadConfig(n_queries=25)
+        assert generate_workload(adult, adult, config, rng=9) == generate_workload(
+            adult, adult, config, rng=9
+        )
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(n_queries=0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(min_selectivity=1.0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(dimensionalities=())
+
+
+class TestErrorEvaluation:
+    @pytest.fixture(scope="class")
+    def adult(self):
+        return generate_adult(10_000, seed=2)
+
+    def test_zero_error_for_identity_publication(self, adult):
+        queries = generate_workload(adult, adult, WorkloadConfig(n_queries=30), rng=0)
+        published = perturb_table(adult, 1.0, rng=0)
+        assert average_relative_error(queries, adult, published, 1.0) == pytest.approx(0.0)
+
+    def test_error_decreases_with_retention(self, adult):
+        queries = generate_workload(adult, adult, WorkloadConfig(n_queries=60), rng=0)
+        noisy = average_relative_error(queries, adult, perturb_table(adult, 0.1, rng=1), 0.1)
+        clean = average_relative_error(queries, adult, perturb_table(adult, 0.9, rng=1), 0.9)
+        assert clean < noisy
+
+    def test_evaluation_reports_per_query_details(self, adult):
+        queries = generate_workload(adult, adult, WorkloadConfig(n_queries=20), rng=0)
+        published = perturb_table(adult, 0.5, rng=3)
+        evaluation = evaluate_workload(queries, adult, published, 0.5)
+        assert len(evaluation.errors) == len(queries)
+        assert len(evaluation.true_answers) == len(queries)
+        assert evaluation.median_error >= 0.0
+        assert evaluation.average_error >= 0.0
+
+    def test_empty_workload(self, adult):
+        published = perturb_table(adult, 0.5, rng=0)
+        evaluation = evaluate_workload([], adult, published, 0.5)
+        assert evaluation.average_error == 0.0

@@ -1,0 +1,48 @@
+"""Tests for the iterative Bayesian (EM) reconstruction."""
+
+import numpy as np
+import pytest
+
+from repro.perturbation.matrix import PerturbationMatrix
+from repro.reconstruction.iterative import iterative_bayes_frequencies
+from repro.reconstruction.mle import mle_frequencies_clipped
+
+
+class TestIterativeBayes:
+    def test_returns_a_distribution(self):
+        counts = np.array([50.0, 30.0, 20.0])
+        estimate = iterative_bayes_frequencies(counts, 0.4)
+        assert (estimate >= 0).all()
+        assert estimate.sum() == pytest.approx(1.0)
+
+    def test_perfect_retention_recovers_observed_frequencies(self):
+        counts = np.array([10.0, 30.0, 60.0])
+        estimate = iterative_bayes_frequencies(counts, 1.0, tolerance=1e-12)
+        assert np.allclose(estimate, counts / counts.sum(), atol=1e-6)
+
+    def test_matches_clipped_mle_when_mle_is_feasible(self):
+        # For observed counts consistent with an interior distribution the EM
+        # fixed point coincides with the (feasible) MLE.
+        original = np.array([0.5, 0.3, 0.2])
+        matrix = PerturbationMatrix(0.4, 3)
+        expected_observed = matrix.apply_to_frequencies(original) * 1000
+        em = iterative_bayes_frequencies(expected_observed, 0.4)
+        mle = mle_frequencies_clipped(expected_observed, 0.4)
+        assert np.allclose(em, mle, atol=1e-4)
+        assert np.allclose(em, original, atol=1e-4)
+
+    def test_infeasible_observed_counts_stay_on_simplex(self):
+        # Observed counts below the background rate drive the raw MLE negative;
+        # the EM estimate must remain a valid distribution.
+        counts = np.array([0.0, 200.0])
+        estimate = iterative_bayes_frequencies(counts, 0.2)
+        assert estimate[0] >= 0
+        assert estimate.sum() == pytest.approx(1.0)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            iterative_bayes_frequencies(np.array([1.0, -2.0]), 0.5)
+        with pytest.raises(ValueError):
+            iterative_bayes_frequencies(np.zeros(3), 0.5)
+        with pytest.raises(ValueError):
+            iterative_bayes_frequencies(np.ones(3), 0.5, max_iterations=0)

@@ -1,0 +1,113 @@
+"""Tests for the MLE frequency reconstruction (Theorem 1 / Lemma 2)."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.table import Table
+from repro.perturbation.uniform import perturb_table
+from repro.reconstruction.mle import (
+    mle_frequencies,
+    mle_frequencies_clipped,
+    mle_frequencies_matrix,
+    mle_frequency,
+    reconstruct_counts,
+)
+
+
+class TestClosedForm:
+    def test_example_2_formula(self):
+        """Example 2: p = 0.2, m = 10, estimate = (f* - 0.08) / 0.2."""
+        estimate = mle_frequency(observed_count=28, subset_size=100, retention_probability=0.2, domain_size=10)
+        assert estimate == pytest.approx((0.28 - 0.08) / 0.2)
+
+    def test_perfect_retention_recovers_observed(self):
+        estimate = mle_frequency(30, 100, retention_probability=1.0, domain_size=4)
+        assert estimate == pytest.approx(0.3)
+
+    def test_zero_subset_rejected(self):
+        with pytest.raises(ValueError):
+            mle_frequency(0, 0, 0.5, 2)
+
+
+class TestVectorForms:
+    def test_closed_form_equals_matrix_form(self):
+        counts = np.array([40.0, 25.0, 20.0, 15.0])
+        a = mle_frequencies(counts, 0.3)
+        b = mle_frequencies_matrix(counts, 0.3)
+        assert np.allclose(a, b)
+
+    def test_estimates_sum_to_one(self):
+        counts = np.array([10.0, 20.0, 5.0, 65.0])
+        assert mle_frequencies(counts, 0.45).sum() == pytest.approx(1.0)
+
+    def test_uniform_observed_gives_uniform_estimate(self):
+        counts = np.full(5, 20.0)
+        assert np.allclose(mle_frequencies(counts, 0.3), 0.2)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            mle_frequencies(np.array([1.0, -1.0]), 0.5)
+
+    def test_empty_subset_rejected(self):
+        with pytest.raises(ValueError):
+            mle_frequencies(np.zeros(3), 0.5)
+
+    def test_wrong_domain_size_rejected(self):
+        with pytest.raises(ValueError):
+            mle_frequencies(np.ones(3), 0.5, domain_size=4)
+
+    def test_raw_estimate_can_be_negative(self):
+        # An SA value observed far below its background rate yields a negative MLE.
+        counts = np.array([0.0, 100.0])
+        estimates = mle_frequencies(counts, 0.2, 2)
+        assert estimates[0] < 0
+
+    def test_clipped_estimate_is_a_distribution(self):
+        counts = np.array([0.0, 100.0, 3.0])
+        clipped = mle_frequencies_clipped(counts, 0.2, 3)
+        assert (clipped >= 0).all()
+        assert clipped.sum() == pytest.approx(1.0)
+
+
+class TestUnbiasedness:
+    def test_estimator_is_unbiased_over_many_perturbations(self, small_table):
+        """Lemma 2(iii): E[F'] = f, checked empirically on the male-engineer group."""
+        p = 0.3
+        mask = small_table.match_public({"Gender": "male", "Job": "eng"})
+        true_frequencies = small_table.sensitive_frequencies(mask)
+        estimates = []
+        for seed in range(300):
+            published = perturb_table(small_table, p, rng=seed)
+            counts = published.sensitive_counts(mask)
+            estimates.append(mle_frequencies(counts, p))
+        mean_estimate = np.mean(estimates, axis=0)
+        assert np.allclose(mean_estimate, true_frequencies, atol=0.05)
+
+    def test_accuracy_improves_with_subset_size(self, binary_schema):
+        """The law-of-large-numbers gap the paper exploits (Section 1.2, Question 2)."""
+        p = 0.3
+        rng = np.random.default_rng(0)
+
+        def error_for(size: int) -> float:
+            records = [("a", "high")] * (size // 2) + [("a", "low")] * (size - size // 2)
+            table = Table.from_records(binary_schema, records)
+            errors = []
+            for seed in range(60):
+                published = perturb_table(table, p, rng=rng.integers(0, 2**32))
+                estimate = mle_frequencies(published.sensitive_counts(), p)[1]
+                errors.append(abs(estimate - 0.5))
+            return float(np.mean(errors))
+
+        assert error_for(2000) < error_for(40)
+
+
+class TestReconstructCounts:
+    def test_counts_scale_frequencies(self):
+        counts = np.array([30.0, 70.0])
+        reconstructed = reconstruct_counts(counts, 0.5)
+        assert reconstructed.sum() == pytest.approx(100.0)
+
+    def test_clipped_counts_are_non_negative(self):
+        counts = np.array([0.0, 100.0])
+        reconstructed = reconstruct_counts(counts, 0.2, clip=True)
+        assert (reconstructed >= 0).all()

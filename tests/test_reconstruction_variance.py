@@ -1,0 +1,78 @@
+"""Tests for the exact moments of O* and the MLE (Lemma 2 and Section 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.schema import Attribute, Schema
+from repro.dataset.table import Table
+from repro.perturbation.uniform import perturb_table
+from repro.reconstruction.mle import mle_frequencies
+from repro.reconstruction.variance import (
+    expected_observed_count,
+    mle_variance,
+    observed_count_variance,
+)
+
+
+class TestExpectedObservedCount:
+    def test_lemma_2i_formula(self):
+        # |S| = 100, f = 0.3, p = 0.2, m = 10: E[O*] = 100 (0.06 + 0.08) = 14.
+        assert expected_observed_count(100, 0.3, 0.2, 10) == pytest.approx(14.0)
+
+    def test_zero_frequency_still_has_background_mass(self):
+        assert expected_observed_count(100, 0.0, 0.2, 10) == pytest.approx(8.0)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            expected_observed_count(0, 0.5, 0.5, 2)
+        with pytest.raises(ValueError):
+            expected_observed_count(10, 1.5, 0.5, 2)
+
+
+class TestVariances:
+    def test_variance_positive_and_shrinks_relative_to_size(self):
+        small = mle_variance(50, 0.4, 0.5, 5)
+        large = mle_variance(5000, 0.4, 0.5, 5)
+        assert small > large > 0
+
+    def test_mle_variance_is_observed_variance_rescaled(self):
+        subset_size, f, p, m = 200, 0.3, 0.4, 6
+        observed = observed_count_variance(subset_size, f, p, m)
+        assert mle_variance(subset_size, f, p, m) == pytest.approx(
+            observed / (subset_size * p) ** 2
+        )
+
+    def test_no_perturbation_means_no_variance(self):
+        assert observed_count_variance(100, 0.3, 1.0, 4) == pytest.approx(0.0, abs=1e-12)
+
+    def test_empirical_moments_match(self):
+        """Monte-Carlo check of both Lemma 2(i) and the Bernoulli-sum variance."""
+        schema = Schema(
+            public=(Attribute("G", ("x",)),),
+            sensitive=Attribute("S", ("s0", "s1", "s2", "s3")),
+        )
+        f, size, p, m = 0.25, 400, 0.3, 4
+        records = [("x", "s0")] * int(size * f) + [("x", "s1")] * (size - int(size * f))
+        table = Table.from_records(schema, records)
+        observed = []
+        for seed in range(400):
+            published = perturb_table(table, p, rng=seed)
+            observed.append(published.sensitive_counts()[0])
+        observed = np.asarray(observed, dtype=float)
+        assert observed.mean() == pytest.approx(expected_observed_count(size, f, p, m), rel=0.05)
+        assert observed.var() == pytest.approx(observed_count_variance(size, f, p, m), rel=0.2)
+
+    def test_mle_variance_matches_empirical_estimator_spread(self):
+        schema = Schema(
+            public=(Attribute("G", ("x",)),),
+            sensitive=Attribute("S", ("s0", "s1")),
+        )
+        f, size, p, m = 0.5, 300, 0.4, 2
+        records = [("x", "s0")] * int(size * f) + [("x", "s1")] * (size - int(size * f))
+        table = Table.from_records(schema, records)
+        estimates = []
+        for seed in range(400):
+            published = perturb_table(table, p, rng=seed)
+            estimates.append(mle_frequencies(published.sensitive_counts(), p)[0])
+        empirical_variance = float(np.var(estimates))
+        assert empirical_variance == pytest.approx(mle_variance(size, f, p, m), rel=0.25)

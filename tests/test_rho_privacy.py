@@ -1,0 +1,67 @@
+"""Tests for the rho1-rho2 privacy helper."""
+
+import math
+
+import pytest
+
+from repro.perturbation.rho_privacy import (
+    amplification_factor,
+    breach_threshold,
+    max_retention_for_rho_privacy,
+    satisfies_rho_privacy,
+)
+
+
+class TestAmplificationFactor:
+    def test_known_value(self):
+        # p = 0.2, m = 10: gamma = 0.28 / 0.08 = 3.5
+        assert amplification_factor(0.2, 10) == pytest.approx(3.5)
+
+    def test_no_perturbation_gives_infinite_amplification(self):
+        assert amplification_factor(1.0, 5) == math.inf
+
+    def test_monotone_in_p(self):
+        assert amplification_factor(0.1, 10) < amplification_factor(0.5, 10)
+
+    def test_monotone_in_m(self):
+        assert amplification_factor(0.5, 5) < amplification_factor(0.5, 50)
+
+
+class TestBreachThreshold:
+    def test_known_value(self):
+        # rho1 = 0.1, rho2 = 0.5: threshold = (0.5/0.5) * (0.9/0.1) = 9
+        assert breach_threshold(0.1, 0.5) == pytest.approx(9.0)
+
+    def test_invalid_rhos_rejected(self):
+        with pytest.raises(ValueError):
+            breach_threshold(0.0, 0.5)
+        with pytest.raises(ValueError):
+            breach_threshold(0.5, 0.5)
+        with pytest.raises(ValueError):
+            breach_threshold(0.6, 0.5)
+
+
+class TestRetentionChoice:
+    def test_max_retention_is_tight(self):
+        m, rho1, rho2 = 10, 0.1, 0.5
+        p_max = max_retention_for_rho_privacy(m, rho1, rho2)
+        assert satisfies_rho_privacy(p_max, m, rho1, rho2)
+        assert not satisfies_rho_privacy(min(0.999, p_max + 0.01), m, rho1, rho2)
+
+    def test_known_closed_form(self):
+        # threshold = 9, m = 10: p_max = 8 / 18
+        assert max_retention_for_rho_privacy(10, 0.1, 0.5) == pytest.approx(8 / 18)
+
+    def test_impossible_requirement_gives_zero(self):
+        # rho2 barely above rho1 makes the threshold <= 1: no positive p works.
+        assert max_retention_for_rho_privacy(10, 0.5, 0.500001) == pytest.approx(0.0, abs=1e-3)
+
+    def test_larger_domain_requires_smaller_p(self):
+        # gamma = 1 + p m / (1 - p) grows with m, so the same threshold forces a smaller p.
+        small = max_retention_for_rho_privacy(5, 0.1, 0.5)
+        large = max_retention_for_rho_privacy(50, 0.1, 0.5)
+        assert large < small
+
+    def test_invalid_domain_rejected(self):
+        with pytest.raises(ValueError):
+            max_retention_for_rho_privacy(1, 0.1, 0.5)

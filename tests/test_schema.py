@@ -1,0 +1,85 @@
+"""Unit tests for repro.dataset.schema."""
+
+import pytest
+
+from repro.dataset.schema import Attribute, Schema, SchemaError
+
+
+class TestAttribute:
+    def test_encode_decode_roundtrip(self):
+        attr = Attribute("Job", ("eng", "lawyer", "artist"))
+        for i, value in enumerate(attr.values):
+            assert attr.encode(value) == i
+            assert attr.decode(i) == value
+
+    def test_size(self):
+        assert Attribute("A", ("x", "y")).size == 2
+
+    def test_contains(self):
+        attr = Attribute("A", ("x", "y"))
+        assert "x" in attr
+        assert "z" not in attr
+
+    def test_unknown_value_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("A", ("x",)).encode("nope")
+
+    def test_out_of_range_code_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("A", ("x", "y")).decode(2)
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("A", ("x", "x"))
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("A", ())
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("", ("x",))
+
+
+class TestSchema:
+    def test_basic_properties(self, disease_schema):
+        assert disease_schema.public_names == ("Gender", "Job")
+        assert disease_schema.sensitive_name == "Disease"
+        assert disease_schema.sensitive_domain_size == 10
+        assert disease_schema.attribute_names[-1] == "Disease"
+
+    def test_public_attribute_lookup(self, disease_schema):
+        assert disease_schema.public_attribute("Job").size == 3
+        assert disease_schema.public_index("Job") == 1
+
+    def test_unknown_public_attribute_rejected(self, disease_schema):
+        with pytest.raises(SchemaError):
+            disease_schema.public_attribute("Salary")
+        with pytest.raises(SchemaError):
+            disease_schema.public_index("Salary")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(
+                public=(Attribute("X", ("a",)), Attribute("X", ("b",))),
+                sensitive=Attribute("S", ("0", "1")),
+            )
+
+    def test_requires_public_attribute(self):
+        with pytest.raises(SchemaError):
+            Schema(public=(), sensitive=Attribute("S", ("0", "1")))
+
+    def test_encode_decode_record_roundtrip(self, disease_schema):
+        record = ("male", "lawyer", "d7")
+        codes = disease_schema.encode_record(record)
+        assert disease_schema.decode_record(codes) == record
+
+    def test_encode_wrong_width_rejected(self, disease_schema):
+        with pytest.raises(SchemaError):
+            disease_schema.encode_record(("male", "eng"))
+
+    def test_with_public_replaces_domains(self, disease_schema):
+        merged = Attribute("Gender", ("any",))
+        new = disease_schema.with_public((merged, disease_schema.public[1]))
+        assert new.public_attribute("Gender").size == 1
+        assert new.sensitive is disease_schema.sensitive

@@ -1,0 +1,109 @@
+"""Unit tests for repro.dataset.table."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.schema import Attribute, Schema, SchemaError
+from repro.dataset.table import Table
+
+
+class TestConstruction:
+    def test_from_records_roundtrip(self, disease_schema):
+        records = [("male", "eng", "d0"), ("female", "artist", "d9")]
+        table = Table.from_records(disease_schema, records)
+        assert len(table) == 2
+        assert table.records() == records
+
+    def test_empty_table(self, disease_schema):
+        table = Table.from_records(disease_schema, [])
+        assert len(table) == 0
+        assert table.sensitive_counts().sum() == 0
+
+    def test_codes_are_read_only(self, small_table):
+        with pytest.raises(ValueError):
+            small_table.codes[0, 0] = 1
+
+    def test_wrong_column_count_rejected(self, disease_schema):
+        with pytest.raises(SchemaError):
+            Table(disease_schema, np.zeros((3, 2), dtype=np.int64))
+
+    def test_out_of_domain_code_rejected(self, disease_schema):
+        codes = np.zeros((1, 3), dtype=np.int64)
+        codes[0, 2] = 99
+        with pytest.raises(SchemaError):
+            Table(disease_schema, codes)
+
+    def test_negative_code_rejected(self, disease_schema):
+        codes = np.zeros((1, 3), dtype=np.int64)
+        codes[0, 0] = -1
+        with pytest.raises(SchemaError):
+            Table(disease_schema, codes)
+
+
+class TestAccessorsAndCounting:
+    def test_match_public_single_condition(self, small_table):
+        mask = small_table.match_public({"Job": "eng"})
+        assert mask.sum() == 12
+
+    def test_match_public_multiple_conditions(self, small_table):
+        mask = small_table.match_public({"Gender": "male", "Job": "eng"})
+        assert mask.sum() == 8
+
+    def test_count_with_sensitive_value(self, small_table):
+        assert small_table.count({"Gender": "male", "Job": "eng"}, "d0") == 6
+        assert small_table.count({"Gender": "male", "Job": "eng"}, "d1") == 2
+        assert small_table.count({"Gender": "male", "Job": "eng"}, "d5") == 0
+
+    def test_sensitive_counts_whole_table(self, small_table):
+        counts = small_table.sensitive_counts()
+        assert counts[0] == 8  # d0
+        assert counts[3] == 3  # d3
+        assert counts.sum() == len(small_table)
+
+    def test_sensitive_counts_masked(self, small_table):
+        mask = small_table.match_public({"Gender": "female"})
+        counts = small_table.sensitive_counts(mask)
+        assert counts[0] == 2 and counts[2] == 2
+
+    def test_sensitive_frequencies_sum_to_one(self, small_table):
+        freqs = small_table.sensitive_frequencies()
+        assert freqs.sum() == pytest.approx(1.0)
+
+    def test_sensitive_frequencies_empty_selection(self, small_table):
+        mask = np.zeros(len(small_table), dtype=bool)
+        assert small_table.sensitive_frequencies(mask).sum() == 0.0
+
+
+class TestDerivation:
+    def test_with_sensitive_codes_keeps_public(self, small_table):
+        new_sensitive = np.zeros(len(small_table), dtype=np.int64)
+        published = small_table.with_sensitive_codes(new_sensitive)
+        assert np.array_equal(published.public_codes, small_table.public_codes)
+        assert published.sensitive_counts()[0] == len(small_table)
+
+    def test_with_sensitive_codes_wrong_length_rejected(self, small_table):
+        with pytest.raises(SchemaError):
+            small_table.with_sensitive_codes(np.zeros(3, dtype=np.int64))
+
+    def test_select_by_mask(self, small_table):
+        mask = small_table.match_public({"Job": "lawyer"})
+        subset = small_table.select(mask)
+        assert len(subset) == 3
+        assert all(record[1] == "lawyer" for record in subset.records())
+
+    def test_concat(self, small_table):
+        doubled = small_table.concat(small_table)
+        assert len(doubled) == 2 * len(small_table)
+
+    def test_concat_schema_mismatch_rejected(self, small_table, binary_schema):
+        other = Table.from_records(binary_schema, [("a", "low")])
+        with pytest.raises(SchemaError):
+            small_table.concat(other)
+
+    def test_equality(self, small_table):
+        same = Table(small_table.schema, small_table.codes)
+        assert small_table == same
+        different = small_table.with_sensitive_codes(
+            np.zeros(len(small_table), dtype=np.int64)
+        )
+        assert small_table != different

@@ -1,0 +1,41 @@
+"""Unit tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import default_rng, spawn_rngs
+
+
+class TestDefaultRng:
+    def test_same_seed_same_stream(self):
+        a = default_rng(42)
+        b = default_rng(42)
+        assert a.integers(0, 1000) == b.integers(0, 1000)
+
+    def test_generator_passed_through(self):
+        gen = np.random.default_rng(1)
+        assert default_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(default_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count_respected(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_reproducible_from_seed(self):
+        first = [rng.integers(0, 10**6) for rng in spawn_rngs(3, 4)]
+        second = [rng.integers(0, 10**6) for rng in spawn_rngs(3, 4)]
+        assert first == second
+
+    def test_streams_are_distinct(self):
+        draws = [rng.integers(0, 2**62) for rng in spawn_rngs(9, 8)]
+        assert len(set(draws)) == len(draws)
+
+    def test_zero_count_allowed(self):
+        assert spawn_rngs(1, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)

@@ -1,0 +1,76 @@
+"""Unit tests for repro.utils.stats."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.utils.stats import clamp, mean_and_standard_error, normalise_frequencies, relative_error
+
+
+class TestMeanAndStandardError:
+    def test_single_value_has_zero_se(self):
+        mean, se = mean_and_standard_error([4.2])
+        assert mean == pytest.approx(4.2)
+        assert se == 0.0
+
+    def test_constant_series_has_zero_se(self):
+        mean, se = mean_and_standard_error([3.0, 3.0, 3.0, 3.0])
+        assert mean == pytest.approx(3.0)
+        assert se == pytest.approx(0.0)
+
+    def test_known_values(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        mean, se = mean_and_standard_error(values)
+        assert mean == pytest.approx(2.5)
+        expected_se = np.std(values, ddof=1) / math.sqrt(4)
+        assert se == pytest.approx(expected_se)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_and_standard_error([])
+
+
+class TestRelativeError:
+    def test_exact_estimate_has_zero_error(self):
+        assert relative_error(10.0, 10.0) == 0.0
+
+    def test_overestimate_and_underestimate_are_symmetric(self):
+        assert relative_error(12.0, 10.0) == pytest.approx(relative_error(8.0, 10.0))
+
+    def test_scales_with_truth(self):
+        assert relative_error(110.0, 100.0) == pytest.approx(0.1)
+
+    def test_zero_truth_rejected(self):
+        with pytest.raises(ValueError):
+            relative_error(1.0, 0.0)
+
+
+class TestClamp:
+    def test_inside_interval_unchanged(self):
+        assert clamp(0.5, 0.0, 1.0) == 0.5
+
+    def test_below_clamps_to_low(self):
+        assert clamp(-1.0, 0.0, 1.0) == 0.0
+
+    def test_above_clamps_to_high(self):
+        assert clamp(2.0, 0.0, 1.0) == 1.0
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            clamp(0.5, 1.0, 0.0)
+
+
+class TestNormaliseFrequencies:
+    def test_sums_to_one(self):
+        result = normalise_frequencies([1, 2, 3, 4])
+        assert result.sum() == pytest.approx(1.0)
+        assert result[3] == pytest.approx(0.4)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            normalise_frequencies([1, -1, 2])
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            normalise_frequencies([0, 0, 0])

@@ -1,0 +1,37 @@
+"""Unit tests for repro.utils.textplot."""
+
+import pytest
+
+from repro.utils.textplot import render_series, render_table
+
+
+class TestRenderTable:
+    def test_contains_headers_and_cells(self):
+        text = render_table(["a", "b"], [[1, 2.5], [3, 4.25]])
+        assert "a" in text and "b" in text
+        assert "2.5" in text and "4.25" in text
+
+    def test_title_on_first_line(self):
+        text = render_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_columns_are_aligned(self):
+        text = render_table(["name", "v"], [["long-name", 1], ["x", 22]])
+        lines = text.splitlines()
+        # The value column starts at the same offset in both data rows.
+        assert lines[2].index("1") == lines[3].index("2")
+
+
+class TestRenderSeries:
+    def test_each_series_becomes_a_column(self):
+        text = render_series("p", [0.1, 0.5], {"UP": [1.0, 2.0], "SPS": [1.5, 2.5]})
+        assert "UP" in text and "SPS" in text
+        assert "0.1" in text and "0.5" in text
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_series("p", [1, 2, 3], {"UP": [1.0, 2.0]})
