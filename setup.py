@@ -1,5 +1,48 @@
-"""Setuptools shim for environments without PEP 517 build isolation."""
+"""Packaging for the repro library and its anonymization service.
 
-from setuptools import setup
+``pip install -e .`` yields both the importable ``repro`` package and the
+``repro-service`` console script (the same front end as
+``python -m repro.service``).
+"""
 
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-reconstruction-privacy",
+    version="1.1.0",
+    description=(
+        "Reproduction of 'Reconstruction Privacy: Enabling Statistical Learning' "
+        "(EDBT 2015) with an anonymization-as-a-service front end"
+    ),
+    long_description=(
+        "Implements the (lambda, delta)-reconstruction-privacy criterion, the "
+        "SPS enforcement algorithm, chi-square generalisation, DP baselines, "
+        "and a register-once/publish-many service (HTTP + CLI) with pluggable "
+        "publisher backends."
+    ),
+    long_description_content_type="text/plain",
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy>=1.22",
+        "scipy>=1.8",
+        "networkx>=2.6",
+    ],
+    entry_points={
+        "console_scripts": [
+            "repro-service=repro.service.cli:main",
+        ],
+    },
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "License :: OSI Approved :: MIT License",
+        "Topic :: Security",
+        "Topic :: Scientific/Engineering",
+    ],
+)

@@ -41,7 +41,7 @@ from repro.reconstruction.mle import mle_frequencies, mle_frequencies_clipped, r
 from repro.queries.workload import WorkloadConfig, generate_workload
 from repro.queries.count_query import CountQuery, answer_on_perturbed, answer_on_raw
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "PrivacySpec",

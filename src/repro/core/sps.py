@@ -23,6 +23,7 @@ frequencies in expectation (Theorem 5).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -92,11 +93,19 @@ def _sample_counts(
 
 
 def _scale_codes(codes: np.ndarray, target_size: int, rng: np.random.Generator) -> np.ndarray:
-    """Duplicate perturbed SA codes back up to roughly ``target_size`` (the *Scaling* step)."""
+    """Duplicate perturbed SA codes back up to roughly ``target_size`` (the *Scaling* step).
+
+    Every record is repeated ``floor(tau')`` times plus one more with
+    probability equal to the fractional part of ``tau'``, as a single
+    vectorised draw (one uniform per record instead of a Python-level loop —
+    this is the hot path for large sampled groups).
+    """
     if codes.size == 0:
         return codes
     ratio = target_size / codes.size
-    repeats = np.array([_stochastic_round(ratio, rng) for _ in range(codes.size)], dtype=np.int64)
+    floor = int(np.floor(ratio))
+    fraction = ratio - floor
+    repeats = floor + (rng.random(codes.size) < fraction).astype(np.int64)
     return np.repeat(codes, repeats)
 
 
@@ -148,6 +157,46 @@ def sps_group(
     return published, record
 
 
+def sps_publish_groups(
+    groups: Sequence[PersonalGroup],
+    spec: PrivacySpec,
+    rng: int | np.random.Generator | None,
+    n_public: int,
+    perturbation: UniformPerturbation | None = None,
+) -> tuple[np.ndarray, list[GroupPublication]]:
+    """Run SPS over a chunk of personal groups and return its published block.
+
+    This is the reusable unit of work behind :func:`sps_publish`: callers that
+    partition a :class:`GroupIndex` into chunks (e.g. the service engine's
+    parallel executor) hand each chunk its own seeded generator and
+    concatenate the returned blocks, so the full published table is
+    deterministic for a fixed chunking regardless of execution order.
+
+    Returns the ``(n_published, n_public + 1)`` code block for the chunk
+    (NA key columns then the published SA column) and the per-group
+    bookkeeping records, in input group order.
+    """
+    rng = default_rng(rng)
+    if perturbation is None:
+        perturbation = UniformPerturbation(spec.retention_probability, spec.domain_size)
+    blocks: list[np.ndarray] = []
+    records: list[GroupPublication] = []
+    for group in groups:
+        published_codes, record = sps_group(group, spec, perturbation, rng)
+        records.append(record)
+        if published_codes.size == 0:
+            continue
+        block = np.empty((published_codes.size, n_public + 1), dtype=np.int64)
+        block[:, :n_public] = np.asarray(group.key, dtype=np.int64)
+        block[:, n_public] = published_codes
+        blocks.append(block)
+    if blocks:
+        codes = np.vstack(blocks)
+    else:
+        codes = np.empty((0, n_public + 1), dtype=np.int64)
+    return codes, records
+
+
 def sps_publish(
     table: Table,
     spec: PrivacySpec,
@@ -172,24 +221,8 @@ def sps_publish(
         raise ValueError("spec.domain_size does not match the table's sensitive domain size")
     rng = default_rng(rng)
     index = groups if groups is not None else personal_groups(table)
-    perturbation = UniformPerturbation(spec.retention_probability, spec.domain_size)
-
-    n_public = len(table.schema.public)
-    blocks: list[np.ndarray] = []
-    records: list[GroupPublication] = []
-    for group in index:
-        published_codes, record = sps_group(group, spec, perturbation, rng)
-        records.append(record)
-        if published_codes.size == 0:
-            continue
-        block = np.empty((published_codes.size, n_public + 1), dtype=np.int64)
-        block[:, :n_public] = np.asarray(group.key, dtype=np.int64)
-        block[:, n_public] = published_codes
-        blocks.append(block)
-
-    if blocks:
-        codes = np.vstack(blocks)
-    else:
-        codes = np.empty((0, n_public + 1), dtype=np.int64)
+    codes, records = sps_publish_groups(
+        list(index), spec, rng, n_public=len(table.schema.public)
+    )
     published_table = Table(table.schema, codes)
     return SPSResult(published=published_table, groups=tuple(records), spec=spec)

@@ -11,6 +11,7 @@ from __future__ import annotations
 import csv
 from pathlib import Path
 from collections.abc import Iterable, Sequence
+from typing import IO
 
 from repro.dataset.schema import Attribute, Schema, SchemaError
 from repro.dataset.table import Table
@@ -57,28 +58,48 @@ def infer_schema(
     return schema, reordered
 
 
-def read_csv(path: str | Path, sensitive: str, delimiter: str = ",") -> Table:
-    """Load a categorical CSV file (with header) into a :class:`Table`.
+def _read_csv_stream(
+    handle: Iterable[str], source: str, sensitive: str, delimiter: str
+) -> Table:
+    reader = csv.reader(handle, delimiter=delimiter)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise SchemaError(f"{source} is empty") from None
+    rows = [row for row in reader if row]
+    if not rows:
+        raise SchemaError(
+            f"{source} has a header but no data rows; at least one record is "
+            "required to infer the attribute domains"
+        )
+    schema, reordered = infer_schema(header, rows, sensitive)
+    return Table.from_records(schema, reordered)
+
+
+def read_csv(source: str | Path | IO[str], sensitive: str, delimiter: str = ",") -> Table:
+    """Load categorical CSV data (with header) into a :class:`Table`.
 
     Parameters
     ----------
-    path:
-        CSV file path.
+    source:
+        CSV file path, or an open text-mode file-like object (anything with a
+        ``read`` method, e.g. an upload stream); file-like sources are read
+        but not closed.
     sensitive:
         Name of the column to treat as the sensitive attribute SA.
     delimiter:
         Field delimiter (default comma).
+
+    Raises
+    ------
+    SchemaError
+        If the input is empty or contains a header but no data rows.
     """
-    path = Path(path)
+    if hasattr(source, "read"):
+        return _read_csv_stream(source, "csv stream", sensitive, delimiter)
+    path = Path(source)
     with path.open(newline="") as handle:
-        reader = csv.reader(handle, delimiter=delimiter)
-        try:
-            header = next(reader)
-        except StopIteration:
-            raise SchemaError(f"{path} is empty") from None
-        rows = [row for row in reader if row]
-    schema, reordered = infer_schema(header, rows, sensitive)
-    return Table.from_records(schema, reordered)
+        return _read_csv_stream(handle, str(path), sensitive, delimiter)
 
 
 def write_csv(table: Table, path: str | Path, delimiter: str = ",") -> None:

@@ -1,0 +1,56 @@
+"""Anonymization-as-a-service on top of the repro library.
+
+The service layer turns the one-shot publishing API into a long-lived
+register-once/publish-many system:
+
+* :mod:`repro.service.backends` — pluggable :class:`AnonymizerBackend`
+  adapters (``sps``, ``uniform``, ``dp-laplace``, ``dp-gaussian``,
+  ``generalize+sps``) behind a name-based registry;
+* :mod:`repro.service.registry` — the dataset registry (with cached
+  personal-group indexes) and the job store, with JSON snapshot persistence;
+* :mod:`repro.service.parallel` — deterministic chunked fan-out over
+  ``concurrent.futures`` (same seed ⇒ identical output at any worker count);
+* :mod:`repro.service.engine` — :class:`AnonymizationService`, the facade
+  executing publish/audit jobs;
+* :mod:`repro.service.http_api` — the stdlib ``ThreadingHTTPServer`` JSON
+  API;
+* :mod:`repro.service.cli` — ``python -m repro.service`` / ``repro-service``.
+"""
+
+from repro.service.backends import (
+    AnonymizerBackend,
+    BackendResult,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from repro.service.engine import AnonymizationService
+from repro.service.http_api import make_server, serve
+from repro.service.models import AuditSummary, JobRecord, JobSpec, JobTimings
+from repro.service.registry import (
+    DatasetEntry,
+    DatasetRegistry,
+    JobStore,
+    NotFoundError,
+    ServiceError,
+)
+
+__all__ = [
+    "AnonymizationService",
+    "AnonymizerBackend",
+    "AuditSummary",
+    "BackendResult",
+    "DatasetEntry",
+    "DatasetRegistry",
+    "JobRecord",
+    "JobSpec",
+    "JobStore",
+    "JobTimings",
+    "NotFoundError",
+    "ServiceError",
+    "available_backends",
+    "get_backend",
+    "make_server",
+    "register_backend",
+    "serve",
+]

@@ -1,0 +1,224 @@
+"""Command-line front end: the same verbs as the HTTP API.
+
+State persists between invocations through ``--store PATH`` (a JSON snapshot
+loaded before and saved after every mutating command), so a shell session can
+register once and publish many times — mirroring the service's
+register-once/publish-many lifecycle without a running server::
+
+    repro-service register demo --synthetic adult --rows 100000 --store state.json
+    repro-service publish --dataset demo --backend sps --seed 7 --store state.json
+    repro-service audit --dataset demo --store state.json
+    repro-service serve --store state.json --port 8080
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+from typing import Any
+
+from repro.dataset.loaders import write_csv
+from repro.service.backends import backend_descriptions
+from repro.service.engine import AnonymizationService
+from repro.service.http_api import serve
+from repro.service.parallel import DEFAULT_CHUNK_SIZE
+from repro.service.registry import ServiceError
+
+#: CLI flag -> backend parameter name (only flags the user passed are sent,
+#: so each backend's own defaults fill the rest).
+_PARAM_FLAGS = {
+    "lam": "lam",
+    "delta": "delta",
+    "retention": "retention_probability",
+    "epsilon": "epsilon",
+    "dp_delta": "dp_delta",
+    "sensitivity": "sensitivity",
+    "significance": "significance",
+}
+
+
+def _emit(payload: Any) -> None:
+    json.dump(payload, sys.stdout, indent=2)
+    sys.stdout.write("\n")
+
+
+def _add_store(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store",
+        metavar="PATH",
+        default=None,
+        help="JSON snapshot file; loaded at start, saved after mutating commands",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-service",
+        description="Anonymization-as-a-service front end for the repro library.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_serve = sub.add_parser("serve", help="run the HTTP JSON API")
+    _add_store(p_serve)
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8080)
+    p_serve.add_argument("--quiet", action="store_true", help="suppress request logging")
+
+    p_register = sub.add_parser("register", help="register a dataset")
+    _add_store(p_register)
+    p_register.add_argument("name", help="dataset name")
+    source = p_register.add_mutually_exclusive_group(required=True)
+    source.add_argument("--csv", metavar="PATH", help="CSV file to load")
+    source.add_argument(
+        "--synthetic",
+        choices=("adult", "census"),
+        help="generate a synthetic table instead of loading a file",
+    )
+    p_register.add_argument("--sensitive", help="sensitive column name (CSV sources)")
+    p_register.add_argument("--rows", type=int, default=10_000, help="synthetic row count")
+    p_register.add_argument("--seed", type=int, default=0, help="synthetic generator seed")
+    p_register.add_argument("--replace", action="store_true", help="overwrite an existing name")
+
+    p_publish = sub.add_parser("publish", help="run a publish job")
+    _add_store(p_publish)
+    p_publish.add_argument("--dataset", required=True)
+    p_publish.add_argument("--backend", required=True)
+    p_publish.add_argument("--seed", type=int, default=0)
+    p_publish.add_argument("--chunk-size", type=int, default=DEFAULT_CHUNK_SIZE)
+    p_publish.add_argument("--workers", type=int, default=1)
+    p_publish.add_argument(
+        "--output", metavar="PATH", help="also write the published table as CSV"
+    )
+    p_publish.add_argument("--lam", type=float)
+    p_publish.add_argument("--delta", type=float)
+    p_publish.add_argument("--retention", type=float, help="retention probability p")
+    p_publish.add_argument("--epsilon", type=float)
+    p_publish.add_argument("--dp-delta", type=float, dest="dp_delta")
+    p_publish.add_argument("--sensitivity", type=float)
+    p_publish.add_argument("--significance", type=float)
+
+    p_audit = sub.add_parser("audit", help="audit a dataset against (lambda, delta, p)")
+    _add_store(p_audit)
+    p_audit.add_argument("--dataset", required=True)
+    p_audit.add_argument("--lam", type=float, default=0.3)
+    p_audit.add_argument("--delta", type=float, default=0.3)
+    p_audit.add_argument("--retention", type=float, default=0.5)
+
+    p_datasets = sub.add_parser("datasets", help="list registered datasets")
+    _add_store(p_datasets)
+
+    p_jobs = sub.add_parser("jobs", help="list job records (or show one)")
+    _add_store(p_jobs)
+    p_jobs.add_argument("job_id", nargs="?", help="show a single job")
+
+    p_stats = sub.add_parser("stats", help="service counters")
+    _add_store(p_stats)
+
+    sub.add_parser("backends", help="list available backends and their parameters")
+    return parser
+
+
+def _collect_params(args: argparse.Namespace) -> dict[str, float]:
+    params: dict[str, float] = {}
+    for flag, name in _PARAM_FLAGS.items():
+        value = getattr(args, flag, None)
+        if value is not None:
+            params[name] = value
+    return params
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _run(args)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _run(args: argparse.Namespace) -> int:
+    if args.command == "backends":
+        _emit(backend_descriptions())
+        return 0
+
+    service = AnonymizationService(snapshot_path=args.store)
+
+    if args.command == "serve":
+        serve(service, host=args.host, port=args.port, verbose=not args.quiet)
+        return 0
+
+    if args.command == "register":
+        if args.csv:
+            if not args.sensitive:
+                raise ServiceError("--csv requires --sensitive COLUMN")
+            entry = service.register_csv(
+                args.name, args.csv, args.sensitive, replace=args.replace
+            )
+        else:
+            entry = service.register_synthetic(
+                args.name,
+                generator=args.synthetic,
+                n_records=args.rows,
+                seed=args.seed,
+                replace=args.replace,
+            )
+        if args.store:
+            service.save()
+        _emit(entry.to_json())
+        return 0
+
+    if args.command == "publish":
+        try:
+            record = service.publish(
+                dataset=args.dataset,
+                backend=args.backend,
+                params=_collect_params(args),
+                seed=args.seed,
+                chunk_size=args.chunk_size,
+                max_workers=args.workers,
+            )
+        except ServiceError:
+            # Persist the failed job record too, so `jobs --store` shows it.
+            if args.store:
+                service.save()
+            raise
+        if args.output:
+            write_csv(record.published, args.output)
+        if args.store:
+            service.save()
+        _emit(record.to_json())
+        return 0
+
+    if args.command == "audit":
+        _emit(
+            service.audit(
+                dataset=args.dataset,
+                lam=args.lam,
+                delta=args.delta,
+                retention_probability=args.retention,
+            )
+        )
+        return 0
+
+    if args.command == "datasets":
+        _emit([entry.to_json() for entry in service.datasets.entries()])
+        return 0
+
+    if args.command == "jobs":
+        if args.job_id:
+            _emit(service.job(args.job_id).to_json())
+        else:
+            _emit([record.to_json() for record in service.jobs.records()])
+        return 0
+
+    if args.command == "stats":
+        _emit(service.stats())
+        return 0
+
+    raise ServiceError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,272 @@
+"""The anonymization service engine.
+
+:class:`AnonymizationService` is the facade shared by the HTTP front end and
+the CLI: it owns the dataset registry and job store, executes publish jobs
+through the named backend (fanning group work out over
+``concurrent.futures`` threads with per-chunk seeded streams), runs audits
+against the cached group indexes, and snapshots its state to JSON.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import IO, Any, Mapping
+
+from repro.core.criterion import PrivacySpec
+from repro.core.testing import audit_table
+from repro.dataset.adult import generate_adult
+from repro.dataset.census import generate_census
+from repro.dataset.loaders import read_csv
+from repro.dataset.table import Table
+from repro.service.backends import available_backends, backend_descriptions, get_backend
+from repro.service.models import AuditSummary, JobRecord, JobSpec, JobTimings
+from repro.service.parallel import DEFAULT_CHUNK_SIZE
+from repro.service.registry import (
+    DatasetEntry,
+    DatasetRegistry,
+    JobStore,
+    ServiceError,
+    load_snapshot,
+    save_snapshot,
+)
+
+_SYNTHETIC_GENERATORS = {
+    "adult": generate_adult,
+    "census": generate_census,
+}
+
+
+class AnonymizationService:
+    """Registry + engine + job history behind one object.
+
+    Parameters
+    ----------
+    snapshot_path:
+        Optional JSON snapshot file.  When given and the file exists, state
+        is loaded from it at construction; :meth:`save` writes it back.
+    """
+
+    def __init__(self, snapshot_path: str | Path | None = None) -> None:
+        self._snapshot_path = Path(snapshot_path) if snapshot_path else None
+        if self._snapshot_path is not None and self._snapshot_path.exists():
+            self.datasets, self.jobs = load_snapshot(self._snapshot_path)
+        else:
+            self.datasets = DatasetRegistry()
+            self.jobs = JobStore()
+        self._started = time.perf_counter()
+
+    @property
+    def snapshot_path(self) -> Path | None:
+        """The configured snapshot file, or ``None`` when persistence is off."""
+        return self._snapshot_path
+
+    # ------------------------------------------------------------------ #
+    # Dataset registration
+    # ------------------------------------------------------------------ #
+    def register_table(self, name: str, table: Table, replace: bool = False) -> DatasetEntry:
+        """Register an in-memory :class:`Table` under ``name``."""
+        return self.datasets.register(name, table, replace=replace)
+
+    def register_csv(
+        self,
+        name: str,
+        source: str | Path | IO[str],
+        sensitive: str,
+        replace: bool = False,
+    ) -> DatasetEntry:
+        """Register a CSV file or stream (the upload endpoint's entry point)."""
+        table = read_csv(source, sensitive=sensitive)
+        return self.register_table(name, table, replace=replace)
+
+    def register_synthetic(
+        self,
+        name: str,
+        generator: str = "adult",
+        n_records: int = 10_000,
+        seed: int = 0,
+        replace: bool = False,
+    ) -> DatasetEntry:
+        """Register a synthetic ADULT or CENSUS table of ``n_records`` rows."""
+        try:
+            factory = _SYNTHETIC_GENERATORS[generator]
+        except KeyError:
+            raise ServiceError(
+                f"unknown synthetic generator {generator!r}; "
+                f"choose from {sorted(_SYNTHETIC_GENERATORS)}"
+            ) from None
+        if n_records <= 0:
+            raise ServiceError("n_records must be positive")
+        table = factory(n_records, seed=seed)
+        return self.register_table(name, table, replace=replace)
+
+    # ------------------------------------------------------------------ #
+    # Jobs
+    # ------------------------------------------------------------------ #
+    def publish(
+        self,
+        dataset: str,
+        backend: str,
+        params: Mapping[str, Any] | None = None,
+        seed: int = 0,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        max_workers: int = 1,
+    ) -> JobRecord:
+        """Execute one publish job and record it in the job store.
+
+        The job is synchronous: the record returned is already completed (or
+        failed, with ``status == "failed"`` and the error message recorded).
+        """
+        spec = JobSpec(
+            dataset=dataset,
+            backend=backend,
+            params=dict(params or {}),
+            seed=int(seed),
+            chunk_size=int(chunk_size),
+            max_workers=int(max_workers),
+        )
+        if spec.chunk_size <= 0:
+            raise ServiceError("chunk_size must be positive")
+        if spec.max_workers <= 0:
+            raise ServiceError("max_workers must be positive")
+        entry = self.datasets.get(dataset)
+        backend_impl = get_backend(backend)
+        record = JobRecord(job_id=self.jobs.new_job_id(), spec=spec, status="running")
+        start = time.perf_counter()
+        try:
+            result = backend_impl.publish(
+                entry, spec.params, spec.seed, spec.chunk_size, spec.max_workers
+            )
+        except ValueError as exc:
+            total = time.perf_counter() - start
+            record.status = "failed"
+            record.error = str(exc)
+            record.timings = JobTimings(
+                group_index_seconds=0.0,
+                publish_seconds=total,
+                total_seconds=total,
+                group_index_cached=False,
+            )
+            self.jobs.add(record)
+            raise ServiceError(f"job {record.job_id} failed: {exc}") from exc
+        total = time.perf_counter() - start
+        record.status = "completed"
+        record.published = result.published
+        record.published_records = len(result.published)
+        record.metadata = dict(result.metadata)
+        record.audit = AuditSummary.from_audit(result.audit) if result.audit else None
+        record.timings = JobTimings(
+            group_index_seconds=result.group_index_seconds,
+            publish_seconds=total - result.group_index_seconds,
+            total_seconds=total,
+            group_index_cached=result.group_index_cached,
+        )
+        self.jobs.add(record)
+        return record
+
+    def job(self, job_id: str) -> JobRecord:
+        """Look one job record up by id."""
+        return self.jobs.get(job_id)
+
+    def published_table(self, job_id: str) -> Table:
+        """Return the published table of a completed job still held in memory."""
+        record = self.jobs.get(job_id)
+        if record.published is None:
+            raise ServiceError(
+                f"job {job_id!r} has no published table in memory (failed job, "
+                "record restored from a snapshot, or table evicted from the "
+                "in-memory cache); re-run the publish with the same seed to "
+                "regenerate it"
+            )
+        return record.published
+
+    # ------------------------------------------------------------------ #
+    # Audit
+    # ------------------------------------------------------------------ #
+    def audit(
+        self,
+        dataset: str,
+        lam: float = 0.3,
+        delta: float = 0.3,
+        retention_probability: float = 0.5,
+    ) -> dict[str, Any]:
+        """Audit a registered dataset against a ``(lambda, delta, p)`` spec.
+
+        Uses the cached group index, so repeated audits (and audits after a
+        publish) skip the group-building cost.
+        """
+        entry = self.datasets.get(dataset)
+        spec = PrivacySpec(
+            lam=float(lam),
+            delta=float(delta),
+            retention_probability=float(retention_probability),
+            domain_size=entry.table.schema.sensitive_domain_size,
+        )
+        index, index_seconds, cached = entry.groups()
+        audit = audit_table(entry.table, spec, groups=index)
+        worst = sorted(
+            audit.violating_groups, key=lambda a: a.size / max(a.max_group_size, 1e-12)
+        )[-5:][::-1]
+        return {
+            "dataset": dataset,
+            "spec": {
+                "lam": spec.lam,
+                "delta": spec.delta,
+                "retention_probability": spec.retention_probability,
+                "domain_size": spec.domain_size,
+            },
+            "summary": AuditSummary.from_audit(audit).to_json(),
+            "group_index_seconds": index_seconds,
+            "group_index_cached": cached,
+            "worst_violations": [
+                {
+                    "key": [int(k) for k in a.group.key],
+                    "values": list(a.group.decoded_key(entry.table)),
+                    "size": a.size,
+                    "max_group_size": float(a.max_group_size),
+                    "sampling_rate": float(a.sampling_rate),
+                }
+                for a in worst
+            ],
+        }
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict[str, Any]:
+        """Service-level counters: datasets, jobs, cache behaviour, backends."""
+        records = self.jobs.records()
+        by_backend: dict[str, int] = {}
+        for record in records:
+            by_backend[record.spec.backend] = by_backend.get(record.spec.backend, 0) + 1
+        entries = self.datasets.entries()
+        return {
+            "uptime_seconds": time.perf_counter() - self._started,
+            "n_datasets": len(self.datasets),
+            "n_jobs": len(records),
+            "jobs_by_backend": by_backend,
+            "jobs_failed": sum(1 for r in records if r.status == "failed"),
+            "published_records_total": sum(r.published_records for r in records),
+            "group_index_hits": sum(e.group_index_hits for e in entries),
+            "group_index_misses": sum(e.group_index_misses for e in entries),
+            "backends": backend_descriptions(),
+        }
+
+    def describe(self) -> dict[str, Any]:
+        """One-call overview used by the CLI and the ``/`` endpoint."""
+        return {
+            "datasets": [entry.to_json() for entry in self.datasets.entries()],
+            "jobs": [record.to_json() for record in self.jobs.records()],
+            "backends": available_backends(),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path: str | Path | None = None) -> Path:
+        """Snapshot datasets and job history to JSON; returns the path written."""
+        target = Path(path) if path else self._snapshot_path
+        if target is None:
+            raise ServiceError("no snapshot path configured")
+        save_snapshot(target, self.datasets, self.jobs)
+        return target

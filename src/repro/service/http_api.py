@@ -1,0 +1,316 @@
+"""Stdlib JSON-over-HTTP front end for the anonymization service.
+
+Built on ``http.server.ThreadingHTTPServer`` only — no third-party web
+framework — so the service runs anywhere the library does.
+
+Endpoints
+---------
+
+====== ========================== ==========================================
+GET    ``/``                      service overview (datasets, jobs, backends)
+GET    ``/health``                liveness probe
+GET    ``/stats``                 counters: jobs, cache hits, backends
+GET    ``/datasets``              list registered datasets
+POST   ``/datasets``              register a CSV body (``?name=&sensitive=``)
+GET    ``/datasets/<name>``       one dataset's detail
+POST   ``/publish``               run a publish job (JSON body)
+GET    ``/jobs``                  list job records
+GET    ``/jobs/<id>``             one job record
+GET    ``/jobs/<id>/table.csv``   download a job's published table
+GET    ``/audit``                 audit a dataset (query parameters)
+POST   ``/audit``                 audit a dataset (JSON body)
+====== ========================== ==========================================
+
+Client errors surface as ``{"error": ...}`` with status 400 (bad request) or
+404 (unknown dataset/job/route).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.parse import parse_qs, urlparse
+
+from repro.service.engine import AnonymizationService
+from repro.service.parallel import DEFAULT_CHUNK_SIZE
+from repro.service.registry import NotFoundError, ServiceError
+
+
+def _as_int(value: Any, name: str) -> int:
+    """Coerce a JSON field to int, mapping bad types to a client error."""
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        raise ServiceError(f"{name!r} must be an integer, got {value!r}") from None
+
+
+def _as_float(value: Any, name: str) -> float:
+    """Coerce a JSON field to float, mapping bad types to a client error."""
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        raise ServiceError(f"{name!r} must be a number, got {value!r}") from None
+
+
+class _LimitedReader(io.RawIOBase):
+    """Raw stream exposing at most ``limit`` bytes of an underlying file."""
+
+    def __init__(self, raw: Any, limit: int) -> None:
+        self._raw = raw
+        self._remaining = max(0, int(limit))
+
+    def readable(self) -> bool:
+        return True
+
+    def readinto(self, buffer) -> int:  # type: ignore[override]
+        if self._remaining <= 0:
+            return 0
+        view = memoryview(buffer)[: self._remaining]
+        chunk = self._raw.read(len(view))
+        if not chunk:
+            self._remaining = 0
+            return 0
+        view[: len(chunk)] = chunk
+        self._remaining -= len(chunk)
+        return len(chunk)
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests to the owning server's :class:`AnonymizationService`."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-service/1.1"
+
+    @property
+    def service(self) -> AnonymizationService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------ #
+    # Response helpers
+    # ------------------------------------------------------------------ #
+    def _send_json(self, payload: Any, status: int = 200) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, message: str, status: int) -> None:
+        # An error can fire before the request body was consumed (e.g. a CSV
+        # upload rejected on its query parameters); a reused keep-alive
+        # connection would then parse the leftover body as the next request
+        # line.  Closing the connection keeps the protocol state clean.
+        self.close_connection = True
+        body = json.dumps({"error": message}).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json_body(self) -> dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            return {}
+        raw = self.rfile.read(length)
+        try:
+            data = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise ServiceError("request body must be a JSON object")
+        return data
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        url = urlparse(self.path)
+        parts = [part for part in url.path.split("/") if part]
+        query = {key: values[-1] for key, values in parse_qs(url.query).items()}
+        try:
+            handled = self._route(method, parts, query)
+        except NotFoundError as exc:
+            self._send_error_json(str(exc), 404)
+            return
+        except ServiceError as exc:
+            self._send_error_json(str(exc), 400)
+            return
+        except ValueError as exc:
+            self._send_error_json(str(exc), 400)
+            return
+        if not handled:
+            self._send_error_json(f"no route for {method} {url.path}", 404)
+
+    def _route(self, method: str, parts: list[str], query: dict[str, str]) -> bool:
+        if method == "GET":
+            if not parts:
+                self._send_json(self.service.describe())
+                return True
+            if parts == ["health"]:
+                self._send_json({"status": "ok"})
+                return True
+            if parts == ["stats"]:
+                self._send_json(self.service.stats())
+                return True
+            if parts == ["datasets"]:
+                self._send_json(
+                    [entry.to_json() for entry in self.service.datasets.entries()]
+                )
+                return True
+            if len(parts) == 2 and parts[0] == "datasets":
+                self._send_json(self.service.datasets.get(parts[1]).to_json())
+                return True
+            if parts == ["jobs"]:
+                self._send_json(
+                    [record.to_json() for record in self.service.jobs.records()]
+                )
+                return True
+            if len(parts) == 2 and parts[0] == "jobs":
+                self._send_json(self.service.job(parts[1]).to_json())
+                return True
+            if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "table.csv":
+                self._send_published_csv(parts[1])
+                return True
+            if parts == ["audit"]:
+                self._handle_audit(query)
+                return True
+            return False
+        if method == "POST":
+            if parts == ["datasets"]:
+                self._handle_register(query)
+                return True
+            if parts == ["publish"]:
+                self._handle_publish()
+                return True
+            if parts == ["audit"]:
+                self._handle_audit(self._read_json_body())
+                return True
+            return False
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Endpoint bodies
+    # ------------------------------------------------------------------ #
+    def _handle_register(self, query: dict[str, str]) -> None:
+        name = query.get("name")
+        sensitive = query.get("sensitive")
+        if not name or not sensitive:
+            raise ServiceError(
+                "POST /datasets requires ?name= and ?sensitive= query parameters "
+                "and a CSV request body"
+            )
+        replace = query.get("replace", "").lower() in {"1", "true", "yes"}
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ServiceError("POST /datasets requires a non-empty CSV body")
+        stream = io.TextIOWrapper(
+            io.BufferedReader(_LimitedReader(self.rfile, length)),
+            encoding="utf-8",
+            newline="",
+        )
+        entry = self.service.register_csv(name, stream, sensitive, replace=replace)
+        self._send_json(entry.to_json(), status=201)
+
+    def _handle_publish(self) -> None:
+        body = self._read_json_body()
+        dataset = body.get("dataset")
+        backend = body.get("backend")
+        if not dataset or not backend:
+            raise ServiceError("POST /publish requires 'dataset' and 'backend' fields")
+        params = body.get("params") or {}
+        if not isinstance(params, dict):
+            raise ServiceError("'params' must be a JSON object")
+        record = self.service.publish(
+            dataset=str(dataset),
+            backend=str(backend),
+            params=params,
+            seed=_as_int(body.get("seed", 0), "seed"),
+            chunk_size=_as_int(body.get("chunk_size", DEFAULT_CHUNK_SIZE), "chunk_size"),
+            max_workers=_as_int(body.get("max_workers", 1), "max_workers"),
+        )
+        self._send_json(record.to_json(), status=201)
+
+    def _handle_audit(self, args: dict[str, Any]) -> None:
+        dataset = args.get("dataset")
+        if not dataset:
+            raise ServiceError("audit requires a 'dataset' argument")
+        self._send_json(
+            self.service.audit(
+                dataset=str(dataset),
+                lam=_as_float(args.get("lam", 0.3), "lam"),
+                delta=_as_float(args.get("delta", 0.3), "delta"),
+                retention_probability=_as_float(
+                    args.get("retention_probability", args.get("p", 0.5)),
+                    "retention_probability",
+                ),
+            )
+        )
+
+    def _send_published_csv(self, job_id: str) -> None:
+        table = self.service.published_table(job_id)
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(list(table.schema.public_names) + [table.schema.sensitive_name])
+        writer.writerows(table.records())
+        body = buffer.getvalue().encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "text/csv")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+
+def make_server(
+    service: AnonymizationService,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    verbose: bool = False,
+) -> ThreadingHTTPServer:
+    """Build (but do not start) the threaded HTTP server for ``service``.
+
+    Pass ``port=0`` to bind an ephemeral port; the chosen port is available
+    as ``server.server_address[1]``.
+    """
+    server = ThreadingHTTPServer((host, port), ServiceRequestHandler)
+    server.service = service  # type: ignore[attr-defined]
+    server.verbose = verbose  # type: ignore[attr-defined]
+    return server
+
+
+def serve(
+    service: AnonymizationService,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    verbose: bool = True,
+) -> None:
+    """Serve ``service`` until interrupted."""
+    server = make_server(service, host, port, verbose=verbose)
+    actual_host, actual_port = server.server_address[:2]
+    print(f"repro-service listening on http://{actual_host}:{actual_port}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        server.server_close()
+        if service.snapshot_path is not None:
+            # Persist datasets registered and jobs run over HTTP, so a
+            # restarted server resumes with the same state.
+            path = service.save()
+            print(f"state saved to {path}")

@@ -1,0 +1,207 @@
+"""Wire- and store-level records of the anonymization service.
+
+Everything the service persists or serves over HTTP is one of the dataclasses
+here, together with plain-``dict`` codecs (``to_json`` / ``from_json``) built
+on stdlib ``json``-compatible types only.  Tables are serialised as their
+schema plus the integer code matrix, which round-trips exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.testing import PrivacyAudit
+from repro.dataset.schema import Attribute, Schema
+from repro.dataset.table import Table
+from repro.service.parallel import DEFAULT_CHUNK_SIZE
+
+
+def schema_to_json(schema: Schema) -> dict[str, Any]:
+    """Serialise a :class:`Schema` to JSON-compatible dicts."""
+    return {
+        "public": [{"name": a.name, "values": list(a.values)} for a in schema.public],
+        "sensitive": {"name": schema.sensitive.name, "values": list(schema.sensitive.values)},
+    }
+
+
+def schema_from_json(data: dict[str, Any]) -> Schema:
+    """Rebuild a :class:`Schema` from :func:`schema_to_json` output."""
+    return Schema(
+        public=tuple(Attribute(a["name"], tuple(a["values"])) for a in data["public"]),
+        sensitive=Attribute(data["sensitive"]["name"], tuple(data["sensitive"]["values"])),
+    )
+
+
+def table_to_json(table: Table) -> dict[str, Any]:
+    """Serialise a :class:`Table` (schema + integer codes) to JSON-compatible dicts."""
+    return {
+        "schema": schema_to_json(table.schema),
+        "codes": table.codes.tolist(),
+    }
+
+
+def table_from_json(data: dict[str, Any]) -> Table:
+    """Rebuild a :class:`Table` from :func:`table_to_json` output."""
+    schema = schema_from_json(data["schema"])
+    codes = np.asarray(data["codes"], dtype=np.int64)
+    if codes.size == 0:
+        codes = np.empty((0, len(schema.public) + 1), dtype=np.int64)
+    return Table(schema, codes)
+
+
+@dataclass(frozen=True)
+class AuditSummary:
+    """The serialisable core of a :class:`~repro.core.testing.PrivacyAudit`."""
+
+    n_groups: int
+    n_violating_groups: int
+    group_violation_rate: float
+    record_violation_rate: float
+    total_records: int
+    is_private: bool
+
+    @classmethod
+    def from_audit(cls, audit: PrivacyAudit) -> "AuditSummary":
+        """Summarise a full audit into the rates the service reports per job."""
+        return cls(
+            n_groups=audit.n_groups,
+            n_violating_groups=len(audit.violating_groups),
+            group_violation_rate=float(audit.group_violation_rate),
+            record_violation_rate=float(audit.record_violation_rate),
+            total_records=audit.total_records,
+            is_private=audit.is_private,
+        )
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "n_groups": self.n_groups,
+            "n_violating_groups": self.n_violating_groups,
+            "group_violation_rate": self.group_violation_rate,
+            "record_violation_rate": self.record_violation_rate,
+            "total_records": self.total_records,
+            "is_private": self.is_private,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "AuditSummary":
+        return cls(
+            n_groups=int(data["n_groups"]),
+            n_violating_groups=int(data["n_violating_groups"]),
+            group_violation_rate=float(data["group_violation_rate"]),
+            record_violation_rate=float(data["record_violation_rate"]),
+            total_records=int(data["total_records"]),
+            is_private=bool(data["is_private"]),
+        )
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """What a publish job was asked to do."""
+
+    dataset: str
+    backend: str
+    params: dict[str, Any] = field(default_factory=dict)
+    seed: int = 0
+    chunk_size: int = DEFAULT_CHUNK_SIZE
+    max_workers: int = 1
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "dataset": self.dataset,
+            "backend": self.backend,
+            "params": dict(self.params),
+            "seed": self.seed,
+            "chunk_size": self.chunk_size,
+            "max_workers": self.max_workers,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "JobSpec":
+        return cls(
+            dataset=str(data["dataset"]),
+            backend=str(data["backend"]),
+            params=dict(data.get("params", {})),
+            seed=int(data.get("seed", 0)),
+            chunk_size=int(data.get("chunk_size", DEFAULT_CHUNK_SIZE)),
+            max_workers=int(data.get("max_workers", 1)),
+        )
+
+
+@dataclass(frozen=True)
+class JobTimings:
+    """Wall-clock breakdown of one publish job (seconds)."""
+
+    group_index_seconds: float
+    publish_seconds: float
+    total_seconds: float
+    group_index_cached: bool
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "group_index_seconds": self.group_index_seconds,
+            "publish_seconds": self.publish_seconds,
+            "total_seconds": self.total_seconds,
+            "group_index_cached": self.group_index_cached,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "JobTimings":
+        return cls(
+            group_index_seconds=float(data["group_index_seconds"]),
+            publish_seconds=float(data["publish_seconds"]),
+            total_seconds=float(data["total_seconds"]),
+            group_index_cached=bool(data["group_index_cached"]),
+        )
+
+
+@dataclass
+class JobRecord:
+    """One completed publish job: its spec, timings, audit and output summary.
+
+    The published :class:`Table` itself is kept in process memory (it can be
+    large); snapshots persist every other field so a restarted service still
+    knows the full job history.
+    """
+
+    job_id: str
+    spec: JobSpec
+    status: str
+    timings: JobTimings | None = None
+    audit: AuditSummary | None = None
+    published_records: int = 0
+    metadata: dict[str, Any] = field(default_factory=dict)
+    error: str | None = None
+    published: Table | None = field(default=None, repr=False, compare=False)
+
+    def to_json(self, include_table: bool = False) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            "job_id": self.job_id,
+            "spec": self.spec.to_json(),
+            "status": self.status,
+            "timings": self.timings.to_json() if self.timings else None,
+            "audit": self.audit.to_json() if self.audit else None,
+            "published_records": self.published_records,
+            "metadata": dict(self.metadata),
+            "error": self.error,
+        }
+        if include_table and self.published is not None:
+            data["published"] = table_to_json(self.published)
+        return data
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "JobRecord":
+        published = data.get("published")
+        return cls(
+            job_id=str(data["job_id"]),
+            spec=JobSpec.from_json(data["spec"]),
+            status=str(data["status"]),
+            timings=JobTimings.from_json(data["timings"]) if data.get("timings") else None,
+            audit=AuditSummary.from_json(data["audit"]) if data.get("audit") else None,
+            published_records=int(data.get("published_records", 0)),
+            metadata=dict(data.get("metadata", {})),
+            error=data.get("error"),
+            published=table_from_json(published) if published else None,
+        )

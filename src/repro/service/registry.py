@@ -1,0 +1,249 @@
+"""Dataset registry and job store (in memory, JSON snapshot persistence).
+
+A dataset is registered once and then serves many publish/audit requests.
+The dominant cost of every SPS-family request is building the
+:class:`~repro.dataset.groups.GroupIndex`, so :class:`DatasetEntry` builds it
+lazily on first use and caches it (plus any chi-square generalisation of the
+table, keyed by significance level) for all subsequent jobs; the entry tracks
+cache hits/misses and build times so ``/stats`` can prove the cache is doing
+its job.
+
+Both registries are thread-safe: the HTTP front end is a
+``ThreadingHTTPServer`` and the engine fans publish work out over threads.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.dataset.groups import GroupIndex, personal_groups
+from repro.dataset.table import Table
+from repro.generalization.merging import GeneralizationResult, generalize_table
+from repro.service.models import JobRecord, table_from_json, table_to_json
+
+
+class ServiceError(ValueError):
+    """Raised for client-level service failures (bad spec, duplicate name...)."""
+
+
+class NotFoundError(ServiceError):
+    """Raised when a named dataset or job does not exist."""
+
+
+class DatasetEntry:
+    """One registered table plus its cached derived indexes."""
+
+    def __init__(self, name: str, table: Table) -> None:
+        self.name = name
+        self.table = table
+        self._lock = threading.Lock()
+        self._groups: GroupIndex | None = None
+        self._generalizations: dict[float, GeneralizationResult] = {}
+        self._generalized_groups: dict[float, GroupIndex] = {}
+        self.group_index_seconds = 0.0
+        self.group_index_hits = 0
+        self.group_index_misses = 0
+
+    @property
+    def n_records(self) -> int:
+        """Number of records in the registered table."""
+        return len(self.table)
+
+    def groups(self) -> tuple[GroupIndex, float, bool]:
+        """Return the personal-group index, its build time, and whether it was cached.
+
+        The build time is the wall-clock cost actually paid by *this* call:
+        zero on a cache hit.
+        """
+        with self._lock:
+            if self._groups is not None:
+                self.group_index_hits += 1
+                return self._groups, 0.0, True
+            start = time.perf_counter()
+            self._groups = personal_groups(self.table)
+            elapsed = time.perf_counter() - start
+            self.group_index_seconds = elapsed
+            self.group_index_misses += 1
+            return self._groups, elapsed, False
+
+    def generalized(self, significance: float) -> tuple[GeneralizationResult, GroupIndex, float, bool]:
+        """Chi-square generalised table + its group index, cached per significance."""
+        key = float(significance)
+        with self._lock:
+            if key in self._generalizations:
+                self.group_index_hits += 1
+                return self._generalizations[key], self._generalized_groups[key], 0.0, True
+            start = time.perf_counter()
+            result = generalize_table(self.table, significance=key)
+            index = personal_groups(result.table)
+            elapsed = time.perf_counter() - start
+            self._generalizations[key] = result
+            self._generalized_groups[key] = index
+            self.group_index_misses += 1
+            return result, index, elapsed, False
+
+    def to_json(self) -> dict[str, Any]:
+        """Serialisable description of the entry (without the code matrix)."""
+        with self._lock:
+            n_groups = len(self._groups) if self._groups is not None else None
+        return {
+            "name": self.name,
+            "n_records": self.n_records,
+            "public_attributes": list(self.table.schema.public_names),
+            "sensitive_attribute": self.table.schema.sensitive_name,
+            "sensitive_domain_size": self.table.schema.sensitive_domain_size,
+            "n_groups": n_groups,
+            "group_index_cached": self._groups is not None,
+            "group_index_seconds": self.group_index_seconds,
+            "group_index_hits": self.group_index_hits,
+            "group_index_misses": self.group_index_misses,
+        }
+
+
+class DatasetRegistry:
+    """Named registry of :class:`DatasetEntry` objects."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._entries: dict[str, DatasetEntry] = {}
+
+    def register(self, name: str, table: Table, replace: bool = False) -> DatasetEntry:
+        """Register ``table`` under ``name``; rejects duplicates unless ``replace``."""
+        if not name:
+            raise ServiceError("dataset name must be non-empty")
+        with self._lock:
+            if name in self._entries and not replace:
+                raise ServiceError(f"dataset {name!r} is already registered")
+            entry = DatasetEntry(name, table)
+            self._entries[name] = entry
+            return entry
+
+    def get(self, name: str) -> DatasetEntry:
+        """Return the entry for ``name`` (raises :class:`ServiceError` if unknown)."""
+        with self._lock:
+            try:
+                return self._entries[name]
+            except KeyError:
+                known = sorted(self._entries)
+                raise NotFoundError(
+                    f"unknown dataset {name!r}; registered datasets: {known}"
+                ) from None
+
+    def drop(self, name: str) -> None:
+        """Remove a dataset (raises :class:`ServiceError` if unknown)."""
+        with self._lock:
+            if name not in self._entries:
+                raise NotFoundError(f"unknown dataset {name!r}")
+            del self._entries[name]
+
+    def names(self) -> list[str]:
+        """Registered dataset names, sorted."""
+        with self._lock:
+            return sorted(self._entries)
+
+    def entries(self) -> list[DatasetEntry]:
+        """All entries, sorted by name."""
+        with self._lock:
+            return [self._entries[name] for name in sorted(self._entries)]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._entries
+
+
+class JobStore:
+    """Append-only store of publish jobs with sequential ids.
+
+    Job *records* (spec, timings, audit) are kept forever; published
+    *tables* are memory-heavy, so only the ``max_published_tables`` most
+    recent ones stay resident — older jobs keep their full record but drop
+    the table, exactly as they would after a snapshot restore.
+    """
+
+    #: How many published tables a long-lived service keeps in memory.
+    DEFAULT_MAX_PUBLISHED_TABLES = 16
+
+    def __init__(self, max_published_tables: int = DEFAULT_MAX_PUBLISHED_TABLES) -> None:
+        if max_published_tables < 1:
+            raise ValueError("max_published_tables must be at least 1")
+        self._lock = threading.RLock()
+        self._jobs: dict[str, JobRecord] = {}
+        self._next_id = 1
+        self._max_published_tables = max_published_tables
+        self._with_tables: list[str] = []
+
+    def new_job_id(self) -> str:
+        with self._lock:
+            job_id = f"job-{self._next_id:04d}"
+            self._next_id += 1
+            return job_id
+
+    def add(self, record: JobRecord) -> None:
+        with self._lock:
+            self._jobs[record.job_id] = record
+            if record.published is not None:
+                self._with_tables.append(record.job_id)
+                while len(self._with_tables) > self._max_published_tables:
+                    evicted = self._with_tables.pop(0)
+                    self._jobs[evicted].published = None
+
+    def get(self, job_id: str) -> JobRecord:
+        with self._lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise NotFoundError(f"unknown job {job_id!r}") from None
+
+    def records(self) -> list[JobRecord]:
+        """All job records in creation order."""
+        with self._lock:
+            return list(self._jobs.values())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._jobs)
+
+    # ------------------------------------------------------------------ #
+    # Snapshot persistence (shared with DatasetRegistry)
+    # ------------------------------------------------------------------ #
+
+
+def save_snapshot(path: str | Path, datasets: DatasetRegistry, jobs: JobStore) -> None:
+    """Write a JSON snapshot of the registered datasets and the job history.
+
+    Dataset tables round-trip exactly (schema + code matrix); job records are
+    persisted without their published tables, which are process-local.
+    """
+    payload = {
+        "version": 1,
+        "datasets": {
+            entry.name: table_to_json(entry.table) for entry in datasets.entries()
+        },
+        "jobs": [record.to_json() for record in jobs.records()],
+        "next_job_id": jobs._next_id,
+    }
+    path = Path(path)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(payload))
+    tmp.replace(path)
+
+
+def load_snapshot(path: str | Path) -> tuple[DatasetRegistry, JobStore]:
+    """Rebuild a registry and job store from :func:`save_snapshot` output."""
+    payload = json.loads(Path(path).read_text())
+    datasets = DatasetRegistry()
+    for name, table_data in payload.get("datasets", {}).items():
+        datasets.register(name, table_from_json(table_data))
+    jobs = JobStore()
+    for job_data in payload.get("jobs", []):
+        jobs.add(JobRecord.from_json(job_data))
+    jobs._next_id = int(payload.get("next_job_id", len(jobs) + 1))
+    return datasets, jobs

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.criterion import PrivacySpec, max_group_size
-from repro.core.sps import sps_group, sps_publish
+from repro.core.sps import sps_group, sps_publish, sps_publish_groups
 from repro.core.testing import audit_table
 from repro.dataset.groups import personal_groups
 from repro.dataset.table import Table
@@ -89,6 +89,35 @@ class TestSpsPublish:
         result = sps_publish(empty, binary_spec, rng=0)
         assert len(result.published) == 0
         assert result.groups == ()
+
+
+class TestSpsPublishGroups:
+    def test_chunked_union_covers_all_groups(self, skewed_binary_table, binary_spec):
+        """The chunk entry point partitions cleanly: publishing the group list
+        in two chunks yields exactly the per-chunk groups' records."""
+        groups = list(personal_groups(skewed_binary_table))
+        n_public = len(skewed_binary_table.schema.public)
+        codes_a, records_a = sps_publish_groups(groups[:2], binary_spec, 1, n_public)
+        codes_b, records_b = sps_publish_groups(groups[2:], binary_spec, 2, n_public)
+        assert [r.key for r in records_a + records_b] == [g.key for g in groups]
+        combined = Table(skewed_binary_table.schema, np.vstack([codes_a, codes_b]))
+        published_keys = {g.key for g in personal_groups(combined)}
+        assert published_keys == {g.key for g in groups}
+
+    def test_matches_sps_publish_for_single_chunk(self, skewed_binary_table, binary_spec):
+        groups = list(personal_groups(skewed_binary_table))
+        n_public = len(skewed_binary_table.schema.public)
+        codes, records = sps_publish_groups(
+            groups, binary_spec, default_rng(17), n_public
+        )
+        reference = sps_publish(skewed_binary_table, binary_spec, rng=default_rng(17))
+        assert np.array_equal(codes, reference.published.codes)
+        assert tuple(records) == reference.groups
+
+    def test_empty_chunk(self, binary_spec):
+        codes, records = sps_publish_groups([], binary_spec, 0, n_public=1)
+        assert codes.shape == (0, 2)
+        assert records == []
 
 
 class TestTheorem4Privacy:

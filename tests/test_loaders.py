@@ -1,5 +1,7 @@
 """Tests for CSV loading and writing."""
 
+import io
+
 import pytest
 
 from repro.dataset.loaders import infer_schema, read_csv, write_csv
@@ -51,3 +53,30 @@ class TestCsvRoundtrip:
         write_csv(small_table, path, delimiter="\t")
         loaded = read_csv(path, sensitive="Disease", delimiter="\t")
         assert len(loaded) == len(small_table)
+
+
+class TestFileLikeSources:
+    def test_read_from_stream(self):
+        stream = io.StringIO("Job,Income\neng,high\nartist,low\n")
+        table = read_csv(stream, sensitive="Income")
+        assert len(table) == 2
+        assert table.schema.sensitive_name == "Income"
+
+    def test_stream_not_closed(self):
+        stream = io.StringIO("Job,Income\neng,high\n")
+        read_csv(stream, sensitive="Income")
+        assert not stream.closed
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(SchemaError, match="empty"):
+            read_csv(io.StringIO(""), sensitive="Income")
+
+    def test_header_only_stream_rejected(self):
+        with pytest.raises(SchemaError, match="no data rows"):
+            read_csv(io.StringIO("Job,Income\n"), sensitive="Income")
+
+    def test_header_only_file_rejected(self, tmp_path):
+        path = tmp_path / "header.csv"
+        path.write_text("Job,Income\n")
+        with pytest.raises(SchemaError, match="no data rows"):
+            read_csv(path, sensitive="Income")

@@ -1,0 +1,103 @@
+"""Tests for the ``python -m repro.service`` command-line front end."""
+
+import json
+
+import pytest
+
+from repro.service.cli import main
+
+
+def run_cli(capsys, *argv: str) -> dict | list:
+    assert main(list(argv)) == 0
+    return json.loads(capsys.readouterr().out)
+
+
+class TestCli:
+    def test_backends_verb(self, capsys):
+        output = run_cli(capsys, "backends")
+        assert {"sps", "uniform", "dp-laplace", "dp-gaussian", "generalize+sps"} <= set(output)
+
+    def test_register_publish_audit_lifecycle_with_store(self, capsys, tmp_path):
+        store = str(tmp_path / "state.json")
+        created = run_cli(
+            capsys,
+            "register", "demo", "--synthetic", "adult", "--rows", "1500",
+            "--seed", "1", "--store", store,
+        )
+        assert created["n_records"] == 1500
+
+        job = run_cli(
+            capsys,
+            "publish", "--dataset", "demo", "--backend", "sps",
+            "--lam", "0.4", "--seed", "7", "--workers", "2", "--store", store,
+        )
+        assert job["status"] == "completed"
+        assert job["spec"]["params"] == {"lam": 0.4}
+        assert job["audit"] is not None
+
+        # A fresh invocation sees the persisted dataset and job history.
+        jobs = run_cli(capsys, "jobs", "--store", store)
+        assert [j["job_id"] for j in jobs] == [job["job_id"]]
+        datasets = run_cli(capsys, "datasets", "--store", store)
+        assert [d["name"] for d in datasets] == ["demo"]
+
+        audit = run_cli(capsys, "audit", "--dataset", "demo", "--store", store)
+        assert audit["summary"]["n_groups"] > 0
+
+        stats = run_cli(capsys, "stats", "--store", store)
+        assert stats["n_datasets"] == 1
+        assert stats["n_jobs"] == 1
+
+    def test_publish_writes_output_csv(self, capsys, tmp_path):
+        store = str(tmp_path / "state.json")
+        output = tmp_path / "published.csv"
+        run_cli(
+            capsys,
+            "register", "demo", "--synthetic", "adult", "--rows", "800", "--store", store,
+        )
+        job = run_cli(
+            capsys,
+            "publish", "--dataset", "demo", "--backend", "uniform",
+            "--output", str(output), "--store", store,
+        )
+        lines = output.read_text().splitlines()
+        assert lines[0] == "Education,Occupation,Race,Gender,Income"
+        assert len(lines) == job["published_records"] + 1
+
+    def test_register_csv_requires_sensitive(self, capsys, tmp_path):
+        csv_path = tmp_path / "data.csv"
+        csv_path.write_text("a,b\nx,y\n")
+        assert main(["register", "d", "--csv", str(csv_path)]) == 2
+        assert "--sensitive" in capsys.readouterr().err
+
+    def test_register_csv_file(self, capsys, tmp_path):
+        csv_path = tmp_path / "data.csv"
+        csv_path.write_text("Job,Income\neng,high\nartist,low\n")
+        created = run_cli(
+            capsys, "register", "d", "--csv", str(csv_path), "--sensitive", "Income"
+        )
+        assert created["n_records"] == 2
+
+    def test_error_exit_code(self, capsys):
+        assert main(["publish", "--dataset", "missing", "--backend", "sps"]) == 2
+        assert "unknown dataset" in capsys.readouterr().err
+
+    def test_failed_publish_persisted_to_store(self, capsys, tmp_path):
+        store = str(tmp_path / "state.json")
+        run_cli(
+            capsys,
+            "register", "demo", "--synthetic", "adult", "--rows", "500", "--store", store,
+        )
+        assert main(
+            ["publish", "--dataset", "demo", "--backend", "sps",
+             "--lam", "-1", "--store", store]
+        ) == 2
+        capsys.readouterr()
+        jobs = run_cli(capsys, "jobs", "--store", store)
+        assert len(jobs) == 1
+        assert jobs[0]["status"] == "failed"
+        assert "lambda" in jobs[0]["error"]
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

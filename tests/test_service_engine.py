@@ -1,0 +1,180 @@
+"""Tests for the service engine: deterministic parallelism, caching, jobs, snapshots."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.adult import generate_adult
+from repro.service.engine import AnonymizationService
+from repro.service.parallel import chunk_items, chunk_rngs, run_chunked
+from repro.service.registry import NotFoundError, ServiceError
+
+
+@pytest.fixture()
+def service(skewed_binary_table) -> AnonymizationService:
+    svc = AnonymizationService()
+    svc.register_table("skewed", skewed_binary_table)
+    return svc
+
+
+class TestParallelPrimitives:
+    def test_chunk_items_partitions_in_order(self):
+        chunks = chunk_items(list(range(10)), 4)
+        assert [list(c) for c in chunks] == [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]]
+
+    def test_chunk_rngs_reproducible(self):
+        a = [rng.random() for rng in chunk_rngs(42, 5)]
+        b = [rng.random() for rng in chunk_rngs(42, 5)]
+        assert a == b
+
+    def test_run_chunked_order_independent_of_workers(self):
+        items = list(range(100))
+
+        def chunk_fn(chunk, rng):
+            return [x + rng.integers(0, 1000) for x in chunk]
+
+        sequential = run_chunked(items, chunk_fn, seed=1, chunk_size=7, max_workers=1)
+        parallel = run_chunked(items, chunk_fn, seed=1, chunk_size=7, max_workers=8)
+        assert sequential == parallel
+
+    def test_bad_chunk_size_rejected(self):
+        with pytest.raises(ValueError):
+            chunk_items([1], 0)
+
+
+class TestDeterministicEngine:
+    @pytest.mark.parametrize("backend", ["sps", "dp-laplace", "generalize+sps"])
+    def test_identical_output_at_any_worker_count(self, service, backend):
+        """Same seed ⇒ byte-identical published table at any worker count."""
+        reference = service.publish("skewed", backend, seed=21, chunk_size=2, max_workers=1)
+        for workers in (2, 4, 8):
+            other = service.publish(
+                "skewed", backend, seed=21, chunk_size=2, max_workers=workers
+            )
+            assert reference.published.codes.tobytes() == other.published.codes.tobytes()
+
+    def test_different_seeds_differ(self, service):
+        a = service.publish("skewed", "sps", seed=1, chunk_size=2)
+        b = service.publish("skewed", "sps", seed=2, chunk_size=2)
+        assert not np.array_equal(a.published.codes, b.published.codes)
+
+
+class TestJobsAndCaching:
+    def test_second_publish_hits_group_index_cache(self, service):
+        first = service.publish("skewed", "sps", seed=1)
+        second = service.publish("skewed", "sps", seed=2)
+        assert not first.timings.group_index_cached
+        assert second.timings.group_index_cached
+        assert second.timings.group_index_seconds == 0.0
+        entry = service.datasets.get("skewed")
+        assert entry.group_index_misses == 1
+        assert entry.group_index_hits >= 1
+
+    def test_job_records_spec_timings_audit(self, service):
+        record = service.publish(
+            "skewed", "sps", params={"lam": 0.4}, seed=5, chunk_size=2, max_workers=2
+        )
+        assert record.status == "completed"
+        assert record.spec.params == {"lam": 0.4}
+        assert record.spec.max_workers == 2
+        assert record.timings.total_seconds > 0
+        assert record.audit is not None
+        assert record.audit.n_groups == 3
+        fetched = service.job(record.job_id)
+        assert fetched is record
+
+    def test_failed_job_recorded_and_raised(self, service):
+        with pytest.raises(ServiceError, match="failed"):
+            service.publish("skewed", "sps", params={"lam": -1.0})
+        records = service.jobs.records()
+        assert records[-1].status == "failed"
+        assert "lambda" in records[-1].error
+
+    def test_unknown_dataset_and_job(self, service):
+        with pytest.raises(NotFoundError):
+            service.publish("nope", "sps")
+        with pytest.raises(NotFoundError):
+            service.job("job-9999")
+
+    def test_duplicate_dataset_rejected_unless_replace(self, service, skewed_binary_table):
+        with pytest.raises(ServiceError, match="already registered"):
+            service.register_table("skewed", skewed_binary_table)
+        service.register_table("skewed", skewed_binary_table, replace=True)
+
+    def test_non_numeric_param_is_client_error(self, service):
+        with pytest.raises(ServiceError, match="must be a number"):
+            service.publish("skewed", "sps", params={"lam": None})
+        assert service.jobs.records()[-1].status == "failed"
+
+    def test_published_tables_evicted_beyond_cap(self, skewed_binary_table):
+        from repro.service.registry import JobStore
+
+        svc = AnonymizationService()
+        svc.jobs = JobStore(max_published_tables=2)
+        svc.register_table("skewed", skewed_binary_table)
+        first = svc.publish("skewed", "uniform", seed=1)
+        second = svc.publish("skewed", "uniform", seed=2)
+        third = svc.publish("skewed", "uniform", seed=3)
+        assert first.published is None  # evicted, record kept
+        assert svc.job(first.job_id).status == "completed"
+        assert second.published is not None
+        assert third.published is not None
+        with pytest.raises(ServiceError, match="evicted|no published table"):
+            svc.published_table(first.job_id)
+
+
+class TestAuditEndpointLogic:
+    def test_audit_summary_and_worst_groups(self, service):
+        report = service.audit("skewed", lam=0.3, delta=0.3, retention_probability=0.5)
+        summary = report["summary"]
+        assert summary["n_groups"] == 3
+        assert 0.0 <= summary["group_violation_rate"] <= 1.0
+        assert len(report["worst_violations"]) == summary["n_violating_groups"]
+
+    def test_audit_reuses_cached_index(self, service):
+        service.publish("skewed", "sps", seed=1)
+        report = service.audit("skewed")
+        assert report["group_index_cached"] is True
+
+
+class TestSyntheticRegistration:
+    def test_register_synthetic_adult(self):
+        svc = AnonymizationService()
+        entry = svc.register_synthetic("adult", "adult", n_records=2000, seed=0)
+        assert entry.n_records == 2000
+        assert entry.table.schema.sensitive_name == "Income"
+
+    def test_unknown_generator_rejected(self):
+        svc = AnonymizationService()
+        with pytest.raises(ServiceError, match="unknown synthetic generator"):
+            svc.register_synthetic("x", "nope")
+
+
+class TestSnapshots:
+    def test_snapshot_roundtrip(self, tmp_path, skewed_binary_table):
+        path = tmp_path / "state.json"
+        svc = AnonymizationService(snapshot_path=path)
+        svc.register_table("skewed", skewed_binary_table)
+        record = svc.publish("skewed", "sps", seed=3)
+        svc.save()
+
+        restored = AnonymizationService(snapshot_path=path)
+        assert restored.datasets.get("skewed").table == skewed_binary_table
+        restored_job = restored.job(record.job_id)
+        assert restored_job.spec == record.spec
+        assert restored_job.audit == record.audit
+        assert restored_job.published is None  # tables are process-local
+        # Job ids continue after the restored history.
+        next_record = restored.publish("skewed", "uniform", seed=0)
+        assert next_record.job_id != record.job_id
+
+    def test_save_without_path_rejected(self, service):
+        with pytest.raises(ServiceError, match="no snapshot path"):
+            service.save()
+
+    def test_snapshot_of_adult_sample(self, tmp_path):
+        path = tmp_path / "adult.json"
+        svc = AnonymizationService(snapshot_path=path)
+        svc.register_table("adult", generate_adult(500, seed=0))
+        svc.save()
+        restored = AnonymizationService(snapshot_path=path)
+        assert restored.datasets.get("adult").n_records == 500
