@@ -19,7 +19,7 @@ sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
 
 import numpy as np
 
-from repro import ReconstructionPrivacyPublisher, read_csv, write_csv
+from repro import publish, read_csv, write_csv
 from repro.dataset.schema import Attribute, Schema
 from repro.dataset.table import Table
 from repro.perturbation.rho_privacy import max_retention_for_rho_privacy
@@ -75,13 +75,15 @@ def main() -> None:
     print(f"retention probability for (0.15, 0.6)-privacy with m=4: p = {p:.3f}")
 
     # 3. Audit and publish under (0.3, 0.3)-reconstruction privacy on top of it.
-    publisher = ReconstructionPrivacyPublisher(lam=0.3, delta=0.3, retention_probability=p)
-    result = publisher.publish(table, rng=0)
-    print(f"{result.audit.group_violation_rate:.1%} of personal groups violated before SPS; "
-          f"{result.sps.n_sampled_groups} groups were sampled")
+    report = publish(
+        table, strategy="generalize+sps",
+        lam=0.3, delta=0.3, retention_probability=p, rng=0,
+    )
+    print(f"{report.audit.group_violation_rate:.1%} of personal groups violated before SPS; "
+          f"{report.n_sampled_groups} groups were sampled")
 
     # 4. Save the published table for sharing.
-    write_csv(result.published, published_path)
+    write_csv(report.published, published_path)
     print(f"published data written to {published_path}")
 
 

@@ -1,8 +1,9 @@
 """Quickstart: publish a table under (lambda, delta)-reconstruction privacy.
 
-Generates a synthetic ADULT sample, audits it, publishes it with the SPS
-algorithm, and shows that aggregate statistics survive while the personal
-group of a single individual no longer supports accurate reconstruction.
+Generates a synthetic ADULT sample, publishes it through the strategy-first
+pipeline (``repro.publish``), and shows that aggregate statistics survive
+while the personal group of a single individual no longer supports accurate
+reconstruction.
 
 Run with::
 
@@ -16,49 +17,56 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
 
-from repro import (
-    ReconstructionPrivacyPublisher,
-    generate_adult,
-    mle_frequencies,
-    personal_groups,
-)
+import repro
 
 
 def main() -> None:
     # 1. The raw data: 20,000 ADULT-like records, Income is sensitive.
-    table = generate_adult(20_000, seed=20150323)
+    table = repro.generate_adult(20_000, seed=20150323)
     print(f"raw data: {len(table)} records, "
           f"{table.schema.public_names} public, {table.schema.sensitive_name!r} sensitive")
+    print(f"available strategies: {repro.available_strategies()}")
 
-    # 2. A publisher with the paper's default parameters.
-    publisher = ReconstructionPrivacyPublisher(lam=0.3, delta=0.3, retention_probability=0.5)
+    # 2. One call runs the whole pipeline with the paper's default parameters:
+    #    prepare -> generalize -> audit -> enforce (SPS) -> report.
+    report = repro.publish(
+        table,
+        strategy="generalize+sps",
+        lam=0.3,
+        delta=0.3,
+        retention_probability=0.5,
+        rng=0,
+    )
 
-    # 3. Audit first: how exposed is the raw data under plain uniform perturbation?
-    audit = publisher.audit(table)
+    # 3. The report carries the pre-publication audit: how exposed was the
+    #    raw data under plain uniform perturbation?
+    audit = report.audit
     print(f"before SPS: {audit.group_violation_rate:.1%} of personal groups violate "
           f"(0.3, 0.3)-reconstruction privacy, covering {audit.record_violation_rate:.1%} of records")
+    print(f"published {len(report.published)} records; "
+          f"{report.n_sampled_groups}/{len(report.groups)} groups needed sampling")
 
-    # 4. Publish with Sampling-Perturbing-Scaling.
-    result = publisher.publish(table, rng=0)
-    print(f"published {len(result.published)} records; "
-          f"{result.sps.n_sampled_groups}/{len(result.sps.groups)} groups needed sampling")
-
-    # 5. Aggregate reconstruction still works: the overall income distribution
+    # 4. Aggregate reconstruction still works: the overall income distribution
     #    recovered from the published data matches the raw data closely.
-    p = result.spec.retention_probability
-    published_counts = result.published.sensitive_counts()
-    estimate = mle_frequencies(published_counts, p)
-    truth = result.prepared.sensitive_frequencies()
+    p = report.spec.retention_probability
+    published_counts = report.published.sensitive_counts()
+    estimate = repro.mle_frequencies(published_counts, p)
+    truth = report.prepared.sensitive_frequencies()
     print("aggregate >50K frequency: "
           f"true {truth[1]:.4f} vs reconstructed {estimate[1]:.4f}")
 
-    # 6. Personal reconstruction is blunted: the largest personal group now
+    # 5. Personal reconstruction is blunted: the largest personal group now
     #    carries only ~s_g independent coin tosses.
-    biggest = max(personal_groups(result.prepared), key=lambda g: g.size)
-    record = next(g for g in result.sps.groups if g.key == biggest.key)
+    biggest = max(repro.personal_groups(report.prepared), key=lambda g: g.size)
+    record = next(g for g in report.groups if g.key == biggest.key)
     print(f"largest personal group: {biggest.size} records, "
           f"sampled down to {record.sample_size} independent perturbations "
           f"(s_g = {record.max_group_size:.0f})")
+
+    # 6. Per-stage wall-clock timings come with every report.
+    stages = ", ".join(f"{stage} {seconds * 1000:.1f}ms"
+                       for stage, seconds in report.timings.items())
+    print(f"pipeline stages: {stages}")
 
 
 if __name__ == "__main__":

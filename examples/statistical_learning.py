@@ -25,8 +25,8 @@ sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
 
 import numpy as np
 
+from repro import publish
 from repro.analysis.learning import NaiveBayesOnReconstruction, mine_rules_from_perturbed
-from repro.core.publisher import ReconstructionPrivacyPublisher
 from repro.dataset.schema import Attribute, Schema
 from repro.dataset.table import Table
 
@@ -59,15 +59,15 @@ def build_health_table(n_per_group: int = 6_000, seed: int = 0) -> Table:
 
 def main() -> None:
     table = build_health_table()
-    publisher = ReconstructionPrivacyPublisher(
-        lam=0.3, delta=0.3, retention_probability=0.4, generalize=False
+    result = publish(
+        table, strategy="sps",
+        lam=0.3, delta=0.3, retention_probability=0.4, rng=1,
     )
-    result = publisher.publish(table, rng=1)
     p = result.spec.retention_probability
     print(
         f"published {len(result.published)} records; "
         f"{result.audit.record_violation_rate:.1%} of records were in violating groups, "
-        f"{result.sps.n_sampled_groups} groups sampled\n"
+        f"{result.n_sampled_groups} groups sampled\n"
     )
 
     # --- Rule mining on the published data -------------------------------- #

@@ -1,24 +1,33 @@
 """Packaging for the repro library and its anonymization service.
 
-``pip install -e .`` yields both the importable ``repro`` package and the
-``repro-service`` console script (the same front end as
-``python -m repro.service``).
+``pip install -e .`` yields the importable ``repro`` package plus the
+``repro-service`` and ``repro-experiments`` console scripts (the same front
+ends as ``python -m repro.service`` / ``python -m repro.experiments.runner``).
 """
+
+import re
+from pathlib import Path
 
 from setuptools import find_packages, setup
 
+# Single source of truth for the version: repro.__version__.
+_INIT = Path(__file__).parent / "src" / "repro" / "__init__.py"
+VERSION = re.search(r'^__version__ = "([^"]+)"', _INIT.read_text(), re.MULTILINE).group(1)
+
 setup(
     name="repro-reconstruction-privacy",
-    version="1.1.0",
+    version=VERSION,
     description=(
         "Reproduction of 'Reconstruction Privacy: Enabling Statistical Learning' "
-        "(EDBT 2015) with an anonymization-as-a-service front end"
+        "(EDBT 2015) with a strategy-first publishing pipeline and an "
+        "anonymization-as-a-service front end"
     ),
     long_description=(
         "Implements the (lambda, delta)-reconstruction-privacy criterion, the "
         "SPS enforcement algorithm, chi-square generalisation, DP baselines, "
-        "and a register-once/publish-many service (HTTP + CLI) with pluggable "
-        "publisher backends."
+        "a strategy-first publishing pipeline (repro.publish), and a "
+        "register-once/publish-many service (HTTP + CLI) whose backends "
+        "delegate to the same strategy registry."
     ),
     long_description_content_type="text/plain",
     author="paper-repo-growth",
@@ -34,6 +43,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-service=repro.service.cli:main",
+            "repro-experiments=repro.experiments.runner:main",
         ],
     },
     classifiers=[

@@ -13,16 +13,19 @@ algorithm, together with every substrate the evaluation depends on:
   reasoning;
 * synthetic ADULT/CENSUS generators, count-query workloads, violation-rate
   and utility analyses, and an experiment harness regenerating every table
-  and figure of the paper.
+  and figure of the paper;
+* one strategy-first publishing pipeline (:mod:`repro.pipeline`) shared by
+  the library, the anonymization service (:mod:`repro.service`) and the
+  experiment harness — every registered strategy is reachable from all of
+  them by name.
 
 Quickstart::
 
-    from repro import ReconstructionPrivacyPublisher, generate_adult
+    import repro
 
-    table = generate_adult(10_000, seed=0)
-    publisher = ReconstructionPrivacyPublisher(lam=0.3, delta=0.3, retention_probability=0.5)
-    result = publisher.publish(table, rng=0)
-    print(result.audit.group_violation_rate, len(result.published))
+    table = repro.generate_adult(10_000, seed=0)
+    report = repro.publish(table, strategy="sps", lam=0.3, delta=0.3, rng=0)
+    print(report.audit.group_violation_rate, len(report.published))
 """
 
 from repro.core.criterion import PrivacySpec, max_group_size, value_is_private, group_is_private
@@ -37,11 +40,22 @@ from repro.dataset.table import Table
 from repro.dataset.groups import personal_groups
 from repro.generalization.merging import generalize_table
 from repro.perturbation.uniform import UniformPerturbation, perturb_table
+from repro.pipeline import (
+    ParamError,
+    ParamSpec,
+    PublishPipeline,
+    PublishReport,
+    PublishStrategy,
+    available_strategies,
+    get_strategy,
+    publish,
+    register_strategy,
+)
 from repro.reconstruction.mle import mle_frequencies, mle_frequencies_clipped, reconstruct_counts
 from repro.queries.workload import WorkloadConfig, generate_workload
 from repro.queries.count_query import CountQuery, answer_on_perturbed, answer_on_raw
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "PrivacySpec",
@@ -65,6 +79,15 @@ __all__ = [
     "generalize_table",
     "UniformPerturbation",
     "perturb_table",
+    "ParamError",
+    "ParamSpec",
+    "PublishPipeline",
+    "PublishReport",
+    "PublishStrategy",
+    "available_strategies",
+    "get_strategy",
+    "publish",
+    "register_strategy",
     "mle_frequencies",
     "mle_frequencies_clipped",
     "reconstruct_counts",

@@ -14,10 +14,9 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.core.criterion import PrivacySpec
-from repro.core.sps import sps_publish
 from repro.dataset.groups import GroupIndex, personal_groups
 from repro.dataset.table import Table
-from repro.perturbation.uniform import perturb_table
+from repro.pipeline import publish
 from repro.queries.count_query import CountQuery
 from repro.queries.error import evaluate_workload
 from repro.utils.rng import default_rng, spawn_rngs
@@ -74,17 +73,28 @@ def compare_up_and_sps(
         raise ValueError("runs must be positive")
     index = groups if groups is not None else personal_groups(table)
     rngs = spawn_rngs(default_rng(rng), 2 * runs)
+    params = {
+        "lam": spec.lam,
+        "delta": spec.delta,
+        "retention_probability": spec.retention_probability,
+    }
     up_errors = []
     sps_errors = []
     for run in range(runs):
-        up_table = perturb_table(table, spec.retention_probability, rng=rngs[2 * run])
-        sps_result = sps_publish(table, spec, rng=rngs[2 * run + 1], groups=index)
+        # Both arms drive the shared strategy registry; the audit stage is
+        # skipped because only the published tables matter here.
+        up_table = publish(
+            table, strategy="uniform", rng=rngs[2 * run], groups=index, audit=False, **params
+        ).published
+        sps_table = publish(
+            table, strategy="sps", rng=rngs[2 * run + 1], groups=index, audit=False, **params
+        ).published
         up_errors.append(
             evaluate_workload(queries, table, up_table, spec.retention_probability).average_error
         )
         sps_errors.append(
             evaluate_workload(
-                queries, table, sps_result.published, spec.retention_probability
+                queries, table, sps_table, spec.retention_probability
             ).average_error
         )
     return UtilityComparison(

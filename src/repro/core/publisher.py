@@ -1,41 +1,40 @@
-"""End-to-end publishing pipeline.
+"""Legacy end-to-end publisher — a deprecation shim over :mod:`repro.pipeline`.
 
-The paper's workflow for a data publisher is:
+The paper's workflow (generalise → audit → enforce with SPS → publish) is now
+expressed by the strategy-first pipeline: ``repro.publish(table,
+strategy="generalize+sps", lam=..., delta=..., rng=...)`` returns a
+:class:`~repro.pipeline.report.PublishReport` with everything this module's
+:class:`PublishResult` used to carry, plus per-stage timings and strategy
+metadata.
 
-1. (optional) generalise public-attribute values that have the same impact on
-   SA, so that aggregating "irrelevant" attributes cannot sharpen a personal
-   reconstruction (Section 3.4);
-2. audit the personal groups of the (generalised) table against the
-   ``(lambda, delta)`` criterion (Corollary 4);
-3. enforce the criterion with SPS, which samples only the violating groups
-   (Section 5);
-4. publish the perturbed table.
-
-:class:`ReconstructionPrivacyPublisher` wires those steps together and records
-everything a downstream analyst or auditor needs (the merge decisions, the
-audit of the original table, the per-group SPS bookkeeping and the published
-table itself).
+:class:`ReconstructionPrivacyPublisher` is kept so existing call sites keep
+working (it emits a :class:`DeprecationWarning` and delegates to the
+pipeline); new code should use :func:`repro.publish` or
+:class:`repro.pipeline.PublishPipeline` directly.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.criterion import PrivacySpec
-from repro.core.sps import SPSResult, sps_publish
+from repro.core.sps import SPSResult
 from repro.core.testing import PrivacyAudit, audit_table
-from repro.dataset.groups import personal_groups
 from repro.dataset.table import Table
 from repro.generalization.merging import GeneralizationResult, generalize_table
 from repro.perturbation.uniform import perturb_table
-from repro.utils.rng import default_rng
 
 
 @dataclass(frozen=True)
 class PublishResult:
-    """Everything produced by one publishing run."""
+    """Everything produced by one publishing run (legacy bundle).
+
+    New code should prefer :class:`~repro.pipeline.report.PublishReport`,
+    which carries the same artifacts for every strategy.
+    """
 
     spec: PrivacySpec
     generalization: GeneralizationResult | None
@@ -51,6 +50,20 @@ class PublishResult:
 
 class ReconstructionPrivacyPublisher:
     """Publish a table under (lambda, delta)-reconstruction privacy.
+
+    .. deprecated::
+        Use ``repro.publish(table, strategy="generalize+sps", ...)`` (or
+        ``strategy="sps"`` when ``generalize=False``) instead; this class is
+        a thin shim over that pipeline and will be removed in a future
+        release.
+
+    .. note::
+        Since 1.2.0, :meth:`publish` draws its randomness through the
+        pipeline's chunked per-group streams instead of one sequential
+        generator, so for a fixed seed the published bytes differ from
+        1.1.x (the output distribution is unchanged).  In exchange, a fixed
+        seed now produces byte-identical output through the library, the
+        service and the HTTP API at any worker count.
 
     Parameters
     ----------
@@ -75,11 +88,29 @@ class ReconstructionPrivacyPublisher:
         generalize: bool = True,
         significance: float = 0.05,
     ) -> None:
+        warnings.warn(
+            "ReconstructionPrivacyPublisher is deprecated; use "
+            "repro.publish(table, strategy='generalize+sps', ...) or "
+            "repro.pipeline.PublishPipeline instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self._lam = lam
         self._delta = delta
         self._p = retention_probability
         self._generalize = generalize
         self._significance = significance
+
+    def _strategy_params(self) -> tuple[str, dict[str, float]]:
+        params = {
+            "lam": self._lam,
+            "delta": self._delta,
+            "retention_probability": self._p,
+        }
+        if self._generalize:
+            params["significance"] = self._significance
+            return "generalize+sps", params
+        return "sps", params
 
     def spec_for(self, table: Table) -> PrivacySpec:
         """The :class:`PrivacySpec` this publisher applies to ``table``."""
@@ -107,19 +138,17 @@ class ReconstructionPrivacyPublisher:
         table: Table,
         rng: int | np.random.Generator | None = None,
     ) -> PublishResult:
-        """Generalise, audit and publish ``table`` with SPS."""
-        rng = default_rng(rng)
-        prepared, generalization = self.prepare(table)
-        spec = self.spec_for(prepared)
-        groups = personal_groups(prepared)
-        audit = audit_table(prepared, spec, groups=groups)
-        sps = sps_publish(prepared, spec, rng=rng, groups=groups)
+        """Generalise, audit and publish ``table`` with SPS (via the pipeline)."""
+        from repro.pipeline import PublishPipeline
+
+        strategy, params = self._strategy_params()
+        report = PublishPipeline(strategy, **params).with_rng(rng).run(table)
         return PublishResult(
-            spec=spec,
-            generalization=generalization,
-            prepared=prepared,
-            audit=audit,
-            sps=sps,
+            spec=report.spec,
+            generalization=report.generalization,
+            prepared=report.prepared,
+            audit=report.audit,
+            sps=report.sps,
         )
 
     def publish_uniform_baseline(

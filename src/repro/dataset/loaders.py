@@ -102,11 +102,31 @@ def read_csv(source: str | Path | IO[str], sensitive: str, delimiter: str = ",")
         return _read_csv_stream(handle, str(path), sensitive, delimiter)
 
 
-def write_csv(table: Table, path: str | Path, delimiter: str = ",") -> None:
-    """Write a table (public columns then the sensitive column) to CSV."""
-    path = Path(path)
+def _write_csv_stream(table: Table, handle: IO[str], delimiter: str) -> None:
+    writer = csv.writer(handle, delimiter=delimiter)
+    writer.writerow(list(table.schema.public_names) + [table.schema.sensitive_name])
+    for record in table.records():
+        writer.writerow(record)
+
+
+def write_csv(table: Table, destination: str | Path | IO[str], delimiter: str = ",") -> None:
+    """Write a table (public columns then the sensitive column) to CSV.
+
+    Parameters
+    ----------
+    table:
+        The table to serialise.
+    destination:
+        Output file path, or an open text-mode file-like object (anything
+        with a ``write`` method, e.g. an HTTP response stream); file-like
+        destinations are written but not closed, symmetrically with
+        :func:`read_csv`'s file-like sources.
+    delimiter:
+        Field delimiter (default comma).
+    """
+    if hasattr(destination, "write"):
+        _write_csv_stream(table, destination, delimiter)
+        return
+    path = Path(destination)
     with path.open("w", newline="") as handle:
-        writer = csv.writer(handle, delimiter=delimiter)
-        writer.writerow(list(table.schema.public_names) + [table.schema.sensitive_name])
-        for record in table.records():
-            writer.writerow(record)
+        _write_csv_stream(table, handle, delimiter)

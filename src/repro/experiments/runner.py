@@ -16,6 +16,7 @@ from __future__ import annotations
 import argparse
 from collections.abc import Sequence
 
+from repro import __version__
 from repro.experiments.aggregation import run_aggregation_impact
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.error_sweep import run_error_sweep
@@ -67,7 +68,10 @@ def run_experiment(name: str, config: ExperimentConfig) -> str:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point of the ``repro-experiments`` console script."""
-    parser = argparse.ArgumentParser(description=__doc__)
+    parser = argparse.ArgumentParser(prog="repro-experiments", description=__doc__)
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
     parser.add_argument("experiments", nargs="*", choices=[*EXPERIMENTS, []], help="experiments to run")
     parser.add_argument("--all", action="store_true", help="run every experiment")
     parser.add_argument(

@@ -1,0 +1,84 @@
+"""Deterministic chunked execution shared by the library and the service.
+
+The pipeline's reproducibility contract is: *the published table depends only
+on the seed and the chunk size, never on how the chunks are executed*.  That
+holds because
+
+1. the group list is split into fixed-size chunks **before** any work runs;
+2. each chunk gets its own child generator derived from
+   ``numpy.random.SeedSequence(seed).spawn(n_chunks)`` (the spawn tree is a
+   pure function of the root seed);
+3. chunk outputs are concatenated in chunk order, whatever order the chunks
+   were actually processed in.
+
+The library runs chunks inline through :func:`run_chunks_serial`; the service
+substitutes its thread-pool runner (:func:`repro.service.parallel.run_chunked`)
+through the same :data:`ChunkRunner` signature, which is why the library and
+the service produce byte-identical output for the same seed.
+"""
+
+from __future__ import annotations
+
+import operator
+from collections.abc import Callable, Sequence
+from typing import Any, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Default number of personal groups per work chunk.
+DEFAULT_CHUNK_SIZE = 256
+
+#: Signature of a chunk executor: ``runner(items, chunk_fn, seed, chunk_size)``
+#: must return ``chunk_fn(chunk, rng)`` results in chunk order.
+ChunkRunner = Callable[
+    [Sequence[Any], Callable[[Sequence[Any], np.random.Generator], Any], int, int],
+    list[Any],
+]
+
+
+def chunk_items(items: Sequence[T], chunk_size: int) -> list[Sequence[T]]:
+    """Split ``items`` into consecutive chunks of at most ``chunk_size``."""
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    return [items[start : start + chunk_size] for start in range(0, len(items), chunk_size)]
+
+
+def chunk_rngs(seed: int, n_chunks: int) -> list[np.random.Generator]:
+    """Derive one independent, reproducible generator per chunk from ``seed``."""
+    if n_chunks == 0:
+        return []
+    children = np.random.SeedSequence(seed).spawn(n_chunks)
+    return [np.random.default_rng(child) for child in children]
+
+
+def run_chunks_serial(
+    items: Sequence[T],
+    chunk_fn: Callable[[Sequence[T], np.random.Generator], R],
+    seed: int,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> list[R]:
+    """Apply ``chunk_fn(chunk, rng)`` to every chunk inline, in chunk order.
+
+    This is both the library's default executor and the sequential reference
+    the service's thread-pool runner is tested against.
+    """
+    chunks = chunk_items(items, chunk_size)
+    rngs = chunk_rngs(seed, len(chunks))
+    return [chunk_fn(chunk, rng) for chunk, rng in zip(chunks, rngs)]
+
+
+def coerce_seed(rng: int | np.random.Generator | None = None) -> int:
+    """Normalise an ``rng`` argument into the integer root seed of the spawn tree.
+
+    ``None`` draws fresh entropy; an integer is used as-is; an existing
+    generator deterministically yields one 63-bit seed (so passing the same
+    generator state twice gives the same published table).
+    """
+    if rng is None:
+        return int(np.random.SeedSequence().generate_state(1, np.uint64)[0])
+    if isinstance(rng, np.random.Generator):
+        return int(rng.integers(0, 2**63 - 1))
+    return operator.index(rng)

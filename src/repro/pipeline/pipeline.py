@@ -1,0 +1,261 @@
+"""The strategy-first publishing pipeline and the top-level ``repro.publish``.
+
+Every publishing run — through the library, the service or the experiment
+harness — is the same sequence of explicit stages:
+
+    prepare  →  generalize  →  audit  →  enforce  →  report
+
+* **prepare** resolves and validates the strategy parameters and the seed;
+* **generalize** optionally runs the chi-square merging of Section 3.4
+  (strategies declare whether they want it);
+* **audit** tests the prepared table against the strategy's privacy spec
+  (Corollary 4) before anything is published;
+* **enforce** runs the strategy's own publishing algorithm over deterministic
+  seeded chunks;
+* **report** assembles everything into one :class:`PublishReport`.
+
+:class:`PublishPipeline` is a fluent builder over those stages; callers that
+hold pre-built artifacts (a cached group index, a cached generalisation, a
+thread-pool chunk runner) inject them and the corresponding stage is skipped
+or delegated.  :func:`publish` is the one-call convenience wrapper exported
+as ``repro.publish``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+import numpy as np
+
+from repro.core.testing import audit_table
+from repro.dataset.groups import GroupIndex, personal_groups
+from repro.dataset.table import Table
+from repro.generalization.chi_square import DEFAULT_SIGNIFICANCE
+from repro.generalization.merging import GeneralizationResult, generalize_table
+from repro.pipeline.execution import (
+    DEFAULT_CHUNK_SIZE,
+    ChunkRunner,
+    coerce_seed,
+    run_chunks_serial,
+)
+from repro.pipeline.report import PublishReport
+from repro.pipeline.strategy import PublishStrategy, get_strategy
+
+
+class PublishPipeline:
+    """Fluent, composable builder for one publishing run.
+
+    Example::
+
+        report = (
+            PublishPipeline("sps", lam=0.25, delta=0.3)
+            .with_rng(7)
+            .with_chunk_size(128)
+            .run(table)
+        )
+
+    Every ``with_*`` method mutates the builder and returns it, so calls
+    chain; :meth:`run` executes the staged pipeline and returns the
+    :class:`~repro.pipeline.report.PublishReport`.  A pipeline instance is
+    reusable: :meth:`run` does not consume it.
+    """
+
+    def __init__(self, strategy: str | PublishStrategy, **params: Any) -> None:
+        self._strategy = get_strategy(strategy) if isinstance(strategy, str) else strategy
+        self._params: dict[str, Any] = dict(params)
+        self._rng: int | np.random.Generator | None = None
+        self._chunk_size = DEFAULT_CHUNK_SIZE
+        self._runner: ChunkRunner = run_chunks_serial
+        self._groups: GroupIndex | None = None
+        self._generalization: GeneralizationResult | None = None
+        self._audit = True
+
+    @property
+    def strategy(self) -> PublishStrategy:
+        """The strategy this pipeline publishes with."""
+        return self._strategy
+
+    # ------------------------------------------------------------------ #
+    # Fluent configuration
+    # ------------------------------------------------------------------ #
+    def with_params(self, **params: Any) -> "PublishPipeline":
+        """Merge strategy parameters over any set so far."""
+        self._params.update(params)
+        return self
+
+    def with_rng(self, rng: int | np.random.Generator | None) -> "PublishPipeline":
+        """Seed (or generator) all randomness derives from."""
+        self._rng = rng
+        return self
+
+    def with_chunk_size(self, chunk_size: int) -> "PublishPipeline":
+        """Number of personal groups per deterministic work chunk."""
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        self._chunk_size = int(chunk_size)
+        return self
+
+    def with_runner(self, runner: ChunkRunner) -> "PublishPipeline":
+        """Substitute the chunk executor (e.g. the service's thread pool)."""
+        self._runner = runner
+        return self
+
+    def with_groups(self, groups: GroupIndex) -> "PublishPipeline":
+        """Reuse a pre-built personal-group index of the *prepared* table."""
+        self._groups = groups
+        return self
+
+    def with_generalization(self, generalization: GeneralizationResult) -> "PublishPipeline":
+        """Reuse a pre-computed chi-square generalisation (skips the stage)."""
+        self._generalization = generalization
+        return self
+
+    def with_audit(self, enabled: bool = True) -> "PublishPipeline":
+        """Toggle the audit stage (on by default for auditing strategies)."""
+        self._audit = bool(enabled)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run(self, table: Table) -> PublishReport:
+        """Execute prepare → generalize → audit → enforce → report on ``table``."""
+        strategy = self._strategy
+        timings: dict[str, float] = {}
+
+        # prepare: typed parameter resolution + seed normalisation.
+        start = time.perf_counter()
+        resolved = strategy.resolve(self._params)
+        seed = coerce_seed(self._rng)
+        if self._generalization is not None and not strategy.generalizes:
+            raise ValueError(
+                f"strategy {strategy.name!r} has no generalize stage; "
+                "remove with_generalization()"
+            )
+        if strategy.generalizes and self._groups is not None and self._generalization is None:
+            # A caller-supplied group index must match the *prepared* table;
+            # without the matching generalization the raw-table index would be
+            # silently enforced against the generalised schema.
+            raise ValueError(
+                f"strategy {strategy.name!r} generalizes before grouping; "
+                "with_groups() also requires the matching with_generalization()"
+            )
+        timings["prepare"] = time.perf_counter() - start
+
+        # generalize: optional chi-square merging of the public attributes.
+        start = time.perf_counter()
+        generalization: GeneralizationResult | None = None
+        prepared = table
+        if strategy.generalizes:
+            generalization = self._generalization or generalize_table(
+                table, significance=resolved.get("significance", DEFAULT_SIGNIFICANCE)
+            )
+            prepared = generalization.table
+        timings["generalize"] = time.perf_counter() - start
+
+        spec = strategy.spec_for(prepared, resolved)
+        needs_audit = self._audit and strategy.audits and spec is not None
+
+        # group index: reused when supplied (the service's dataset cache),
+        # skipped entirely when neither the audit nor the strategy reads it
+        # (e.g. an un-audited whole-table perturbation).
+        start = time.perf_counter()
+        cached = self._groups is not None
+        groups = self._groups
+        if groups is None and (strategy.uses_groups or needs_audit):
+            groups = personal_groups(prepared)
+        timings["group_index"] = time.perf_counter() - start
+
+        # audit: pre-publication test of the prepared table (Corollary 4).
+        start = time.perf_counter()
+        audit = None
+        if needs_audit:
+            audit = audit_table(prepared, spec, groups=groups)
+        timings["audit"] = time.perf_counter() - start
+
+        # enforce: the strategy's own publishing algorithm, seeded chunks.
+        start = time.perf_counter()
+        outcome = strategy.enforce(
+            prepared, groups, spec, resolved, seed, self._runner, self._chunk_size
+        )
+        timings["enforce"] = time.perf_counter() - start
+
+        # report: assemble the unified result bundle.  Sampling stats are not
+        # copied here — PublishReport derives them from the group records.
+        metadata = dict(outcome.metadata)
+        if generalization is not None:
+            metadata["generalized_domains"] = {
+                merge.original.name: {
+                    "before": merge.original_domain_size,
+                    "after": merge.generalized_domain_size,
+                }
+                for merge in generalization.merges
+            }
+        return PublishReport(
+            strategy=strategy.name,
+            params=resolved,
+            seed=seed,
+            published=outcome.published,
+            prepared=prepared,
+            spec=spec,
+            generalization=generalization,
+            audit=audit,
+            groups=outcome.records,
+            metadata=metadata,
+            timings=timings,
+            group_index_cached=cached,
+        )
+
+
+def publish(
+    table: Table,
+    strategy: str | PublishStrategy = "sps",
+    *,
+    rng: int | np.random.Generator | None = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    audit: bool = True,
+    groups: GroupIndex | None = None,
+    generalization: GeneralizationResult | None = None,
+    runner: ChunkRunner | None = None,
+    **params: Any,
+) -> PublishReport:
+    """Publish ``table`` with a named strategy — the library's front door.
+
+    ``repro.publish(table, strategy="sps", lam=0.3, delta=0.3, rng=7)`` runs
+    the full prepare → generalize → audit → enforce → report pipeline and
+    returns the :class:`~repro.pipeline.report.PublishReport`.  All keyword
+    arguments other than the options below are strategy parameters, validated
+    against the strategy's typed specs.
+
+    Parameters
+    ----------
+    table:
+        The raw table ``D``.
+    strategy:
+        Registered strategy name (see
+        :func:`~repro.pipeline.strategy.available_strategies`) or an instance.
+    rng:
+        Seed or generator; a fixed integer seed gives byte-identical output
+        through the library and the service for the same ``chunk_size``.
+    chunk_size:
+        Personal groups per deterministic work chunk.
+    audit:
+        Set ``False`` to skip the pre-publication audit stage.
+    groups, generalization, runner:
+        Pre-built artifacts / custom chunk executor (see
+        :class:`PublishPipeline`).
+    """
+    pipeline = (
+        PublishPipeline(strategy, **params)
+        .with_rng(rng)
+        .with_chunk_size(chunk_size)
+        .with_audit(audit)
+    )
+    if groups is not None:
+        pipeline.with_groups(groups)
+    if generalization is not None:
+        pipeline.with_generalization(generalization)
+    if runner is not None:
+        pipeline.with_runner(runner)
+    return pipeline.run(table)

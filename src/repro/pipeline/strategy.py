@@ -1,0 +1,384 @@
+"""Publishing strategies and the name-based strategy registry.
+
+A :class:`PublishStrategy` is the unit of extension of the publishing stack:
+declare a name, typed parameter specs and an ``enforce`` step, register one
+instance, and the strategy becomes available to the library
+(:func:`repro.publish`), the service backends, the CLI and the HTTP API —
+without touching any of them.
+
+Built-in strategies
+-------------------
+
+==================  =========================================================
+``sps``             the paper's Sampling-Perturbing-Scaling algorithm
+``uniform``         plain uniform perturbation (the paper's UP baseline)
+``dp-laplace``      per-group Laplace-noisy SA histogram synthesis
+``dp-gaussian``     per-group Gaussian-noisy SA histogram synthesis
+``generalize+sps``  chi-square NA generalisation followed by SPS
+==================  =========================================================
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Any, ClassVar
+
+import numpy as np
+
+from repro.core.criterion import PrivacySpec
+from repro.core.sps import GroupPublication, sps_publish_groups
+from repro.dataset.groups import GroupIndex, PersonalGroup
+from repro.dataset.table import Table
+from repro.dp.mechanisms import GaussianMechanism, LaplaceMechanism
+from repro.perturbation.uniform import UniformPerturbation
+from repro.pipeline.execution import ChunkRunner
+from repro.pipeline.params import ParamSpec, resolve_params
+
+
+class UnknownStrategyError(ValueError):
+    """Raised when a strategy name is not in the registry."""
+
+
+@dataclass(frozen=True)
+class StrategyOutcome:
+    """What a strategy's enforce stage produced."""
+
+    published: Table
+    records: tuple[GroupPublication, ...] = ()
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+
+class PublishStrategy(ABC):
+    """One publishing strategy, selectable by name.
+
+    Subclasses declare their tunable parameters as typed
+    :class:`~repro.pipeline.params.ParamSpec` objects in ``params``, plus
+    behaviour flags the pipeline consults: ``generalizes`` (whether the
+    chi-square generalize stage runs first), ``audits`` (whether the table is
+    audited against the strategy's :class:`PrivacySpec` before enforcing) and
+    ``uses_groups`` (whether :meth:`enforce` reads the personal-group index —
+    declare ``False`` for whole-table strategies so the pipeline can skip the
+    index build when the audit is also skipped).
+    """
+
+    name: ClassVar[str]
+    summary: ClassVar[str] = ""
+    params: ClassVar[tuple[ParamSpec, ...]] = ()
+    generalizes: ClassVar[bool] = False
+    audits: ClassVar[bool] = True
+    uses_groups: ClassVar[bool] = True
+
+    def resolve(self, params: Mapping[str, Any]) -> dict[str, Any]:
+        """Validate ``params`` against the declared specs and fill defaults."""
+        return resolve_params(self.params, params, owner=f"strategy {self.name!r}")
+
+    def spec_for(self, table: Table, resolved: Mapping[str, Any]) -> PrivacySpec | None:
+        """The privacy spec this strategy enforces on ``table`` (``None`` if none)."""
+        return None
+
+    @abstractmethod
+    def enforce(
+        self,
+        table: Table,
+        groups: GroupIndex | None,
+        spec: PrivacySpec | None,
+        resolved: Mapping[str, Any],
+        seed: int,
+        runner: ChunkRunner,
+        chunk_size: int,
+    ) -> StrategyOutcome:
+        """Publish ``table`` (the prepared table) and return the outcome.
+
+        ``groups`` is the personal-group index of ``table``; it is ``None``
+        only for strategies declaring ``uses_groups = False`` when the audit
+        stage was also skipped.  All randomness must flow through generators
+        derived from ``seed`` — either via ``runner`` (which hands each chunk
+        its own seeded stream) or via ``numpy.random.SeedSequence(seed)``
+        directly — so the output is identical however the chunks are executed.
+        """
+
+
+# ---------------------------------------------------------------------- #
+# Registry
+# ---------------------------------------------------------------------- #
+
+_STRATEGIES: dict[str, PublishStrategy] = {}
+
+
+def register_strategy(strategy: PublishStrategy, replace: bool = False) -> PublishStrategy:
+    """Register a strategy instance under its ``name``."""
+    if not getattr(strategy, "name", ""):
+        raise ValueError("strategy must declare a non-empty name")
+    if strategy.name in _STRATEGIES and not replace:
+        raise ValueError(f"strategy {strategy.name!r} is already registered")
+    _STRATEGIES[strategy.name] = strategy
+    return strategy
+
+
+def unregister_strategy(name: str) -> None:
+    """Remove a strategy from the registry (no-op if absent)."""
+    _STRATEGIES.pop(name, None)
+
+
+def get_strategy(name: str) -> PublishStrategy:
+    """Look a strategy up by name (raises :class:`UnknownStrategyError` if absent)."""
+    try:
+        return _STRATEGIES[name]
+    except KeyError:
+        raise UnknownStrategyError(
+            f"unknown strategy {name!r}; available strategies: {available_strategies()}"
+        ) from None
+
+
+def available_strategies() -> list[str]:
+    """Sorted names of all registered strategies."""
+    return sorted(_STRATEGIES)
+
+
+def strategy_descriptions() -> dict[str, dict[str, Any]]:
+    """Machine-readable description of every strategy (for ``/stats`` and docs)."""
+    return {
+        name: {
+            "summary": strategy.summary,
+            "generalizes": strategy.generalizes,
+            "audits": strategy.audits,
+            "params": [spec.to_json() for spec in strategy.params],
+        }
+        for name, strategy in sorted(_STRATEGIES.items())
+    }
+
+
+# ---------------------------------------------------------------------- #
+# Shared helpers
+# ---------------------------------------------------------------------- #
+
+_SPS_PARAMS = (
+    ParamSpec.floating(
+        "lam", 0.3, minimum=0.0, min_inclusive=False,
+        doc="lambda, the relative-error threshold of Definition 3",
+    ),
+    ParamSpec.floating(
+        "delta", 0.3, minimum=0.0, maximum=1.0, min_inclusive=False, max_inclusive=False,
+        doc="delta, the minimum tail-probability bound of Definition 3",
+    ),
+    ParamSpec.floating(
+        "retention_probability", 0.5, minimum=0.0, maximum=1.0, min_inclusive=False,
+        doc="p, the uniform-perturbation retention probability",
+    ),
+)
+
+
+def _spec_from(table: Table, resolved: Mapping[str, Any]) -> PrivacySpec:
+    return PrivacySpec(
+        lam=resolved["lam"],
+        delta=resolved["delta"],
+        retention_probability=resolved["retention_probability"],
+        domain_size=table.schema.sensitive_domain_size,
+    )
+
+
+def _chunked_sps(
+    table: Table,
+    groups: GroupIndex,
+    spec: PrivacySpec,
+    seed: int,
+    runner: ChunkRunner,
+    chunk_size: int,
+) -> tuple[Table, tuple[GroupPublication, ...]]:
+    """Run SPS over ``groups`` through ``runner`` in deterministic seeded chunks."""
+    perturbation = UniformPerturbation(spec.retention_probability, spec.domain_size)
+    n_public = len(table.schema.public)
+
+    def chunk_fn(
+        chunk: Sequence[PersonalGroup], rng: np.random.Generator
+    ) -> tuple[np.ndarray, list[GroupPublication]]:
+        return sps_publish_groups(chunk, spec, rng, n_public, perturbation)
+
+    results = runner(list(groups), chunk_fn, seed, chunk_size)
+    blocks = [codes for codes, _ in results if codes.size]
+    records = [record for _, chunk_records in results for record in chunk_records]
+    if blocks:
+        codes = np.vstack(blocks)
+    else:
+        codes = np.empty((0, n_public + 1), dtype=np.int64)
+    return Table(table.schema, codes), tuple(records)
+
+
+# ---------------------------------------------------------------------- #
+# Built-in strategies
+# ---------------------------------------------------------------------- #
+
+
+class SPSStrategy(PublishStrategy):
+    """The paper's SPS enforcement algorithm over the personal-group index."""
+
+    name = "sps"
+    summary = "Sampling-Perturbing-Scaling enforcement of (lambda, delta)-privacy"
+    params = _SPS_PARAMS
+
+    def spec_for(self, table, resolved):
+        return _spec_from(table, resolved)
+
+    def enforce(self, table, groups, spec, resolved, seed, runner, chunk_size):
+        published, records = _chunked_sps(table, groups, spec, seed, runner, chunk_size)
+        return StrategyOutcome(published=published, records=records)
+
+
+class GeneralizeSPSStrategy(SPSStrategy):
+    """Chi-square generalisation of the public attributes followed by SPS.
+
+    This is the paper's full publishing pipeline (Sections 3.4 + 5): merge
+    NA values with the same SA impact first, then enforce the criterion on
+    the generalised personal groups.  The generalize stage itself is run by
+    the pipeline; this strategy only adds the ``significance`` knob and the
+    ``generalizes`` flag.
+    """
+
+    name = "generalize+sps"
+    summary = "chi-square NA generalisation followed by SPS enforcement"
+    generalizes = True
+    params = _SPS_PARAMS + (
+        ParamSpec.floating(
+            "significance", 0.05, minimum=0.0, maximum=1.0,
+            min_inclusive=False, max_inclusive=False,
+            doc="significance level of the chi-square merging test",
+        ),
+    )
+
+
+class UniformStrategy(PublishStrategy):
+    """Plain uniform perturbation (the UP baseline), audited but never sampled.
+
+    Perturbation is a single vectorised whole-table pass, so the chunk runner
+    is not used; the output preserves the input row order.
+    """
+
+    name = "uniform"
+    summary = "plain uniform perturbation of the sensitive attribute (UP baseline)"
+    params = _SPS_PARAMS
+    uses_groups = False
+
+    def spec_for(self, table, resolved):
+        return _spec_from(table, resolved)
+
+    def enforce(self, table, groups, spec, resolved, seed, runner, chunk_size):
+        operator = UniformPerturbation(spec.retention_probability, spec.domain_size)
+        rng = np.random.default_rng(np.random.SeedSequence(seed))
+        return StrategyOutcome(published=operator.perturb_table(table, rng))
+
+
+class _DPHistogramStrategy(PublishStrategy):
+    """Shared machinery of the DP strategies: noisy per-group SA histograms.
+
+    For each personal group, add independent noise to its SA count vector,
+    clamp to non-negative integers and emit that many records per value.  The
+    NA key structure is preserved exactly (as the paper's model requires);
+    only the per-group SA histograms are privatised.
+    """
+
+    audits = False
+
+    def _mechanism(self, resolved: Mapping[str, Any]):
+        raise NotImplementedError
+
+    def _mechanism_metadata(self, mechanism) -> dict[str, Any]:
+        raise NotImplementedError
+
+    def enforce(self, table, groups, spec, resolved, seed, runner, chunk_size):
+        mechanism = self._mechanism(resolved)
+        m = table.schema.sensitive_domain_size
+        n_public = len(table.schema.public)
+
+        def chunk_fn(chunk: Sequence[PersonalGroup], rng: np.random.Generator) -> np.ndarray:
+            blocks: list[np.ndarray] = []
+            for group in chunk:
+                noisy = np.asarray(
+                    mechanism.add_noise(group.sensitive_counts.astype(float), rng)
+                )
+                counts = np.maximum(0, np.rint(noisy)).astype(np.int64)
+                codes = np.repeat(np.arange(m, dtype=np.int64), counts)
+                if codes.size == 0:
+                    continue
+                block = np.empty((codes.size, n_public + 1), dtype=np.int64)
+                block[:, :n_public] = np.asarray(group.key, dtype=np.int64)
+                block[:, n_public] = codes
+                blocks.append(block)
+            if blocks:
+                return np.vstack(blocks)
+            return np.empty((0, n_public + 1), dtype=np.int64)
+
+        results = runner(list(groups), chunk_fn, seed, chunk_size)
+        nonempty = [block for block in results if block.size]
+        if nonempty:
+            codes = np.vstack(nonempty)
+        else:
+            codes = np.empty((0, n_public + 1), dtype=np.int64)
+        return StrategyOutcome(
+            published=Table(table.schema, codes),
+            metadata=self._mechanism_metadata(mechanism),
+        )
+
+
+class DPLaplaceStrategy(_DPHistogramStrategy):
+    """Laplace-mechanism histogram publication (epsilon-DP per count)."""
+
+    name = "dp-laplace"
+    summary = "per-group Laplace-noisy SA histogram synthesis (epsilon-DP)"
+    params = (
+        ParamSpec.floating(
+            "epsilon", 1.0, minimum=0.0, min_inclusive=False,
+            doc="epsilon, the differential-privacy budget per count",
+        ),
+        ParamSpec.floating(
+            "sensitivity", 1.0, minimum=0.0, min_inclusive=False,
+            doc="the count-query sensitivity Delta",
+        ),
+    )
+
+    def _mechanism(self, resolved):
+        return LaplaceMechanism(resolved["epsilon"], sensitivity=resolved["sensitivity"])
+
+    def _mechanism_metadata(self, mechanism):
+        return {"scale": mechanism.scale, "noise_variance": mechanism.variance}
+
+
+class DPGaussianStrategy(_DPHistogramStrategy):
+    """Gaussian-mechanism histogram publication ((epsilon, delta)-DP per count)."""
+
+    name = "dp-gaussian"
+    summary = "per-group Gaussian-noisy SA histogram synthesis ((epsilon, delta)-DP)"
+    params = (
+        ParamSpec.floating(
+            "epsilon", 1.0, minimum=0.0, min_inclusive=False,
+            doc="epsilon, the differential-privacy budget per count",
+        ),
+        ParamSpec.floating(
+            "dp_delta", 1e-5, minimum=0.0, maximum=1.0,
+            min_inclusive=False, max_inclusive=False,
+            doc="delta of the (epsilon, delta)-DP guarantee",
+        ),
+        ParamSpec.floating(
+            "sensitivity", 1.0, minimum=0.0, min_inclusive=False,
+            doc="the count-query sensitivity Delta",
+        ),
+    )
+
+    def _mechanism(self, resolved):
+        return GaussianMechanism(
+            resolved["epsilon"], resolved["dp_delta"], sensitivity=resolved["sensitivity"]
+        )
+
+    def _mechanism_metadata(self, mechanism):
+        return {"sigma": mechanism.sigma, "noise_variance": mechanism.variance}
+
+
+for _strategy in (
+    SPSStrategy(),
+    UniformStrategy(),
+    DPLaplaceStrategy(),
+    DPGaussianStrategy(),
+    GeneralizeSPSStrategy(),
+):
+    register_strategy(_strategy)

@@ -3,9 +3,10 @@
 The service layer turns the one-shot publishing API into a long-lived
 register-once/publish-many system:
 
-* :mod:`repro.service.backends` — pluggable :class:`AnonymizerBackend`
-  adapters (``sps``, ``uniform``, ``dp-laplace``, ``dp-gaussian``,
-  ``generalize+sps``) behind a name-based registry;
+* :mod:`repro.service.backends` — thin :class:`StrategyBackend` adapters
+  exposing every :mod:`repro.pipeline` strategy (``sps``, ``uniform``,
+  ``dp-laplace``, ``dp-gaussian``, ``generalize+sps``, and any strategy
+  registered later) behind the service's name-based registry;
 * :mod:`repro.service.registry` — the dataset registry (with cached
   personal-group indexes) and the job store, with JSON snapshot persistence;
 * :mod:`repro.service.parallel` — deterministic chunked fan-out over
@@ -20,7 +21,9 @@ register-once/publish-many system:
 from repro.service.backends import (
     AnonymizerBackend,
     BackendResult,
+    StrategyBackend,
     available_backends,
+    backend_descriptions,
     get_backend,
     register_backend,
 )
@@ -48,7 +51,9 @@ __all__ = [
     "JobTimings",
     "NotFoundError",
     "ServiceError",
+    "StrategyBackend",
     "available_backends",
+    "backend_descriptions",
     "get_backend",
     "make_server",
     "register_backend",

@@ -1,38 +1,47 @@
-"""Pluggable publisher backends.
+"""Service backends: thin adapters over the core strategy registry.
 
-Every publishing strategy in the tree is wrapped behind the same
-:class:`AnonymizerBackend` interface so service callers pick a strategy by
-name and new strategies are one :func:`register_backend` call away:
+Since the strategy logic moved into :mod:`repro.pipeline`, a service backend
+no longer implements any publishing algorithm of its own.
+:class:`StrategyBackend` wraps one registered
+:class:`~repro.pipeline.strategy.PublishStrategy` and contributes only the
+service concerns:
 
-==================  =========================================================
-``sps``             the paper's Sampling-Perturbing-Scaling algorithm
-``uniform``         plain uniform perturbation (the paper's UP baseline)
-``dp-laplace``      per-group Laplace-noisy SA histogram synthesis
-``dp-gaussian``     per-group Gaussian-noisy SA histogram synthesis
-``generalize+sps``  chi-square NA generalisation followed by SPS
-==================  =========================================================
+* wiring the :class:`~repro.service.registry.DatasetEntry` caches (group
+  index, per-significance generalisation) into the pipeline;
+* substituting the thread-pool chunk runner
+  (:func:`repro.service.parallel.run_chunked`) so publish jobs fan out over
+  ``max_workers`` threads while staying byte-identical to the library path
+  for the same ``(seed, chunk_size)``;
+* translating :class:`~repro.pipeline.params.ParamError` into
+  :class:`~repro.service.registry.ServiceError` for the HTTP/CLI layers.
 
-All group-wise backends run through :func:`repro.service.parallel.run_chunked`
-with per-chunk seeded streams, so their output is deterministic for a fixed
-``(seed, chunk_size)`` at any worker count.
+Every core strategy is exposed automatically — including strategies
+registered *after* this module was imported (:func:`get_backend` adapts them
+lazily), so "register a strategy once, get it in the library, the CLI and the
+HTTP API" holds.  Service-only backends that bypass the pipeline can still
+subclass :class:`AnonymizerBackend` directly and call
+:func:`register_backend`.
 """
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
-from collections.abc import Mapping, Sequence
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 from typing import Any, ClassVar
 
-import numpy as np
-
-from repro.core.criterion import PrivacySpec
-from repro.core.sps import GroupPublication, sps_publish_groups
-from repro.core.testing import PrivacyAudit, audit_table
-from repro.dataset.groups import GroupIndex, PersonalGroup
+from repro.core.testing import PrivacyAudit
 from repro.dataset.table import Table
-from repro.dp.mechanisms import GaussianMechanism, LaplaceMechanism
-from repro.perturbation.uniform import UniformPerturbation
+from repro.generalization.chi_square import DEFAULT_SIGNIFICANCE
+from repro.pipeline.params import ParamError, ParamSpec, resolve_params
+from repro.pipeline.pipeline import PublishPipeline
+from repro.pipeline.strategy import (
+    PublishStrategy,
+    UnknownStrategyError,
+    available_strategies,
+    get_strategy,
+)
 from repro.service.parallel import run_chunked
 from repro.service.registry import DatasetEntry, ServiceError
 
@@ -51,33 +60,34 @@ class BackendResult:
 class AnonymizerBackend(ABC):
     """One publishing strategy, selectable by name.
 
-    Subclasses declare their tunable parameters (with defaults) in
-    ``defaults``; :meth:`resolve_params` merges caller-supplied values over
-    them and rejects unknown keys so typos fail loudly instead of silently
-    publishing with defaults.
+    Subclasses declare their tunable parameters as typed
+    :class:`~repro.pipeline.params.ParamSpec` objects in ``param_specs``.
+    Legacy subclasses that only declare a ``defaults`` mapping keep working:
+    each default is treated as an untyped float parameter.
     """
 
     name: ClassVar[str]
-    defaults: ClassVar[dict[str, float]]
+    param_specs: ClassVar[tuple[ParamSpec, ...]] = ()
 
-    def resolve_params(self, params: Mapping[str, Any]) -> dict[str, float]:
-        """Merge ``params`` over the backend defaults, rejecting unknown keys."""
-        unknown = set(params) - set(self.defaults)
-        if unknown:
-            raise ServiceError(
-                f"backend {self.name!r} does not accept parameters {sorted(unknown)}; "
-                f"known parameters: {sorted(self.defaults)}"
-            )
-        resolved = dict(self.defaults)
-        for key, value in params.items():
-            try:
-                resolved[key] = float(value)
-            except (TypeError, ValueError):
-                raise ServiceError(
-                    f"backend {self.name!r} parameter {key!r} must be a number, "
-                    f"got {value!r}"
-                ) from None
-        return resolved
+    @property
+    def defaults(self) -> dict[str, Any]:
+        """Parameter name → default value (typed), derived from the specs."""
+        return {spec.name: spec.default for spec in self._specs()}
+
+    def _specs(self) -> tuple[ParamSpec, ...]:
+        if self.param_specs:
+            return tuple(self.param_specs)
+        legacy = getattr(type(self), "defaults", None)
+        if isinstance(legacy, Mapping):
+            return tuple(ParamSpec.floating(name, float(value)) for name, value in legacy.items())
+        return ()
+
+    def resolve_params(self, params: Mapping[str, Any]) -> dict[str, Any]:
+        """Merge ``params`` over the backend defaults, validating types and ranges."""
+        try:
+            return resolve_params(self._specs(), params, owner=f"backend {self.name!r}")
+        except ParamError as exc:
+            raise ServiceError(str(exc)) from None
 
     @abstractmethod
     def publish(
@@ -91,281 +101,137 @@ class AnonymizerBackend(ABC):
         """Publish the dataset of ``entry`` and return the result bundle."""
 
 
+class StrategyBackend(AnonymizerBackend):
+    """Adapter exposing one core pipeline strategy through the service interface."""
+
+    def __init__(self, strategy: PublishStrategy) -> None:
+        self._strategy = strategy
+        self.name = strategy.name
+        self.param_specs = strategy.params
+
+    @property
+    def strategy(self) -> PublishStrategy:
+        """The wrapped core strategy."""
+        return self._strategy
+
+    def publish(self, entry, params, seed, chunk_size, max_workers):
+        resolved = self.resolve_params(params)
+        strategy = self._strategy
+        if strategy.generalizes:
+            generalization, index, index_seconds, cached = entry.generalized(
+                resolved.get("significance", DEFAULT_SIGNIFICANCE)
+            )
+        else:
+            generalization = None
+            index, index_seconds, cached = entry.groups()
+
+        def runner(items, chunk_fn, chunk_seed, size):
+            return run_chunked(items, chunk_fn, chunk_seed, size, max_workers)
+
+        pipeline = (
+            PublishPipeline(strategy, **resolved)
+            .with_rng(seed)
+            .with_chunk_size(chunk_size)
+            .with_runner(runner)
+            .with_groups(index)
+        )
+        if generalization is not None:
+            pipeline.with_generalization(generalization)
+        report = pipeline.run(entry.table)
+        metadata = {"params": report.params, **report.metadata}
+        if report.groups:
+            metadata.update(
+                n_groups=len(report.groups),
+                n_sampled_groups=report.n_sampled_groups,
+                sampled_fraction=report.sampled_fraction,
+            )
+        return BackendResult(
+            published=report.published,
+            audit=report.audit,
+            metadata=metadata,
+            group_index_seconds=index_seconds,
+            group_index_cached=cached,
+        )
+
+
 # ---------------------------------------------------------------------- #
 # Backend registry
 # ---------------------------------------------------------------------- #
 
 _BACKENDS: dict[str, AnonymizerBackend] = {}
+# The HTTP front end is a ThreadingHTTPServer and adapters are created
+# lazily, so every read or write of _BACKENDS goes through this lock
+# (re-entrant: get_backend registers while holding it).
+_REGISTRY_LOCK = threading.RLock()
 
 
 def register_backend(backend: AnonymizerBackend, replace: bool = False) -> AnonymizerBackend:
     """Register a backend instance under its ``name``."""
     if not getattr(backend, "name", ""):
         raise ServiceError("backend must declare a non-empty name")
-    if backend.name in _BACKENDS and not replace:
-        raise ServiceError(f"backend {backend.name!r} is already registered")
-    _BACKENDS[backend.name] = backend
+    with _REGISTRY_LOCK:
+        if backend.name in _BACKENDS and not replace:
+            raise ServiceError(f"backend {backend.name!r} is already registered")
+        _BACKENDS[backend.name] = backend
     return backend
 
 
 def get_backend(name: str) -> AnonymizerBackend:
-    """Look a backend up by name (raises :class:`ServiceError` if unknown)."""
-    try:
-        return _BACKENDS[name]
-    except KeyError:
-        raise ServiceError(
-            f"unknown backend {name!r}; available backends: {available_backends()}"
-        ) from None
+    """Look a backend up by name (raises :class:`ServiceError` if unknown).
+
+    Adapters mirror the core strategy registry: names present there but not
+    yet adapted (e.g. a strategy registered after import) are wrapped on
+    first use, a cached adapter whose core strategy was replaced
+    (``register_strategy(..., replace=True)``) is re-wrapped, and an adapter
+    whose core strategy was unregistered is dropped — so the service never
+    serves a stale strategy.  Re-wrapping uses ``replace=True`` so concurrent
+    first requests for the same name cannot race into a
+    duplicate-registration error.
+    """
+    with _REGISTRY_LOCK:
+        backend = _BACKENDS.get(name)
+        try:
+            strategy = get_strategy(name)
+        except UnknownStrategyError:
+            strategy = None
+        if backend is not None:
+            if isinstance(backend, StrategyBackend):
+                if strategy is None:
+                    _BACKENDS.pop(name, None)
+                    backend = None
+                elif backend.strategy is not strategy:
+                    return register_backend(StrategyBackend(strategy), replace=True)
+                else:
+                    return backend
+            else:
+                return backend
+        if strategy is None:
+            raise ServiceError(
+                f"unknown backend {name!r}; available backends: {available_backends()}"
+            )
+        return register_backend(StrategyBackend(strategy), replace=True)
 
 
 def available_backends() -> list[str]:
-    """Sorted names of all registered backends."""
-    return sorted(_BACKENDS)
+    """Sorted names of all selectable backends (registered + core strategies).
 
-
-def backend_descriptions() -> dict[str, dict[str, float]]:
-    """Map of backend name to its default parameters (for ``/stats`` and docs)."""
-    return {name: dict(backend.defaults) for name, backend in sorted(_BACKENDS.items())}
-
-
-# ---------------------------------------------------------------------- #
-# Shared chunked executors
-# ---------------------------------------------------------------------- #
-
-
-def _chunked_sps(
-    index: GroupIndex,
-    table: Table,
-    spec: PrivacySpec,
-    seed: int,
-    chunk_size: int,
-    max_workers: int,
-) -> tuple[Table, list[GroupPublication]]:
-    """Run SPS over ``index`` in deterministic seeded chunks."""
-    perturbation = UniformPerturbation(spec.retention_probability, spec.domain_size)
-    n_public = len(table.schema.public)
-
-    def chunk_fn(
-        chunk: Sequence[PersonalGroup], rng: np.random.Generator
-    ) -> tuple[np.ndarray, list[GroupPublication]]:
-        return sps_publish_groups(chunk, spec, rng, n_public, perturbation)
-
-    results = run_chunked(list(index), chunk_fn, seed, chunk_size, max_workers)
-    blocks = [codes for codes, _ in results if codes.size]
-    records = [record for _, chunk_records in results for record in chunk_records]
-    if blocks:
-        codes = np.vstack(blocks)
-    else:
-        codes = np.empty((0, n_public + 1), dtype=np.int64)
-    return Table(table.schema, codes), records
-
-
-def _sampled_stats(records: list[GroupPublication]) -> dict[str, Any]:
-    sampled = sum(1 for r in records if r.sampled)
-    return {
-        "n_groups": len(records),
-        "n_sampled_groups": sampled,
-        "sampled_fraction": sampled / len(records) if records else 0.0,
-    }
-
-
-# ---------------------------------------------------------------------- #
-# Concrete backends
-# ---------------------------------------------------------------------- #
-
-
-class SPSBackend(AnonymizerBackend):
-    """The paper's SPS enforcement algorithm over the cached group index."""
-
-    name = "sps"
-    defaults = {"lam": 0.3, "delta": 0.3, "retention_probability": 0.5}
-
-    def publish(self, entry, params, seed, chunk_size, max_workers):
-        resolved = self.resolve_params(params)
-        table = entry.table
-        spec = PrivacySpec(
-            lam=resolved["lam"],
-            delta=resolved["delta"],
-            retention_probability=resolved["retention_probability"],
-            domain_size=table.schema.sensitive_domain_size,
-        )
-        index, index_seconds, cached = entry.groups()
-        published, records = _chunked_sps(index, table, spec, seed, chunk_size, max_workers)
-        audit = audit_table(table, spec, groups=index)
-        return BackendResult(
-            published=published,
-            audit=audit,
-            metadata={"params": resolved, **_sampled_stats(records)},
-            group_index_seconds=index_seconds,
-            group_index_cached=cached,
-        )
-
-
-class UniformBackend(AnonymizerBackend):
-    """Plain uniform perturbation (the UP baseline), audited but never sampled."""
-
-    name = "uniform"
-    defaults = {"lam": 0.3, "delta": 0.3, "retention_probability": 0.5}
-
-    def publish(self, entry, params, seed, chunk_size, max_workers):
-        resolved = self.resolve_params(params)
-        table = entry.table
-        spec = PrivacySpec(
-            lam=resolved["lam"],
-            delta=resolved["delta"],
-            retention_probability=resolved["retention_probability"],
-            domain_size=table.schema.sensitive_domain_size,
-        )
-        operator = UniformPerturbation(spec.retention_probability, spec.domain_size)
-        rng = np.random.default_rng(np.random.SeedSequence(seed))
-        published = operator.perturb_table(table, rng)
-        index, index_seconds, cached = entry.groups()
-        audit = audit_table(table, spec, groups=index)
-        return BackendResult(
-            published=published,
-            audit=audit,
-            metadata={"params": resolved},
-            group_index_seconds=index_seconds,
-            group_index_cached=cached,
-        )
-
-
-class _DPHistogramBackend(AnonymizerBackend):
-    """Shared machinery of the DP backends: noisy per-group SA histograms.
-
-    For each personal group, add independent noise to its SA count vector,
-    clamp to non-negative integers and emit that many records per value.  The
-    NA key structure is preserved exactly (as the paper's model requires);
-    only the per-group SA histograms are privatised.
+    Strategy adapters whose core strategy has been unregistered are excluded,
+    mirroring :func:`get_backend`.
     """
-
-    def _mechanism(self, resolved: Mapping[str, float]):
-        raise NotImplementedError
-
-    def _mechanism_metadata(self, mechanism) -> dict[str, Any]:
-        raise NotImplementedError
-
-    def publish(self, entry, params, seed, chunk_size, max_workers):
-        resolved = self.resolve_params(params)
-        mechanism = self._mechanism(resolved)
-        table = entry.table
-        m = table.schema.sensitive_domain_size
-        n_public = len(table.schema.public)
-        index, index_seconds, cached = entry.groups()
-
-        def chunk_fn(chunk: Sequence[PersonalGroup], rng: np.random.Generator) -> np.ndarray:
-            blocks: list[np.ndarray] = []
-            for group in chunk:
-                noisy = np.asarray(
-                    mechanism.add_noise(group.sensitive_counts.astype(float), rng)
-                )
-                counts = np.maximum(0, np.rint(noisy)).astype(np.int64)
-                codes = np.repeat(np.arange(m, dtype=np.int64), counts)
-                if codes.size == 0:
-                    continue
-                block = np.empty((codes.size, n_public + 1), dtype=np.int64)
-                block[:, :n_public] = np.asarray(group.key, dtype=np.int64)
-                block[:, n_public] = codes
-                blocks.append(block)
-            if blocks:
-                return np.vstack(blocks)
-            return np.empty((0, n_public + 1), dtype=np.int64)
-
-        results = run_chunked(list(index), chunk_fn, seed, chunk_size, max_workers)
-        nonempty = [block for block in results if block.size]
-        if nonempty:
-            codes = np.vstack(nonempty)
-        else:
-            codes = np.empty((0, n_public + 1), dtype=np.int64)
-        return BackendResult(
-            published=Table(table.schema, codes),
-            audit=None,
-            metadata={"params": resolved, **self._mechanism_metadata(mechanism)},
-            group_index_seconds=index_seconds,
-            group_index_cached=cached,
-        )
-
-
-class DPLaplaceBackend(_DPHistogramBackend):
-    """Laplace-mechanism histogram publication (epsilon-DP per count)."""
-
-    name = "dp-laplace"
-    defaults = {"epsilon": 1.0, "sensitivity": 1.0}
-
-    def _mechanism(self, resolved):
-        return LaplaceMechanism(resolved["epsilon"], sensitivity=resolved["sensitivity"])
-
-    def _mechanism_metadata(self, mechanism):
-        return {"scale": mechanism.scale, "noise_variance": mechanism.variance}
-
-
-class DPGaussianBackend(_DPHistogramBackend):
-    """Gaussian-mechanism histogram publication ((epsilon, delta)-DP per count)."""
-
-    name = "dp-gaussian"
-    defaults = {"epsilon": 1.0, "dp_delta": 1e-5, "sensitivity": 1.0}
-
-    def _mechanism(self, resolved):
-        return GaussianMechanism(
-            resolved["epsilon"], resolved["dp_delta"], sensitivity=resolved["sensitivity"]
-        )
-
-    def _mechanism_metadata(self, mechanism):
-        return {"sigma": mechanism.sigma, "noise_variance": mechanism.variance}
-
-
-class GeneralizeSPSBackend(AnonymizerBackend):
-    """Chi-square generalisation of the public attributes followed by SPS.
-
-    This is the paper's full publishing pipeline (Sections 3.4 + 5): merge
-    NA values with the same SA impact first, then enforce the criterion on
-    the generalised personal groups.  The generalised table and its group
-    index are cached on the dataset entry per significance level.
-    """
-
-    name = "generalize+sps"
-    defaults = {
-        "lam": 0.3,
-        "delta": 0.3,
-        "retention_probability": 0.5,
-        "significance": 0.05,
-    }
-
-    def publish(self, entry, params, seed, chunk_size, max_workers):
-        resolved = self.resolve_params(params)
-        generalization, index, index_seconds, cached = entry.generalized(
-            resolved["significance"]
-        )
-        table = generalization.table
-        spec = PrivacySpec(
-            lam=resolved["lam"],
-            delta=resolved["delta"],
-            retention_probability=resolved["retention_probability"],
-            domain_size=table.schema.sensitive_domain_size,
-        )
-        published, records = _chunked_sps(index, table, spec, seed, chunk_size, max_workers)
-        audit = audit_table(table, spec, groups=index)
-        domains = {
-            merge.original.name: {
-                "before": merge.original_domain_size,
-                "after": merge.generalized_domain_size,
-            }
-            for merge in generalization.merges
+    strategies = set(available_strategies())
+    with _REGISTRY_LOCK:
+        names = {
+            name
+            for name, backend in _BACKENDS.items()
+            if name in strategies or not isinstance(backend, StrategyBackend)
         }
-        return BackendResult(
-            published=published,
-            audit=audit,
-            metadata={"params": resolved, "generalized_domains": domains, **_sampled_stats(records)},
-            group_index_seconds=index_seconds,
-            group_index_cached=cached,
-        )
+    return sorted(names | strategies)
 
 
-for _backend in (
-    SPSBackend(),
-    UniformBackend(),
-    DPLaplaceBackend(),
-    DPGaussianBackend(),
-    GeneralizeSPSBackend(),
-):
-    register_backend(_backend)
+def backend_descriptions() -> dict[str, dict[str, Any]]:
+    """Map of backend name to its default parameters (for ``/stats`` and docs)."""
+    return {name: dict(get_backend(name).defaults) for name in available_backends()}
+
+
+for _name in available_strategies():
+    register_backend(StrategyBackend(get_strategy(_name)))

@@ -19,6 +19,7 @@ import sys
 from collections.abc import Sequence
 from typing import Any
 
+from repro import __version__
 from repro.dataset.loaders import write_csv
 from repro.service.backends import backend_descriptions
 from repro.service.engine import AnonymizationService
@@ -57,6 +58,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-service",
         description="Anonymization-as-a-service front end for the repro library.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 

@@ -13,12 +13,14 @@ import time
 from pathlib import Path
 from typing import IO, Any, Mapping
 
+from repro import __version__
 from repro.core.criterion import PrivacySpec
 from repro.core.testing import audit_table
 from repro.dataset.adult import generate_adult
 from repro.dataset.census import generate_census
 from repro.dataset.loaders import read_csv
 from repro.dataset.table import Table
+from repro.pipeline import strategy_descriptions
 from repro.service.backends import available_backends, backend_descriptions, get_backend
 from repro.service.models import AuditSummary, JobRecord, JobSpec, JobTimings
 from repro.service.parallel import DEFAULT_CHUNK_SIZE
@@ -241,6 +243,7 @@ class AnonymizationService:
             by_backend[record.spec.backend] = by_backend.get(record.spec.backend, 0) + 1
         entries = self.datasets.entries()
         return {
+            "version": __version__,
             "uptime_seconds": time.perf_counter() - self._started,
             "n_datasets": len(self.datasets),
             "n_jobs": len(records),
@@ -250,6 +253,7 @@ class AnonymizationService:
             "group_index_hits": sum(e.group_index_hits for e in entries),
             "group_index_misses": sum(e.group_index_misses for e in entries),
             "backends": backend_descriptions(),
+            "strategies": strategy_descriptions(),
         }
 
     def describe(self) -> dict[str, Any]:

@@ -8,8 +8,8 @@ Endpoints
 
 ====== ========================== ==========================================
 GET    ``/``                      service overview (datasets, jobs, backends)
-GET    ``/health``                liveness probe
-GET    ``/stats``                 counters: jobs, cache hits, backends
+GET    ``/health``                liveness probe (``/healthz`` is an alias)
+GET    ``/stats``                 counters: version, jobs, cache hits, backends
 GET    ``/datasets``              list registered datasets
 POST   ``/datasets``              register a CSV body (``?name=&sensitive=``)
 GET    ``/datasets/<name>``       one dataset's detail
@@ -34,6 +34,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 from urllib.parse import parse_qs, urlparse
 
+from repro import __version__
 from repro.service.engine import AnonymizationService
 from repro.service.parallel import DEFAULT_CHUNK_SIZE
 from repro.service.registry import NotFoundError, ServiceError
@@ -82,7 +83,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     """Routes HTTP requests to the owning server's :class:`AnonymizationService`."""
 
     protocol_version = "HTTP/1.1"
-    server_version = "repro-service/1.1"
+    server_version = f"repro-service/{__version__}"
 
     @property
     def service(self) -> AnonymizationService:
@@ -162,8 +163,8 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             if not parts:
                 self._send_json(self.service.describe())
                 return True
-            if parts == ["health"]:
-                self._send_json({"status": "ok"})
+            if parts in (["health"], ["healthz"]):
+                self._send_json({"status": "ok", "version": __version__})
                 return True
             if parts == ["stats"]:
                 self._send_json(self.service.stats())

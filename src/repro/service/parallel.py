@@ -1,19 +1,15 @@
-"""Deterministic chunked fan-out over personal groups.
+"""Thread-pool chunk execution for the service.
 
-The engine's parallelism contract is: *the published table depends only on
-the seed and the chunk size, never on the worker count or scheduling order*.
-That holds because
+The chunking and per-chunk seeding scheme lives in
+:mod:`repro.pipeline.execution` (it is the library/service-shared
+determinism contract: the published table depends only on the seed and the
+chunk size, never on the worker count or scheduling order).  This module adds
+the one thing that is a service concern: fanning those chunks out over a
+``concurrent.futures`` thread pool.
 
-1. the group list is split into fixed-size chunks **before** any worker runs;
-2. each chunk gets its own child generator derived from
-   ``numpy.random.SeedSequence(seed).spawn(n_chunks)`` (the spawn tree is a
-   pure function of the root seed);
-3. chunk outputs are concatenated in chunk order, whatever order the workers
-   finished in.
-
-So ``max_workers=1`` and ``max_workers=32`` produce byte-identical output,
-which makes the service's parallel hot path testable against its sequential
-reference.
+``max_workers=1`` and ``max_workers=32`` produce byte-identical output, which
+makes the service's parallel hot path testable against the library's
+sequential reference (:func:`repro.pipeline.execution.run_chunks_serial`).
 """
 
 from __future__ import annotations
@@ -24,26 +20,12 @@ from typing import TypeVar
 
 import numpy as np
 
+from repro.pipeline.execution import DEFAULT_CHUNK_SIZE, chunk_items, chunk_rngs
+
+__all__ = ["DEFAULT_CHUNK_SIZE", "chunk_items", "chunk_rngs", "run_chunked"]
+
 T = TypeVar("T")
 R = TypeVar("R")
-
-#: Default number of personal groups per work chunk.
-DEFAULT_CHUNK_SIZE = 256
-
-
-def chunk_items(items: Sequence[T], chunk_size: int) -> list[Sequence[T]]:
-    """Split ``items`` into consecutive chunks of at most ``chunk_size``."""
-    if chunk_size <= 0:
-        raise ValueError("chunk_size must be positive")
-    return [items[start : start + chunk_size] for start in range(0, len(items), chunk_size)]
-
-
-def chunk_rngs(seed: int, n_chunks: int) -> list[np.random.Generator]:
-    """Derive one independent, reproducible generator per chunk from ``seed``."""
-    if n_chunks == 0:
-        return []
-    children = np.random.SeedSequence(seed).spawn(n_chunks)
-    return [np.random.default_rng(child) for child in children]
 
 
 def run_chunked(

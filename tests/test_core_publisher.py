@@ -6,7 +6,6 @@ import pytest
 from repro.core.publisher import ReconstructionPrivacyPublisher
 from repro.dataset.adult import generate_adult
 from repro.dataset.groups import personal_groups
-from repro.core.testing import audit_table
 
 
 @pytest.fixture(scope="module")

@@ -80,3 +80,25 @@ class TestFileLikeSources:
         path.write_text("Job,Income\n")
         with pytest.raises(SchemaError, match="no data rows"):
             read_csv(path, sensitive="Income")
+
+
+class TestFileLikeDestinations:
+    def test_write_to_stream_roundtrips(self, small_table):
+        stream = io.StringIO()
+        write_csv(small_table, stream)
+        stream.seek(0)
+        loaded = read_csv(stream, sensitive="Disease")
+        assert len(loaded) == len(small_table)
+        assert loaded.count({"Gender": "male", "Job": "eng"}, "d0") == 6
+
+    def test_stream_not_closed_after_write(self, small_table):
+        stream = io.StringIO()
+        write_csv(small_table, stream)
+        assert not stream.closed
+
+    def test_stream_write_matches_file_write(self, small_table, tmp_path):
+        path = tmp_path / "data.csv"
+        write_csv(small_table, path)
+        stream = io.StringIO()
+        write_csv(small_table, stream)
+        assert stream.getvalue().splitlines() == path.read_text().splitlines()

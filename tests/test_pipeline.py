@@ -1,0 +1,388 @@
+"""Tests for the strategy-first publishing pipeline (repro.pipeline)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.testing import audit_table
+from repro.dataset.groups import personal_groups
+from repro.pipeline import (
+    ParamError,
+    ParamSpec,
+    PublishPipeline,
+    PublishReport,
+    PublishStrategy,
+    StrategyOutcome,
+    UnknownStrategyError,
+    available_strategies,
+    get_strategy,
+    publish,
+    register_strategy,
+    strategy_descriptions,
+    unregister_strategy,
+)
+from repro.service.engine import AnonymizationService
+
+BUILTIN_STRATEGIES = {"sps", "uniform", "dp-laplace", "dp-gaussian", "generalize+sps"}
+
+
+class TestRegistry:
+    def test_builtin_strategies_registered(self):
+        assert BUILTIN_STRATEGIES <= set(available_strategies())
+
+    @pytest.mark.parametrize("name", sorted(BUILTIN_STRATEGIES))
+    def test_round_trip_by_name(self, name):
+        strategy = get_strategy(name)
+        assert strategy.name == name
+        assert name in strategy_descriptions()
+        assert isinstance(strategy.params, tuple)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(UnknownStrategyError, match="unknown strategy"):
+            get_strategy("no-such-strategy")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_strategy(get_strategy("sps"))
+
+    def test_descriptions_expose_typed_specs(self):
+        descriptions = strategy_descriptions()
+        lam = next(s for s in descriptions["sps"]["params"] if s["name"] == "lam")
+        assert lam["kind"] == "float"
+        assert lam["default"] == 0.3
+        assert descriptions["generalize+sps"]["generalizes"] is True
+        assert descriptions["dp-laplace"]["audits"] is False
+
+
+class TestTypedParams:
+    def test_float_param_keeps_float_type(self):
+        spec = ParamSpec.floating("x", 0.5)
+        assert spec.coerce(1) == 1.0
+        assert isinstance(spec.coerce(1), float)
+
+    def test_int_param_preserves_int_type(self):
+        spec = ParamSpec.integer("n", 4, minimum=1)
+        assert spec.coerce(7) == 7
+        assert isinstance(spec.coerce(7), int)
+        assert isinstance(spec.coerce(7.0), int)
+
+    def test_int_param_rejects_fractional_and_bool(self):
+        spec = ParamSpec.integer("n", 4)
+        with pytest.raises(ParamError, match="must be an integer"):
+            spec.coerce(2.5)
+        with pytest.raises(ParamError, match="must be an integer"):
+            spec.coerce(True)
+
+    def test_float_param_rejects_non_numbers(self):
+        spec = ParamSpec.floating("x", 0.5)
+        for bad in (None, "abc", True, float("nan")):
+            with pytest.raises(ParamError, match="must be a number"):
+                spec.coerce(bad)
+
+    def test_numeric_strings_accepted_for_http_compatibility(self):
+        # 1.1.x coerced str params with float(); keep accepting them.
+        assert ParamSpec.floating("x", 0.5).coerce("0.3") == 0.3
+        assert ParamSpec.integer("n", 1).coerce("7") == 7
+        assert isinstance(ParamSpec.integer("n", 1).coerce("7"), int)
+        with pytest.raises(ParamError, match="must be an integer"):
+            ParamSpec.integer("n", 1).coerce("2.5")
+
+    def test_range_violations_have_clear_errors(self):
+        with pytest.raises(ParamError, match=r"lambda.*\(0, inf\)"):
+            get_strategy("sps").resolve({"lam": -1.0})
+        with pytest.raises(ParamError, match=r"delta.*\(0, 1\)"):
+            get_strategy("sps").resolve({"delta": 1.0})
+        with pytest.raises(ParamError, match=r"\(0, 1\]"):
+            get_strategy("sps").resolve({"retention_probability": 0.0})
+
+    def test_unknown_params_rejected(self):
+        with pytest.raises(ParamError, match="does not accept parameters"):
+            get_strategy("sps").resolve({"typo": 1.0})
+
+    def test_bad_default_fails_at_declaration(self):
+        with pytest.raises(ParamError):
+            ParamSpec.floating("x", -1.0, minimum=0.0)
+
+    def test_defaults_are_coerced_to_declared_type(self):
+        assert ParamSpec.integer("n", 2.0).default == 2
+        assert isinstance(ParamSpec.integer("n", 2.0).default, int)
+        assert isinstance(ParamSpec.floating("x", 1).default, float)
+
+
+class TestPublishEntryPoint:
+    @pytest.mark.parametrize("name", sorted(BUILTIN_STRATEGIES))
+    def test_every_strategy_publishes(self, skewed_binary_table, name):
+        report = publish(skewed_binary_table, strategy=name, rng=7, chunk_size=2)
+        assert isinstance(report, PublishReport)
+        assert report.strategy == name
+        assert len(report.published) > 0
+        assert report.published.schema.sensitive_name == "Income"
+        assert report.total_seconds >= 0.0
+        assert set(report.timings) == {
+            "prepare", "generalize", "group_index", "audit", "enforce"
+        }
+
+    def test_audit_runs_for_auditing_strategies(self, skewed_binary_table):
+        report = publish(skewed_binary_table, strategy="sps", rng=1)
+        reference = audit_table(skewed_binary_table, report.spec)
+        assert report.audit.group_violation_rate == reference.group_violation_rate
+        assert publish(skewed_binary_table, strategy="dp-laplace", rng=1).audit is None
+
+    def test_audit_can_be_skipped(self, skewed_binary_table):
+        report = publish(skewed_binary_table, strategy="sps", rng=1, audit=False)
+        assert report.audit is None
+
+    def test_unaudited_whole_table_strategy_skips_group_index(
+        self, skewed_binary_table, monkeypatch
+    ):
+        from repro.pipeline import pipeline as pipeline_module
+
+        def boom(table):
+            raise AssertionError("group index should not be built")
+
+        monkeypatch.setattr(pipeline_module, "personal_groups", boom)
+        report = publish(skewed_binary_table, strategy="uniform", rng=1, audit=False)
+        assert len(report.published) == len(skewed_binary_table)
+        # With the audit on, the index is required again.
+        with pytest.raises(AssertionError, match="group index"):
+            publish(skewed_binary_table, strategy="uniform", rng=1)
+
+    def test_deterministic_for_fixed_seed(self, skewed_binary_table):
+        a = publish(skewed_binary_table, strategy="sps", rng=9, chunk_size=2)
+        b = publish(skewed_binary_table, strategy="sps", rng=9, chunk_size=2)
+        assert np.array_equal(a.published.codes, b.published.codes)
+        assert a.seed == b.seed == 9
+
+    def test_generator_rng_is_deterministic(self, skewed_binary_table):
+        a = publish(skewed_binary_table, strategy="sps", rng=np.random.default_rng(3))
+        b = publish(skewed_binary_table, strategy="sps", rng=np.random.default_rng(3))
+        assert np.array_equal(a.published.codes, b.published.codes)
+
+    def test_sps_report_carries_group_records(self, skewed_binary_table):
+        report = publish(skewed_binary_table, strategy="sps", rng=5)
+        assert len(report.groups) == len(personal_groups(skewed_binary_table))
+        assert report.summary()["n_sampled_groups"] == report.n_sampled_groups
+        assert report.sps.published is report.published
+
+    def test_generalize_strategy_reports_domains(self, skewed_binary_table):
+        report = publish(skewed_binary_table, strategy="generalize+sps", rng=6)
+        assert report.generalization is not None
+        assert report.metadata["generalized_domains"]["Group"]["before"] == 3
+
+    def test_dp_report_has_no_sps_view(self, skewed_binary_table):
+        report = publish(skewed_binary_table, strategy="dp-laplace", rng=5)
+        with pytest.raises(ValueError, match="no privacy spec"):
+            report.sps
+        assert report.summary()["strategy"] == "dp-laplace"
+
+    def test_generalization_rejected_for_non_generalizing_strategy(
+        self, skewed_binary_table
+    ):
+        from repro.generalization.merging import generalize_table
+
+        generalization = generalize_table(skewed_binary_table)
+        with pytest.raises(ValueError, match="no generalize stage"):
+            publish(skewed_binary_table, strategy="sps", generalization=generalization)
+
+    def test_raw_groups_rejected_for_generalizing_strategy(self, skewed_binary_table):
+        # A raw-table index would silently be enforced against the generalised
+        # schema; the pipeline demands the matching generalization.
+        raw_groups = personal_groups(skewed_binary_table)
+        with pytest.raises(ValueError, match="with_generalization"):
+            publish(skewed_binary_table, strategy="generalize+sps", groups=raw_groups)
+
+    def test_cached_groups_with_matching_generalization(self, skewed_binary_table):
+        from repro.generalization.merging import generalize_table
+
+        generalization = generalize_table(skewed_binary_table)
+        groups = personal_groups(generalization.table)
+        report = publish(
+            skewed_binary_table, strategy="generalize+sps",
+            rng=4, groups=groups, generalization=generalization,
+        )
+        assert report.group_index_cached is True
+        assert report.generalization is generalization
+
+
+class TestFluentBuilder:
+    def test_chained_configuration(self, skewed_binary_table):
+        index = personal_groups(skewed_binary_table)
+        report = (
+            PublishPipeline("sps", lam=0.4)
+            .with_params(delta=0.2)
+            .with_rng(11)
+            .with_chunk_size(2)
+            .with_groups(index)
+            .with_audit(False)
+            .run(skewed_binary_table)
+        )
+        assert report.params["lam"] == 0.4
+        assert report.params["delta"] == 0.2
+        assert report.audit is None
+        assert report.group_index_cached is True
+
+    def test_pipeline_is_reusable(self, skewed_binary_table):
+        pipeline = PublishPipeline("sps").with_rng(2)
+        a = pipeline.run(skewed_binary_table)
+        b = pipeline.run(skewed_binary_table)
+        assert np.array_equal(a.published.codes, b.published.codes)
+
+    def test_bad_chunk_size_rejected(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            PublishPipeline("sps").with_chunk_size(0)
+
+
+class TestCoreServiceEquivalence:
+    """Same seed ⇒ identical published table through either entry point."""
+
+    @pytest.mark.parametrize("name", sorted(BUILTIN_STRATEGIES))
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_library_and_service_agree(self, skewed_binary_table, name, workers):
+        library = publish(skewed_binary_table, strategy=name, rng=21, chunk_size=2)
+        service = AnonymizationService()
+        service.register_table("skewed", skewed_binary_table)
+        job = service.publish(
+            "skewed", name, seed=21, chunk_size=2, max_workers=workers
+        )
+        assert (
+            library.published.codes.tobytes() == job.published.codes.tobytes()
+        ), f"library and service outputs diverge for {name!r}"
+
+
+class TestCustomStrategy:
+    def test_registered_once_available_everywhere(self, skewed_binary_table):
+        class TopKStrategy(PublishStrategy):
+            """Keep only the n_keep most common SA values per group (toy)."""
+
+            name = "test-top-k"
+            audits = False
+            params = (
+                ParamSpec.integer("n_keep", 1, minimum=1, doc="values kept per group"),
+            )
+
+            def enforce(self, table, groups, spec, resolved, seed, runner, chunk_size):
+                keep = resolved["n_keep"]
+                assert isinstance(keep, int)  # typed specs preserve int
+                n_public = len(table.schema.public)
+                blocks = []
+                for group in groups:
+                    top = np.argsort(group.sensitive_counts)[::-1][:keep]
+                    codes = np.repeat(top, group.sensitive_counts[top])
+                    block = np.empty((codes.size, n_public + 1), dtype=np.int64)
+                    block[:, :n_public] = np.asarray(group.key, dtype=np.int64)
+                    block[:, n_public] = codes
+                    blocks.append(block)
+                from repro.dataset.table import Table
+
+                return StrategyOutcome(published=Table(table.schema, np.vstack(blocks)))
+
+        register_strategy(TopKStrategy())
+        try:
+            # Library path.
+            report = publish(skewed_binary_table, strategy="test-top-k", n_keep=1)
+            assert len(report.published) > 0
+            # Fractional n_keep is rejected with the declared type.
+            with pytest.raises(ParamError, match="must be an integer"):
+                publish(skewed_binary_table, strategy="test-top-k", n_keep=1.5)
+            # Service path picks the strategy up without any service-side code.
+            service = AnonymizationService()
+            service.register_table("skewed", skewed_binary_table)
+            job = service.publish("skewed", "test-top-k", params={"n_keep": 2})
+            assert job.status == "completed"
+            assert job.spec.backend == "test-top-k"
+        finally:
+            unregister_strategy("test-top-k")
+            from repro.service import backends as backends_module
+
+            backends_module._BACKENDS.pop("test-top-k", None)
+
+    def test_generalizing_strategy_without_significance_param(self, skewed_binary_table):
+        """A custom generalizing strategy need not declare 'significance'."""
+        from repro.pipeline.strategy import SPSStrategy
+
+        class GeneralizingSPS(SPSStrategy):
+            name = "test-generalizing"
+            generalizes = True  # inherits sps params only — no significance
+
+        register_strategy(GeneralizingSPS())
+        try:
+            report = publish(skewed_binary_table, strategy="test-generalizing", rng=2)
+            assert report.generalization is not None
+            service = AnonymizationService()
+            service.register_table("skewed", skewed_binary_table)
+            assert service.publish("skewed", "test-generalizing").status == "completed"
+        finally:
+            unregister_strategy("test-generalizing")
+            from repro.service import backends as backends_module
+
+            backends_module._BACKENDS.pop("test-generalizing", None)
+
+    def test_replaced_strategy_reaches_the_service(self, skewed_binary_table):
+        """register_strategy(replace=True) must not leave a stale service adapter."""
+        from repro.pipeline.strategy import SPSStrategy
+        from repro.service.backends import get_backend
+
+        original = get_strategy("sps")
+        assert get_backend("sps").strategy is original
+        replacement = SPSStrategy()
+        try:
+            register_strategy(replacement, replace=True)
+            assert get_backend("sps").strategy is replacement
+        finally:
+            register_strategy(original, replace=True)
+            assert get_backend("sps").strategy is original
+
+    def test_unregistered_strategy_disappears_from_the_service(self):
+        """unregister_strategy must also retire the cached service adapter."""
+        from repro.pipeline.strategy import SPSStrategy
+        from repro.service.backends import available_backends, get_backend
+        from repro.service.registry import ServiceError
+
+        class Ephemeral(SPSStrategy):
+            name = "test-ephemeral"
+
+        register_strategy(Ephemeral())
+        assert get_backend("test-ephemeral").strategy.name == "test-ephemeral"
+        assert "test-ephemeral" in available_backends()
+        unregister_strategy("test-ephemeral")
+        assert "test-ephemeral" not in available_backends()
+        with pytest.raises(ServiceError, match="unknown backend"):
+            get_backend("test-ephemeral")
+
+
+class TestDeprecatedPublisherShim:
+    def test_constructor_warns_but_old_signature_works(self, skewed_binary_table):
+        with pytest.warns(DeprecationWarning, match="repro.publish"):
+            publisher = repro.ReconstructionPrivacyPublisher(
+                lam=0.3, delta=0.3, retention_probability=0.5
+            )
+        result = publisher.publish(skewed_binary_table, rng=0)
+        assert isinstance(result, repro.PublishResult)
+        assert result.generalization is not None
+        assert result.audit is not None
+        assert len(result.published) > 0
+        assert result.sps.spec == result.spec
+
+    def test_shim_matches_pipeline_output(self, skewed_binary_table):
+        with pytest.warns(DeprecationWarning):
+            publisher = repro.ReconstructionPrivacyPublisher(
+                lam=0.3, delta=0.3, retention_probability=0.5, generalize=False
+            )
+        old_style = publisher.publish(skewed_binary_table, rng=13)
+        new_style = publish(
+            skewed_binary_table, strategy="sps",
+            lam=0.3, delta=0.3, retention_probability=0.5, rng=13,
+        )
+        assert np.array_equal(
+            old_style.published.codes, new_style.published.codes
+        )
+
+    def test_audit_and_baseline_signatures_still_work(self, skewed_binary_table):
+        with pytest.warns(DeprecationWarning):
+            publisher = repro.ReconstructionPrivacyPublisher(
+                lam=0.3, delta=0.3, retention_probability=0.5, generalize=False
+            )
+        audit = publisher.audit(skewed_binary_table)
+        assert audit.n_groups == 3
+        baseline = publisher.publish_uniform_baseline(skewed_binary_table, rng=0)
+        assert len(baseline) == len(skewed_binary_table)

@@ -101,3 +101,20 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_experiments_runner_version_flag(self, capsys):
+        from repro import __version__
+        from repro.experiments.runner import main as experiments_main
+
+        with pytest.raises(SystemExit) as excinfo:
+            experiments_main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out

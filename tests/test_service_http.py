@@ -109,9 +109,26 @@ class TestEndToEnd:
         assert stats["group_index_hits"] >= 2
 
     def test_health_and_overview(self, server_url):
-        assert get_json(f"{server_url}/health") == {"status": "ok"}
+        from repro import __version__
+
+        for endpoint in ("health", "healthz"):
+            payload = get_json(f"{server_url}/{endpoint}")
+            assert payload["status"] == "ok"
+            assert payload["version"] == __version__
         overview = get_json(f"{server_url}/")
         assert "sps" in overview["backends"]
+
+    def test_stats_reports_version_and_strategies(self, server_url):
+        from repro import __version__
+
+        stats = get_json(f"{server_url}/stats")
+        assert stats["version"] == __version__
+        # Typed parameter specs are exposed alongside the legacy defaults map.
+        assert stats["backends"]["sps"]["lam"] == 0.3
+        sps = stats["strategies"]["sps"]
+        lam = next(spec for spec in sps["params"] if spec["name"] == "lam")
+        assert lam["kind"] == "float"
+        assert lam["range"] == "(0, inf)"
 
 
 class TestErrorHandling:

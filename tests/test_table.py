@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.dataset.schema import Attribute, Schema, SchemaError
+from repro.dataset.schema import SchemaError
 from repro.dataset.table import Table
 
 
