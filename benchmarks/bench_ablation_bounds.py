@@ -1,53 +1,17 @@
-"""Ablation: how the choice of tail bound changes the privacy test.
+"""Ablation: thin pytest-benchmark wrapper over the ``ablation-bounds`` scenario.
 
-DESIGN.md calls out the Chernoff-vs-Chebyshev/Markov decision.  A looser bound
-overstates the adversary's uncertainty and therefore under-detects violations;
-this benchmark measures the violation rate of the same ADULT sample under all
-three bounds (the Chernoff-based Corollary 4 test, and per-group tests built
-on the Chebyshev and Markov bounds via smallest_error_bound).
+DESIGN.md calls out the Chernoff-vs-Chebyshev/Markov decision; the scenario
+measures the violation rate of the same ADULT sample under all three bounds.
 """
 
-from repro.core.criterion import PrivacySpec, smallest_error_bound
-from repro.core.testing import audit_table
-from repro.dataset.adult import generate_adult
-from repro.dataset.groups import personal_groups
-from repro.generalization.merging import generalize_table
+from repro.bench.paper import paper_scenario
 
-
-def violation_rates_by_bound(adult_size: int, seed: int) -> dict[str, float]:
-    table = generalize_table(generate_adult(adult_size, seed=seed)).table
-    spec = PrivacySpec(lam=0.3, delta=0.3, retention_probability=0.5, domain_size=2)
-    groups = list(personal_groups(table))
-
-    rates = {}
-    chernoff_audit = audit_table(table, spec)
-    rates["chernoff"] = chernoff_audit.group_violation_rate
-    for method in ("chebyshev", "markov"):
-        violations = sum(
-            1
-            for group in groups
-            if smallest_error_bound(spec, group.size, group.max_frequency, method=method) < spec.delta
-        )
-        rates[method] = violations / len(groups)
-    return rates
+SCENARIO = paper_scenario("ablation-bounds")
 
 
 def test_ablation_bound_choice(benchmark, experiment_config, save_result):
     rates = benchmark.pedantic(
-        violation_rates_by_bound,
-        args=(min(experiment_config.adult_size, 20_000), experiment_config.seed),
-        rounds=1,
-        iterations=1,
+        SCENARIO.run, args=(experiment_config,), rounds=1, iterations=1
     )
-    save_result(
-        "ablation_bounds",
-        "Group violation rate on ADULT by tail bound\n"
-        + "\n".join(f"{name:10s}: {rate:.3f}" for name, rate in rates.items()),
-    )
-    # Markov is far too loose to certify anything, so it flags (essentially)
-    # no violations.  Chebyshev uses the exact variance and can flag more
-    # groups than Chernoff at moderate deviations, while Chernoff's
-    # exponential tail dominates for large ones -- the paper standardises on
-    # Chernoff because it is the classical bound for Poisson trials.
-    assert rates["markov"] <= min(rates["chernoff"], rates["chebyshev"]) + 1e-9
-    assert rates["chernoff"] > 0
+    save_result("ablation_bounds", SCENARIO.render(rates))
+    SCENARIO.check(rates, experiment_config)

@@ -1,73 +1,17 @@
-"""Ablation: SPS sampling versus the "just lower p" alternative (Section 5).
+"""Ablation: thin pytest-benchmark wrapper over the ``ablation-sampling`` scenario.
 
-The paper argues that restoring reconstruction privacy by reducing the
-retention probability p globally hurts utility far more than sampling only
-the violating groups.  This benchmark quantifies that claim: it finds the
-largest p' that makes the whole (generalised) ADULT sample reconstruction
-private without sampling, then compares query error of (a) SPS at the original
-p against (b) plain UP at that reduced p'.
+Quantifies Section 5's claim that restoring privacy by lowering p globally
+hurts utility far more than SPS's targeted sampling.
 """
 
-import numpy as np
+from repro.bench.paper import paper_scenario
 
-from repro.analysis.utility import compare_up_and_sps
-from repro.core.criterion import PrivacySpec
-from repro.core.testing import audit_table
-from repro.dataset.adult import generate_adult
-from repro.generalization.merging import generalize_table
-from repro.perturbation.uniform import perturb_table
-from repro.queries.error import average_relative_error
-from repro.queries.workload import WorkloadConfig, generate_workload
-
-
-def _largest_private_retention(table, lam, delta, domain_size) -> float:
-    """The largest p on a coarse grid for which no personal group violates."""
-    for p in np.arange(0.95, 0.009, -0.05):
-        spec = PrivacySpec(lam=lam, delta=delta, retention_probability=float(p), domain_size=domain_size)
-        if audit_table(table, spec).is_private:
-            return float(p)
-    return 0.01
-
-
-def run_ablation(adult_size: int, seed: int) -> dict:
-    raw = generate_adult(adult_size, seed=seed)
-    generalization = generalize_table(raw)
-    table = generalization.table
-    queries = generate_workload(
-        raw, table, WorkloadConfig(n_queries=200), generalization=generalization, rng=seed
-    )
-    lam = delta = 0.3
-    p = 0.5
-    spec = PrivacySpec(lam=lam, delta=delta, retention_probability=p, domain_size=2)
-
-    comparison = compare_up_and_sps(table, spec, queries, runs=2, rng=seed)
-    reduced_p = _largest_private_retention(table, lam, delta, 2)
-    reduced_errors = [
-        average_relative_error(queries, table, perturb_table(table, reduced_p, rng=seed + i), reduced_p)
-        for i in range(2)
-    ]
-    return {
-        "sps_error": comparison.sps_error,
-        "up_error": comparison.up_error,
-        "reduced_p": reduced_p,
-        "reduced_p_error": float(np.mean(reduced_errors)),
-    }
+SCENARIO = paper_scenario("ablation-sampling")
 
 
 def test_ablation_sampling_beats_lowering_p(benchmark, experiment_config, save_result):
     result = benchmark.pedantic(
-        run_ablation, args=(min(experiment_config.adult_size, 20_000), experiment_config.seed),
-        rounds=1, iterations=1,
+        SCENARIO.run, args=(experiment_config,), rounds=1, iterations=1
     )
-    save_result(
-        "ablation_sampling",
-        "SPS at p=0.5 vs global p reduction (ADULT)\n"
-        f"UP error at p=0.5          : {result['up_error']:.4f}\n"
-        f"SPS error at p=0.5         : {result['sps_error']:.4f}\n"
-        f"largest private p          : {result['reduced_p']:.2f}\n"
-        f"UP error at that reduced p : {result['reduced_p_error']:.4f}\n",
-    )
-    # Achieving privacy by lowering p globally needs a very noisy p ...
-    assert result["reduced_p"] <= 0.2
-    # ... and costs far more utility than SPS sampling at the original p.
-    assert result["reduced_p_error"] > result["sps_error"]
+    save_result("ablation_sampling", SCENARIO.render(result))
+    SCENARIO.check(result, experiment_config)

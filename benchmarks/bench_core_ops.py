@@ -1,57 +1,37 @@
 """Micro-benchmarks of the core operations (throughput, not paper figures).
 
-These time the individual building blocks so regressions in the hot paths
-(perturbation, group indexing, auditing, SPS publishing, MLE reconstruction)
-are visible, mirroring the paper's complexity claim that SPS is a sort plus a
-single scan.
+The operation set is defined once, in :func:`repro.bench.paper.core_op_callables`
+(the ``core-ops`` scenario of ``repro-bench run --suite paper``); this wrapper
+times each operation individually through pytest-benchmark so regressions in
+the hot paths (perturbation, group indexing, auditing, SPS publishing, MLE
+reconstruction) are attributable to one building block.
 """
 
-import numpy as np
 import pytest
 
-from repro.core.criterion import PrivacySpec
-from repro.core.sps import sps_publish
-from repro.core.testing import audit_table
-from repro.dataset.adult import generate_adult
-from repro.dataset.groups import personal_groups
-from repro.perturbation.uniform import UniformPerturbation
-from repro.reconstruction.mle import mle_frequencies
+from repro.bench.paper import CORE_OP_NAMES, core_op_callables, paper_scenario
+
+SCENARIO = paper_scenario("core-ops")
 
 
 @pytest.fixture(scope="module")
-def adult_20k():
-    return generate_adult(20_000, seed=0)
+def core_ops(experiment_config):
+    return core_op_callables(experiment_config)
 
 
-@pytest.fixture(scope="module")
-def adult_spec():
-    return PrivacySpec(lam=0.3, delta=0.3, retention_probability=0.5, domain_size=2)
+@pytest.mark.parametrize(
+    "op_name", [name for name in CORE_OP_NAMES if name != "adult-generation"]
+)
+def test_bench_core_op(benchmark, core_ops, op_name):
+    benchmark(core_ops[op_name])
 
 
-def test_bench_uniform_perturbation_throughput(benchmark):
-    operator = UniformPerturbation(0.5, 50)
-    codes = np.random.default_rng(0).integers(0, 50, size=200_000)
-    benchmark(operator.perturb_codes, codes, 1)
+def test_bench_adult_generation(benchmark, core_ops):
+    # Data generation is slower than the other ops; cap the rounds.
+    benchmark.pedantic(core_ops["adult-generation"], rounds=2, iterations=1)
 
 
-def test_bench_group_indexing(benchmark, adult_20k):
-    benchmark(personal_groups, adult_20k)
-
-
-def test_bench_privacy_audit(benchmark, adult_20k, adult_spec):
-    groups = personal_groups(adult_20k)
-    benchmark(audit_table, adult_20k, adult_spec, groups)
-
-
-def test_bench_sps_publish(benchmark, adult_20k, adult_spec):
-    groups = personal_groups(adult_20k)
-    benchmark(sps_publish, adult_20k, adult_spec, 0, groups)
-
-
-def test_bench_mle_reconstruction(benchmark):
-    counts = np.random.default_rng(1).integers(100, 10_000, size=50).astype(float)
-    benchmark(mle_frequencies, counts, 0.5)
-
-
-def test_bench_adult_generation(benchmark):
-    benchmark.pedantic(generate_adult, args=(20_000,), kwargs=dict(seed=1), rounds=2, iterations=1)
+def test_core_ops_scenario(experiment_config, save_result):
+    result = SCENARIO.run(experiment_config)
+    save_result("core_ops", SCENARIO.render(result))
+    SCENARIO.check(result, experiment_config)

@@ -1,40 +1,18 @@
-"""Ablation: reconstruction privacy versus the posterior/prior criteria.
+"""Ablation: thin pytest-benchmark wrapper over the ``criteria-comparison`` scenario.
 
-Section 1 of the paper argues that l-diversity / t-closeness / beta-likeness
-style criteria flag genuine statistical relationships as violations (hurting
-utility), while reconstruction privacy only flags groups whose *personal*
-reconstruction would be accurate.  This benchmark audits the same generalised
-ADULT sample under every implemented criterion so the difference in coverage
-is visible in one table.
+Audits the same generalised ADULT sample under every implemented criterion so
+the coverage difference between reconstruction privacy and the
+posterior/prior criteria is visible in one table.
 """
 
-from repro.core.criterion import PrivacySpec
-from repro.criteria.comparison import compare_criteria
-from repro.dataset.adult import generate_adult
-from repro.generalization.merging import generalize_table
+from repro.bench.paper import paper_scenario
 
-
-def run_comparison(adult_size: int, seed: int):
-    table = generalize_table(generate_adult(adult_size, seed=seed)).table
-    spec = PrivacySpec(lam=0.3, delta=0.3, retention_probability=0.5, domain_size=2)
-    return compare_criteria(table, spec, l=2, t=0.2, beta=1.0, k=3)
+SCENARIO = paper_scenario("criteria-comparison")
 
 
 def test_criteria_comparison_on_adult(benchmark, experiment_config, save_result):
     comparison = benchmark.pedantic(
-        run_comparison,
-        args=(min(experiment_config.adult_size, 20_000), experiment_config.seed),
-        rounds=1,
-        iterations=1,
+        SCENARIO.run, args=(experiment_config,), rounds=1, iterations=1
     )
-    save_result("criteria_comparison", comparison.render())
-
-    by_name = {report.criterion: report for report in comparison.reports}
-    # ADULT's binary SA makes t-closeness and beta-likeness flag many groups:
-    # strong income patterns exist in most education/occupation combinations.
-    assert by_name["t-closeness"].group_failure_rate > 0
-    assert by_name["beta-likeness"].group_failure_rate > 0
-    # Reconstruction privacy flags a substantial share too (Figure 2), but the
-    # *sets* differ: it keys on group size, not on distributional skew, so the
-    # two verdicts cannot coincide on every group.
-    assert 0 < comparison.reconstruction_group_rate < 1
+    save_result("criteria_comparison", SCENARIO.render(comparison))
+    SCENARIO.check(comparison, experiment_config)

@@ -1,21 +1,11 @@
-"""Figure 1: the maximum group size s_g versus the maximum frequency f."""
+"""Figure 1: thin pytest-benchmark wrapper over the ``figure1`` paper scenario."""
 
-from repro.experiments.figure1 import run_figure1
+from repro.bench.paper import paper_scenario
+
+SCENARIO = paper_scenario("figure1")
 
 
-def test_figure1_max_group_size_curves(benchmark, save_result):
-    panels = benchmark(run_figure1)
-    save_result("figure1", "\n\n".join(panel.render() for panel in panels.values()))
-
-    for panel in panels.values():
-        for retention, curve in panel.curves.items():
-            # s_g decreases monotonically in f for every retention probability.
-            assert all(a >= b for a, b in zip(curve, curve[1:]))
-        # A larger p always gives a smaller (or equal) s_g at the same f.
-        assert all(
-            low >= high for low, high in zip(panel.curves[0.3], panel.curves[0.7])
-        )
-
-    # CENSUS's small frequencies blow s_g up: the f = 0.1 threshold dwarfs
-    # anything in the ADULT panel, which is why CENSUS rarely violates.
-    assert panels["CENSUS"].curves[0.5][0] > max(panels["ADULT"].curves[0.5])
+def test_figure1_max_group_size_curves(benchmark, experiment_config, save_result):
+    panels = benchmark(SCENARIO.run, experiment_config)
+    save_result("figure1", SCENARIO.render(panels))
+    SCENARIO.check(panels, experiment_config)

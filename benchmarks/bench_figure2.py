@@ -1,29 +1,13 @@
-"""Figure 2: how often reconstruction privacy is violated on ADULT under plain UP."""
+"""Figure 2: thin pytest-benchmark wrapper over the ``figure2`` paper scenario."""
 
-from repro.experiments.violation_sweep import run_violation_sweep
+from repro.bench.paper import paper_scenario
+
+SCENARIO = paper_scenario("figure2")
 
 
 def test_figure2_adult_violation_rates(benchmark, experiment_config, save_result):
     sweeps = benchmark.pedantic(
-        run_violation_sweep,
-        kwargs=dict(config=experiment_config, datasets=("ADULT",), include_size_sweep=False),
-        rounds=1,
-        iterations=1,
+        SCENARIO.run, args=(experiment_config,), rounds=1, iterations=1
     )
-    adult = sweeps["ADULT"]
-    save_result("figure2", "\n\n".join(sweep.render() for sweep in adult.values()))
-
-    defaults = adult["p"]
-    default_index = defaults.values.index(experiment_config.retention)
-    # The headline of Section 6.2: at the default setting the majority of
-    # records sit in violating groups.
-    assert defaults.record_rates[default_index] > 0.5
-    # Coverage always dominates the group rate.
-    for sweep in adult.values():
-        for vg, vr in zip(sweep.group_rates, sweep.record_rates):
-            assert vr >= vg - 1e-9
-    # Violations grow with lambda and delta (Equation 9 shrinks s_g).
-    assert adult["lambda"].group_rates[-1] >= adult["lambda"].group_rates[0]
-    assert adult["delta"].group_rates[-1] >= adult["delta"].group_rates[0]
-    # Violations grow with p (more retention = more accurate reconstruction).
-    assert adult["p"].group_rates[-1] >= adult["p"].group_rates[0]
+    save_result("figure2", SCENARIO.render(sweeps))
+    SCENARIO.check(sweeps, experiment_config)

@@ -1,37 +1,18 @@
-"""Figure 3: the relative-error cost of SPS versus plain UP on ADULT."""
+"""Figure 3: thin pytest-benchmark wrapper over the ``figure3`` paper scenario.
 
-from repro.experiments.config import ExperimentConfig
-from repro.experiments.error_sweep import run_error_sweep
+The scenario trims the ADULT sample and the workload internally unless a
+paper-scale run was requested (the error sweep is the most expensive
+experiment).
+"""
+
+from repro.bench.paper import paper_scenario
+
+SCENARIO = paper_scenario("figure3")
 
 
 def test_figure3_adult_relative_error(benchmark, experiment_config, save_result):
-    # The error sweep is the most expensive experiment; trim the ADULT sample
-    # and the workload unless a paper-scale run was requested.
-    config = experiment_config
-    if config.adult_size > 20_000:
-        config = ExperimentConfig(
-            adult_size=20_000,
-            workload_queries=min(config.workload_queries, 400),
-            runs=min(config.runs, 3),
-            seed=config.seed,
-        )
     sweeps = benchmark.pedantic(
-        run_error_sweep,
-        kwargs=dict(config=config, datasets=("ADULT",), include_size_sweep=False),
-        rounds=1,
-        iterations=1,
+        SCENARIO.run, args=(experiment_config,), rounds=1, iterations=1
     )
-    adult = sweeps["ADULT"]
-    save_result("figure3", "\n\n".join(sweep.render() for sweep in adult.values()))
-
-    p_sweep = adult["p"]
-    # Error falls as the retention probability grows, for both UP and SPS.
-    assert p_sweep.up_errors[0] > p_sweep.up_errors[-1]
-    assert p_sweep.sps_errors[0] > p_sweep.sps_errors[-1]
-    # SPS never beats UP by more than Monte-Carlo noise, and its extra cost on
-    # the binary-SA ADULT stays within the roughly +50 % the paper reports
-    # (we allow up to +150 % because the scaled-down sample is noisier).
-    for sweep in adult.values():
-        for up, sps in zip(sweep.up_errors, sweep.sps_errors):
-            assert sps >= up - 0.03
-            assert sps <= 2.5 * up + 0.05
+    save_result("figure3", SCENARIO.render(sweeps))
+    SCENARIO.check(sweeps, experiment_config)

@@ -1,25 +1,13 @@
-"""Figure 4: how often reconstruction privacy is violated on CENSUS under plain UP."""
+"""Figure 4: thin pytest-benchmark wrapper over the ``figure4`` paper scenario."""
 
-from repro.experiments.violation_sweep import run_violation_sweep
+from repro.bench.paper import paper_scenario
+
+SCENARIO = paper_scenario("figure4")
 
 
 def test_figure4_census_violation_rates(benchmark, experiment_config, save_result):
     sweeps = benchmark.pedantic(
-        run_violation_sweep,
-        kwargs=dict(config=experiment_config, datasets=("CENSUS",), include_size_sweep=True),
-        rounds=1,
-        iterations=1,
+        SCENARIO.run, args=(experiment_config,), rounds=1, iterations=1
     )
-    census = sweeps["CENSUS"]
-    save_result("figure4", "\n\n".join(sweep.render() for sweep in census.values()))
-
-    # CENSUS's many balanced SA values keep the group violation rate far below
-    # ADULT's, while each violating group is large, so coverage exceeds it.
-    for sweep in census.values():
-        for vg, vr in zip(sweep.group_rates, sweep.record_rates):
-            assert vr >= vg - 1e-9
-        assert max(sweep.group_rates) < 0.6
-
-    # Figure 4(d): more data means more (and larger) violating groups.
-    size_sweep = census["|D|"]
-    assert size_sweep.record_rates[-1] >= size_sweep.record_rates[0]
+    save_result("figure4", SCENARIO.render(sweeps))
+    SCENARIO.check(sweeps, experiment_config)

@@ -1,39 +1,17 @@
-"""Figure 5: the relative-error cost of SPS versus plain UP on CENSUS."""
+"""Figure 5: thin pytest-benchmark wrapper over the ``figure5`` paper scenario.
 
-from repro.experiments.config import ExperimentConfig
-from repro.experiments.error_sweep import run_error_sweep
+The scenario trims the CENSUS sample and the workload internally unless a
+paper-scale run was requested.
+"""
+
+from repro.bench.paper import paper_scenario
+
+SCENARIO = paper_scenario("figure5")
 
 
 def test_figure5_census_relative_error(benchmark, experiment_config, save_result):
-    config = experiment_config
-    if config.census_size > 60_000:
-        config = ExperimentConfig(
-            census_size=60_000,
-            census_sweep_sizes=(30_000, 60_000, 90_000),
-            workload_queries=min(config.workload_queries, 300),
-            runs=min(config.runs, 2),
-            seed=config.seed,
-        )
     sweeps = benchmark.pedantic(
-        run_error_sweep,
-        kwargs=dict(config=config, datasets=("CENSUS",), include_size_sweep=True),
-        rounds=1,
-        iterations=1,
+        SCENARIO.run, args=(experiment_config,), rounds=1, iterations=1
     )
-    census = sweeps["CENSUS"]
-    save_result("figure5", "\n\n".join(sweep.render() for sweep in census.values()))
-
-    # Section 6.3's headline: enforcing reconstruction privacy on CENSUS is
-    # nearly free -- SPS tracks UP closely across every setting.
-    for name, sweep in census.items():
-        for up, sps in zip(sweep.up_errors, sweep.sps_errors):
-            assert sps >= up - 0.03
-            assert sps <= 1.6 * up + 0.03
-
-    # Figure 5(d): the relative error falls as the data grows.
-    size_sweep = census["|D|"]
-    assert size_sweep.sps_errors[-1] < size_sweep.sps_errors[0]
-    # Error falls with p for both methods.
-    p_sweep = census["p"]
-    assert p_sweep.up_errors[0] > p_sweep.up_errors[-1]
-    assert p_sweep.sps_errors[0] > p_sweep.sps_errors[-1]
+    save_result("figure5", SCENARIO.render(sweeps))
+    SCENARIO.check(sweeps, experiment_config)

@@ -1,22 +1,13 @@
-"""Table 1: disclosure of the ADULT rule through two Laplace-noisy counts.
+"""Table 1: thin pytest-benchmark wrapper over the ``table1`` paper scenario."""
 
-Regenerates the mean Conf' and relative-error rows of Table 1 and checks the
-paper's qualitative shape: the rule is recovered at epsilon = 0.5 but not
-usefully at epsilon = 0.01.
-"""
+from repro.bench.paper import paper_scenario
 
-from repro.experiments.table1 import run_table1
+SCENARIO = paper_scenario("table1")
 
 
 def test_table1_dp_disclosure(benchmark, experiment_config, save_result):
-    result = benchmark.pedantic(run_table1, args=(experiment_config,), rounds=1, iterations=1)
-    save_result("table1", result.render())
-
-    assert result.true_confidence > 0.8
-    low_privacy = result.per_epsilon[0.5]
-    high_privacy = result.per_epsilon[0.01]
-    # Shape of Table 1: accurate answers and accurate Conf' at eps = 0.5 ...
-    assert low_privacy.confidence_gap < 0.05
-    assert low_privacy.error_q1_mean < 0.1
-    # ... but noisy, unusable answers at eps = 0.01.
-    assert high_privacy.error_q1_mean > 5 * low_privacy.error_q1_mean
+    result = benchmark.pedantic(
+        SCENARIO.run, args=(experiment_config,), rounds=1, iterations=1
+    )
+    save_result("table1", SCENARIO.render(result))
+    SCENARIO.check(result, experiment_config)

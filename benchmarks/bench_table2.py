@@ -1,20 +1,11 @@
-"""Table 2: the 2 (b/x)^2 disclosure-indicator grid."""
+"""Table 2: thin pytest-benchmark wrapper over the ``table2`` paper scenario."""
 
-import pytest
+from repro.bench.paper import paper_scenario
 
-from repro.experiments.table2 import TABLE2_ANSWERS, TABLE2_SCALES, run_table2
+SCENARIO = paper_scenario("table2")
 
 
-def test_table2_disclosure_indicator_grid(benchmark, save_result):
-    result = benchmark(run_table2)
-    save_result("table2", result.render())
-
-    # Exact closed-form values from the paper's Table 2.
-    assert result.grid[10.0][5000] == pytest.approx(0.000008)
-    assert result.grid[20.0][200] == pytest.approx(0.02)
-    assert result.grid[40.0][500] == pytest.approx(0.0128)
-    assert result.grid[200.0][100] == pytest.approx(8.0)
-    # Monotone in both directions.
-    for b in TABLE2_SCALES:
-        values = [result.grid[b][x] for x in TABLE2_ANSWERS]
-        assert values == sorted(values)
+def test_table2_disclosure_indicator_grid(benchmark, experiment_config, save_result):
+    result = benchmark(SCENARIO.run, experiment_config)
+    save_result("table2", SCENARIO.render(result))
+    SCENARIO.check(result, experiment_config)

@@ -1,31 +1,13 @@
-"""Tables 4 and 5: impact of chi-square NA aggregation on ADULT and CENSUS."""
+"""Tables 4 and 5: thin pytest-benchmark wrapper over the ``tables4-5`` scenario."""
 
-from repro.experiments.aggregation import run_aggregation_impact
+from repro.bench.paper import paper_scenario
+
+SCENARIO = paper_scenario("tables4-5")
 
 
 def test_tables4_5_aggregation_impact(benchmark, experiment_config, save_result):
     impacts = benchmark.pedantic(
-        run_aggregation_impact, args=(experiment_config,), rounds=1, iterations=1
+        SCENARIO.run, args=(experiment_config,), rounds=1, iterations=1
     )
-    save_result(
-        "tables4_5", "\n\n".join(impact.render() for impact in impacts.values())
-    )
-
-    adult = impacts["ADULT"]
-    census = impacts["CENSUS"]
-
-    # Table 4 shape: every ADULT domain shrinks or stays equal, the group count
-    # collapses by an order of magnitude, and the average group size grows.
-    assert adult.domain_sizes_after["Education"] < adult.domain_sizes_before["Education"]
-    assert adult.domain_sizes_after["Occupation"] < adult.domain_sizes_before["Occupation"]
-    assert adult.n_groups_after < adult.n_groups_before / 5
-    assert adult.average_group_size_after > adult.average_group_size_before
-
-    # Table 5 shape: Age becomes uninformative (77 -> 1), the other CENSUS
-    # attributes keep their domains, and the group count equals roughly the
-    # cross product of the surviving domains.
-    assert census.domain_sizes_after["Age"] == 1
-    assert census.domain_sizes_after["Education"] == census.domain_sizes_before["Education"]
-    assert census.domain_sizes_after["Marital"] == census.domain_sizes_before["Marital"]
-    assert census.domain_sizes_after["Race"] == census.domain_sizes_before["Race"]
-    assert census.n_groups_after < census.n_groups_before / 10
+    save_result("tables4_5", SCENARIO.render(impacts))
+    SCENARIO.check(impacts, experiment_config)

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Run every ```python code block of the given markdown files.
+
+The docs promise copy-pasteable snippets; this sweep (wired into CI's
+quickstart smoke step) keeps that promise honest.  Each fenced block whose
+info string is exactly ``python`` runs in its own interpreter with the repo's
+``src/`` on ``PYTHONPATH``; a non-zero exit fails the sweep and prints the
+offending file, block number and output.  Blocks marked ``python no-run``
+(illustrative fragments) and non-python blocks are skipped.
+
+Usage::
+
+    python scripts/run_doc_snippets.py README.md docs/*.md
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+_FENCE = re.compile(r"^```(?P<info>[^\n]*)\n(?P<body>.*?)^```\s*$", re.MULTILINE | re.DOTALL)
+
+
+def python_blocks(text: str) -> list[str]:
+    """The bodies of all blocks whose info string is exactly ``python``."""
+    return [
+        match.group("body")
+        for match in _FENCE.finditer(text)
+        if match.group("info").strip() == "python"
+    ]
+
+
+def run_block(source: str, label: str) -> bool:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    result = subprocess.run(
+        [sys.executable, "-"],
+        input=source,
+        text=True,
+        capture_output=True,
+        cwd=REPO_ROOT,
+        env=env,
+    )
+    if result.returncode != 0:
+        print(f"FAIL {label}")
+        print("--- snippet ---")
+        print(source)
+        print("--- stderr ---")
+        print(result.stderr)
+        return False
+    print(f"ok   {label}")
+    return True
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(__doc__)
+        return 2
+    failures = 0
+    total = 0
+    for name in argv:
+        path = Path(name)
+        blocks = python_blocks(path.read_text())
+        if not blocks:
+            print(f"----  {path}: no python blocks")
+            continue
+        for i, block in enumerate(blocks, start=1):
+            total += 1
+            if not run_block(block, f"{path} [block {i}/{len(blocks)}]"):
+                failures += 1
+    print(f"\n{total - failures}/{total} snippets passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

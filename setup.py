@@ -40,10 +40,16 @@ setup(
         "scipy>=1.8",
         "networkx>=2.6",
     ],
+    extras_require={
+        # `pytest benchmarks/` (the paper-exhibit wrappers) needs the
+        # pytest-benchmark plugin; the repro-bench CLI itself does not.
+        "bench": ["pytest", "pytest-benchmark"],
+    },
     entry_points={
         "console_scripts": [
             "repro-service=repro.service.cli:main",
             "repro-experiments=repro.experiments.runner:main",
+            "repro-bench=repro.bench.cli:main",
         ],
     },
     classifiers=[

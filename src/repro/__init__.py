@@ -17,7 +17,10 @@ algorithm, together with every substrate the evaluation depends on:
 * one strategy-first publishing pipeline (:mod:`repro.pipeline`) shared by
   the library, the anonymization service (:mod:`repro.service`) and the
   experiment harness — every registered strategy is reachable from all of
-  them by name.
+  them by name;
+* a benchmark & profiling subsystem (:mod:`repro.bench`, the ``repro-bench``
+  CLI) that times those same entry points over a deterministic scenario
+  matrix and emits schema-versioned ``BENCH_*.json`` perf reports.
 
 Quickstart::
 
@@ -55,7 +58,7 @@ from repro.reconstruction.mle import mle_frequencies, mle_frequencies_clipped, r
 from repro.queries.workload import WorkloadConfig, generate_workload
 from repro.queries.count_query import CountQuery, answer_on_perturbed, answer_on_raw
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "PrivacySpec",

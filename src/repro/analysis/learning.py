@@ -146,19 +146,23 @@ class NaiveBayesOnReconstruction:
         )
 
         conditionals: list[np.ndarray] = []
+        sensitive = perturbed.sensitive_codes
         for column, attribute in enumerate(schema.public):
             # table[attribute value, sa value] = P(attribute value | sa value)
+            # One bincount over (attribute value, sa value) pairs gives every
+            # aggregate group's SA histogram at once; the batched clipped MLE
+            # then reconstructs all rows in a single vectorised call.
+            codes = perturbed.public_codes[:, column]
+            counts = np.bincount(
+                codes * m + sensitive, minlength=attribute.size * m
+            ).reshape(attribute.size, m)
+            group_sizes = counts.sum(axis=1)
             likelihood = np.zeros((attribute.size, m))
-            group_sizes = np.zeros(attribute.size)
-            for value_code in range(attribute.size):
-                mask = perturbed.public_codes[:, column] == value_code
-                group_sizes[value_code] = mask.sum()
-                if not mask.any():
-                    continue
-                counts = perturbed.sensitive_counts(mask)
-                frequencies = mle_frequencies_clipped(counts, self._p, m)
+            nonempty = group_sizes > 0
+            if nonempty.any():
+                frequencies = mle_frequencies_clipped(counts[nonempty], self._p, m)
                 # Reconstructed joint count of (attribute value, sa value).
-                likelihood[value_code] = frequencies * mask.sum()
+                likelihood[nonempty] = frequencies * group_sizes[nonempty, None]
             # Normalise each SA column into P(attribute value | sa) with smoothing.
             column_totals = likelihood.sum(axis=0, keepdims=True)
             likelihood = (likelihood + self._smoothing) / (

@@ -1,0 +1,65 @@
+"""repro.bench — the benchmark and profiling subsystem.
+
+Turns the repo's ad-hoc benchmark scripts into a first-class, reproducible
+measurement harness:
+
+* a **scenario matrix** (strategy × dataset size × chunk_size × workers)
+  timed through the same :func:`repro.publish` / ``AnonymizationService``
+  entry points production traffic uses (:mod:`repro.bench.scenarios`,
+  :mod:`repro.bench.runner`);
+* **deterministic warmup/repeat timers** — op counts are a pure function of
+  the seed, only wall-clock moves (:mod:`repro.bench.timing`);
+* **micro-benchmarks** that re-verify and re-measure every vectorized hot
+  path against the Python loop it replaced (:mod:`repro.bench.micro`);
+* the paper's twelve tables/figures/ablations as **named scenarios**
+  (:mod:`repro.bench.paper`);
+* a schema-versioned **JSON report** written to ``BENCH_<suite>.json`` at
+  the repo root so the perf trajectory is diffable across PRs
+  (:mod:`repro.bench.schema`).
+
+Front ends: the ``repro-bench`` console script (:mod:`repro.bench.cli`) and
+``python -m repro.bench``.
+"""
+
+from repro.bench.paper import (
+    PaperScenario,
+    available_paper_scenarios,
+    paper_scenario,
+    smoke_config,
+)
+from repro.bench.runner import (
+    DEFAULT_BENCH_SEED,
+    report_path,
+    run_suite,
+    write_report,
+)
+from repro.bench.scenarios import (
+    Scenario,
+    ScenarioMatrix,
+    core_matrix,
+    matrix_for,
+    service_matrix,
+)
+from repro.bench.schema import SCHEMA_VERSION, SchemaError, validate_report
+from repro.bench.timing import Measurement, TimingSpec, time_callable
+
+__all__ = [
+    "DEFAULT_BENCH_SEED",
+    "Measurement",
+    "PaperScenario",
+    "SCHEMA_VERSION",
+    "Scenario",
+    "ScenarioMatrix",
+    "SchemaError",
+    "available_paper_scenarios",
+    "core_matrix",
+    "matrix_for",
+    "paper_scenario",
+    "report_path",
+    "run_suite",
+    "service_matrix",
+    "smoke_config",
+    "time_callable",
+    "validate_report",
+    "write_report",
+]

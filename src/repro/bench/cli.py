@@ -1,0 +1,155 @@
+"""The ``repro-bench`` command line.
+
+Usage (installed console script, or ``python -m repro.bench``)::
+
+    repro-bench run --suite core --tiny          # CI's bench-smoke matrix
+    repro-bench run --suite service              # thread-pool path, full sizes
+    repro-bench run --suite paper --scenario figure3
+    repro-bench --list                           # every scenario of every suite
+
+``run`` writes the schema-versioned ``BENCH_<suite>.json`` to ``--output-dir``
+(the repo root by default) and prints a per-scenario summary table; see
+``docs/benchmarks.md`` for the report schema and how to read a regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections.abc import Sequence
+
+from repro import __version__
+from repro.bench.paper import paper_scenario_listing
+from repro.bench.runner import DEFAULT_BENCH_SEED, default_timing, run_suite, write_report
+from repro.bench.scenarios import matrix_for
+from repro.bench.timing import TimingSpec
+from repro.utils.textplot import render_listing, render_table
+
+SUITES = ("core", "service", "paper")
+
+
+def _listing_text(suite: str | None, tiny: bool) -> str:
+    """The scenario listing for one suite, or all suites when ``None``."""
+    blocks = []
+    for name in SUITES if suite is None else (suite,):
+        if name == "paper":
+            blocks.append(
+                render_listing(paper_scenario_listing(), title="paper scenarios (repro-bench run --suite paper)")
+            )
+            continue
+        matrix = matrix_for(name, tiny)
+        rows = [
+            (
+                s.name,
+                f"{s.strategy} on {s.dataset} ({s.rows} rows), "
+                f"chunk_size={s.chunk_size}, workers={s.workers}",
+            )
+            for s in matrix.expand(name)
+        ]
+        scale = "tiny" if tiny else "default"
+        blocks.append(
+            render_listing(rows, title=f"{name} scenario matrix ({scale} scale, {matrix.size} scenarios)")
+        )
+    return "\n\n".join(blocks)
+
+
+def _summary_table(report: dict) -> str:
+    rows = []
+    for entry in report["scenarios"]:
+        seconds = entry["seconds"]
+        ops = entry.get("ops", {})
+        records = ops.get("published_records", "-")
+        rows.append((entry["name"], f"{seconds['best']:.4f}", f"{seconds['mean']:.4f}", records))
+    table = render_table(
+        ("scenario", "best_s", "mean_s", "published"),
+        rows,
+        title=f"suite={report['suite']} scale={report['scale']} seed={report['seed']}",
+    )
+    if report.get("micro"):
+        micro_rows = [
+            (
+                entry["name"],
+                f"{entry['baseline_seconds']:.4f}",
+                f"{entry['vectorized_seconds']:.4f}",
+                f"{entry['speedup']:.1f}x",
+                "yes" if entry["identical"] else f"~{entry['max_abs_diff']:.1e}",
+            )
+            for entry in report["micro"]
+        ]
+        table += "\n\n" + render_table(
+            ("micro-benchmark", "loop_s", "vectorized_s", "speedup", "identical"),
+            micro_rows,
+            title="vectorized hot paths vs their loop baselines",
+        )
+    return table
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of the ``repro-bench`` console script."""
+    parser = argparse.ArgumentParser(prog="repro-bench", description=__doc__)
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    parser.add_argument(
+        "--list", action="store_true", dest="list_all",
+        help="list every scenario of every suite and exit",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    run_parser = subparsers.add_parser("run", help="run a suite and write BENCH_<suite>.json")
+    run_parser.add_argument("--suite", choices=SUITES, default="core", help="which suite to run")
+    run_parser.add_argument(
+        "--tiny", action="store_true",
+        help="seconds-scale preset (CI bench-smoke); default is the full-size matrix",
+    )
+    run_parser.add_argument("--seed", type=int, default=DEFAULT_BENCH_SEED, help="root seed")
+    run_parser.add_argument(
+        "--output-dir", default=".", help="directory for BENCH_<suite>.json (default: cwd)"
+    )
+    run_parser.add_argument("--warmup", type=int, default=None, help="discarded warmup passes")
+    run_parser.add_argument("--repeats", type=int, default=None, help="timed passes per scenario")
+    run_parser.add_argument(
+        "--scenario", action="append", default=None, metavar="NAME",
+        help="run only matching scenarios (full name, or strategy name for matrix suites); repeatable",
+    )
+    run_parser.add_argument(
+        "--no-micro", action="store_true",
+        help="skip the vectorization micro-benchmarks (core suite only)",
+    )
+
+    list_parser = subparsers.add_parser("list", help="list scenarios")
+    list_parser.add_argument("--suite", choices=SUITES, default=None, help="restrict to one suite")
+    list_parser.add_argument("--tiny", action="store_true", help="show the tiny preset matrices")
+
+    args = parser.parse_args(argv)
+
+    if args.list_all or args.command == "list":
+        suite = getattr(args, "suite", None) if args.command == "list" else None
+        tiny = getattr(args, "tiny", False)
+        print(_listing_text(suite, tiny))
+        return 0
+
+    if args.command != "run":
+        parser.print_help()
+        return 2
+
+    timing = None
+    if args.warmup is not None or args.repeats is not None:
+        base = default_timing(args.suite)
+        timing = TimingSpec(
+            warmup=base.warmup if args.warmup is None else args.warmup,
+            repeats=base.repeats if args.repeats is None else args.repeats,
+        )
+    report = run_suite(
+        args.suite,
+        tiny=args.tiny,
+        seed=args.seed,
+        timing=timing,
+        scenario_filter=args.scenario,
+        include_micro=not args.no_micro,
+    )
+    path = write_report(report, args.output_dir)
+    print(_summary_table(report))
+    print(f"\nwrote {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    raise SystemExit(main())

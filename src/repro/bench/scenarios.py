@@ -1,0 +1,142 @@
+"""The benchmark scenario matrix.
+
+A :class:`Scenario` is one timed publishing configuration — a point in the
+``strategy × dataset size × chunk_size × workers`` grid.  A
+:class:`ScenarioMatrix` expands those axes into the full cross product in a
+fixed, deterministic order, so a given matrix always produces the same
+scenario set (the emitted ``BENCH_*.json`` files are diffable across PRs).
+
+Two suites are built from matrices:
+
+* ``core`` — times :func:`repro.publish` (the library path, serial chunk
+  execution, so the ``workers`` axis is pinned to 1);
+* ``service`` — times :meth:`repro.service.AnonymizationService.publish`
+  (the thread-pool path, exercising the ``workers`` axis and the dataset
+  registry's cached group index).
+
+Each suite has a ``tiny`` preset (seconds, used by CI's bench-smoke job and
+the test suite) and a ``default`` preset (the paper-scale sizes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One timed configuration: a point of the benchmark matrix."""
+
+    name: str
+    suite: str
+    strategy: str
+    dataset: str
+    rows: int
+    chunk_size: int
+    workers: int
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> dict[str, Any]:
+        """The scenario's identity as a JSON-compatible dict."""
+        return {
+            "name": self.name,
+            "strategy": self.strategy,
+            "dataset": self.dataset,
+            "rows": self.rows,
+            "chunk_size": self.chunk_size,
+            "workers": self.workers,
+            "params": dict(self.params),
+        }
+
+
+@dataclass(frozen=True)
+class ScenarioMatrix:
+    """The four benchmark axes; :meth:`expand` yields their cross product.
+
+    Expansion order is strategy-major, then dataset, then chunk size, then
+    workers — fixed so that the scenario list (and therefore the report's
+    scenario order) is a pure function of the matrix.
+    """
+
+    strategies: tuple[str, ...]
+    datasets: tuple[tuple[str, int], ...]  # (generator name, rows)
+    chunk_sizes: tuple[int, ...]
+    workers: tuple[int, ...] = (1,)
+
+    def expand(self, suite: str) -> list[Scenario]:
+        """All scenarios of the matrix, in deterministic order."""
+        scenarios = []
+        for strategy in self.strategies:
+            for dataset, rows in self.datasets:
+                for chunk_size in self.chunk_sizes:
+                    for workers in self.workers:
+                        scenarios.append(
+                            Scenario(
+                                name=scenario_name(strategy, dataset, rows, chunk_size, workers),
+                                suite=suite,
+                                strategy=strategy,
+                                dataset=dataset,
+                                rows=rows,
+                                chunk_size=chunk_size,
+                                workers=workers,
+                            )
+                        )
+        return scenarios
+
+    @property
+    def size(self) -> int:
+        """Number of scenarios the matrix expands to."""
+        return (
+            len(self.strategies) * len(self.datasets) * len(self.chunk_sizes) * len(self.workers)
+        )
+
+
+def scenario_name(strategy: str, dataset: str, rows: int, chunk_size: int, workers: int) -> str:
+    """The canonical scenario name, e.g. ``sps/adult-2000/c64/w1``."""
+    return f"{strategy}/{dataset}-{rows}/c{chunk_size}/w{workers}"
+
+
+#: All strategies exercised by the default core matrix.
+ALL_STRATEGIES = ("sps", "uniform", "dp-laplace", "dp-gaussian", "generalize+sps")
+
+
+def core_matrix(tiny: bool = False) -> ScenarioMatrix:
+    """The library-path matrix (serial execution, so one worker)."""
+    if tiny:
+        return ScenarioMatrix(
+            strategies=("sps", "uniform", "generalize+sps"),
+            datasets=(("adult", 2_000), ("census", 5_000)),
+            chunk_sizes=(64, 256),
+        )
+    return ScenarioMatrix(
+        strategies=ALL_STRATEGIES,
+        datasets=(("adult", 45_222), ("census", 100_000)),
+        chunk_sizes=(256, 1024),
+    )
+
+
+def service_matrix(tiny: bool = False) -> ScenarioMatrix:
+    """The service-path matrix (thread-pool execution; workers is a real axis)."""
+    if tiny:
+        return ScenarioMatrix(
+            strategies=("sps", "generalize+sps"),
+            datasets=(("adult", 2_000),),
+            chunk_sizes=(64,),
+            workers=(1, 4),
+        )
+    return ScenarioMatrix(
+        strategies=("sps", "generalize+sps", "dp-laplace"),
+        datasets=(("adult", 45_222), ("census", 100_000)),
+        chunk_sizes=(256,),
+        workers=(1, 4, 8),
+    )
+
+
+def matrix_for(suite: str, tiny: bool = False) -> ScenarioMatrix:
+    """The preset matrix of a suite (``core`` or ``service``)."""
+    if suite == "core":
+        return core_matrix(tiny)
+    if suite == "service":
+        return service_matrix(tiny)
+    raise ValueError(f"no scenario matrix for suite {suite!r}; choose 'core' or 'service'")

@@ -1,0 +1,150 @@
+"""The ``BENCH_*.json`` report schema and its validator.
+
+The benchmark runner emits one JSON document per suite at the repo root
+(``BENCH_core.json``, ``BENCH_service.json``, ``BENCH_paper.json``) so the
+performance trajectory is diffable across PRs.  The document is
+schema-versioned; :func:`validate_report` is the single source of truth for
+what a well-formed report looks like and is run by CI's bench-smoke job on
+every emitted file.
+
+The validator is hand-rolled (presence + type + structural checks) so the
+library keeps its zero-extra-dependency footprint; ``docs/benchmarks.md``
+documents every field and its units.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: Version of the report layout; bump when a field changes meaning or shape.
+SCHEMA_VERSION = 1
+
+#: Suites a report may declare.
+SUITES = ("core", "service", "paper")
+
+_NUMBER = (int, float)
+
+
+class SchemaError(ValueError):
+    """Raised by :func:`validate_report` with every problem found, one per line."""
+
+
+def _check(problems: list[str], condition: bool, message: str) -> bool:
+    if not condition:
+        problems.append(message)
+    return condition
+
+
+def _check_mapping_of_numbers(problems: list[str], value: Any, where: str) -> None:
+    if _check(problems, isinstance(value, dict), f"{where} must be an object"):
+        for key, item in value.items():
+            _check(
+                problems,
+                isinstance(item, _NUMBER) and not isinstance(item, bool),
+                f"{where}.{key} must be a number",
+            )
+
+
+def _check_seconds(problems: list[str], value: Any, where: str) -> None:
+    if not _check(problems, isinstance(value, dict), f"{where} must be an object"):
+        return
+    for key in ("best", "mean", "std"):
+        _check(problems, isinstance(value.get(key), _NUMBER), f"{where}.{key} must be a number")
+    repeats = value.get("repeats")
+    if _check(problems, isinstance(repeats, list) and repeats, f"{where}.repeats must be a non-empty array"):
+        _check(
+            problems,
+            all(isinstance(s, _NUMBER) for s in repeats),
+            f"{where}.repeats entries must be numbers",
+        )
+
+
+def _check_scenario(problems: list[str], entry: Any, where: str, suite: str) -> None:
+    if not _check(problems, isinstance(entry, dict), f"{where} must be an object"):
+        return
+    _check(problems, isinstance(entry.get("name"), str) and entry.get("name"), f"{where}.name must be a non-empty string")
+    if suite in ("core", "service"):
+        for key in ("strategy", "dataset"):
+            _check(problems, isinstance(entry.get(key), str), f"{where}.{key} must be a string")
+        for key in ("rows", "chunk_size", "workers"):
+            _check(
+                problems,
+                isinstance(entry.get(key), int) and not isinstance(entry.get(key), bool),
+                f"{where}.{key} must be an integer",
+            )
+        _check(problems, isinstance(entry.get("params"), dict), f"{where}.params must be an object")
+    if "ops" in entry or suite in ("core", "service"):
+        ops = entry.get("ops")
+        if _check(problems, isinstance(ops, dict), f"{where}.ops must be an object"):
+            for key, item in ops.items():
+                _check(
+                    problems,
+                    isinstance(item, (int, float, bool, str)),
+                    f"{where}.ops.{key} must be a scalar",
+                )
+    _check_seconds(problems, entry.get("seconds"), f"{where}.seconds")
+    if "stages" in entry:
+        _check_mapping_of_numbers(problems, entry["stages"], f"{where}.stages")
+
+
+def _check_micro(problems: list[str], entry: Any, where: str) -> None:
+    if not _check(problems, isinstance(entry, dict), f"{where} must be an object"):
+        return
+    _check(problems, isinstance(entry.get("name"), str) and entry.get("name"), f"{where}.name must be a non-empty string")
+    for key in ("baseline_seconds", "vectorized_seconds", "speedup", "max_abs_diff"):
+        _check(problems, isinstance(entry.get(key), _NUMBER), f"{where}.{key} must be a number")
+    _check(problems, isinstance(entry.get("identical"), bool), f"{where}.identical must be a boolean")
+    _check(
+        problems,
+        isinstance(entry.get("n"), int) and not isinstance(entry.get("n"), bool),
+        f"{where}.n must be an integer",
+    )
+
+
+def validate_report(report: Any) -> None:
+    """Raise :class:`SchemaError` if ``report`` is not a well-formed bench report."""
+    problems: list[str] = []
+    if not isinstance(report, dict):
+        raise SchemaError("report must be a JSON object")
+
+    _check(
+        problems,
+        report.get("schema_version") == SCHEMA_VERSION,
+        f"schema_version must be {SCHEMA_VERSION} (got {report.get('schema_version')!r})",
+    )
+    suite = report.get("suite")
+    _check(problems, suite in SUITES, f"suite must be one of {SUITES} (got {suite!r})")
+    _check(problems, report.get("scale") in ("tiny", "default"), "scale must be 'tiny' or 'default'")
+    _check(
+        problems,
+        isinstance(report.get("seed"), int) and not isinstance(report.get("seed"), bool),
+        "seed must be an integer",
+    )
+
+    timing = report.get("timing")
+    if _check(problems, isinstance(timing, dict), "timing must be an object"):
+        for key in ("warmup", "repeats"):
+            _check(problems, isinstance(timing.get(key), int), f"timing.{key} must be an integer")
+
+    environment = report.get("environment")
+    if _check(problems, isinstance(environment, dict), "environment must be an object"):
+        for key in ("python", "numpy", "platform", "repro_version"):
+            _check(problems, isinstance(environment.get(key), str), f"environment.{key} must be a string")
+
+    scenarios = report.get("scenarios")
+    if _check(problems, isinstance(scenarios, list) and scenarios, "scenarios must be a non-empty array"):
+        names = set()
+        for i, entry in enumerate(scenarios):
+            _check_scenario(problems, entry, f"scenarios[{i}]", suite if suite in SUITES else "core")
+            if isinstance(entry, dict) and isinstance(entry.get("name"), str):
+                _check(problems, entry["name"] not in names, f"duplicate scenario name {entry['name']!r}")
+                names.add(entry["name"])
+
+    if "micro" in report:
+        micro = report["micro"]
+        if _check(problems, isinstance(micro, list), "micro must be an array"):
+            for i, entry in enumerate(micro):
+                _check_micro(problems, entry, f"micro[{i}]")
+
+    if problems:
+        raise SchemaError("\n".join(problems))

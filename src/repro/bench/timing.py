@@ -1,0 +1,85 @@
+"""Deterministic warmup/repeat timing.
+
+Wall-clock numbers are never deterministic, but everything else about a
+measurement is made so: the callable runs ``warmup`` discarded passes (JIT-ish
+effects, cache warming, lazy imports) followed by exactly ``repeats`` timed
+passes, and the callable itself is seeded by the caller — so the *work*
+performed in every pass, and therefore the recorded operation counts, are a
+pure function of the seed.  The best-of-repeats time is the headline number
+(least scheduling noise); mean and standard deviation are kept alongside it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TimingSpec:
+    """How many passes to run: ``warmup`` discarded, ``repeats`` timed."""
+
+    warmup: int = 1
+    repeats: int = 3
+
+    def __post_init__(self) -> None:
+        if self.warmup < 0:
+            raise ValueError("warmup must be non-negative")
+        if self.repeats < 1:
+            raise ValueError("repeats must be at least 1")
+
+    def to_json(self) -> dict[str, int]:
+        """JSON form for the report header."""
+        return {"warmup": self.warmup, "repeats": self.repeats}
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Per-repeat wall-clock seconds of one timed callable."""
+
+    seconds: tuple[float, ...]
+
+    @property
+    def best(self) -> float:
+        """Fastest repeat — the headline, least-noise number."""
+        return min(self.seconds)
+
+    @property
+    def mean(self) -> float:
+        """Mean over the repeats."""
+        return float(np.mean(self.seconds))
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation over the repeats."""
+        return float(np.std(self.seconds))
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON form: best/mean/std plus the raw per-repeat times."""
+        return {
+            "best": self.best,
+            "mean": self.mean,
+            "std": self.std,
+            "repeats": [float(s) for s in self.seconds],
+        }
+
+
+def time_callable(fn: Callable[[], Any], spec: TimingSpec = TimingSpec()) -> tuple[Any, Measurement]:
+    """Run ``fn`` with warmup + repeats; return its last result and the times.
+
+    ``fn`` must be self-contained (re-seed its own randomness internally) so
+    every pass performs identical work; the last pass's return value is handed
+    back for operation counting.
+    """
+    for _ in range(spec.warmup):
+        fn()
+    seconds = []
+    result: Any = None
+    for _ in range(spec.repeats):
+        start = time.perf_counter()
+        result = fn()
+        seconds.append(time.perf_counter() - start)
+    return result, Measurement(seconds=tuple(seconds))

@@ -82,14 +82,24 @@ def _sample_counts(
     """Frequency-preserving sample sizes per SA value (the *Sampling* step).
 
     All records of a personal group sharing the same SA value are identical,
-    so sampling reduces to choosing how many copies of each value to keep.
+    so sampling reduces to choosing how many copies of each value to keep:
+    ``floor(count * tau)`` plus one more with probability equal to the
+    fractional part.  One uniform is drawn per SA value with a non-zero
+    fractional part, in value order, exactly as the per-value
+    :func:`_stochastic_round` loop would — numpy generators fill array draws
+    from the same stream as repeated scalar draws, so this vectorised form is
+    byte-identical to the loop for any seed.
     """
-    sampled = np.zeros_like(counts)
-    for value, count in enumerate(counts):
-        if count == 0:
-            continue
-        sampled[value] = min(int(count), _stochastic_round(count * sampling_rate, rng))
-    return sampled
+    scaled = counts * sampling_rate
+    floors = np.floor(scaled)
+    fractions = scaled - floors
+    sampled = floors.astype(np.int64)
+    # counts == 0 entries have a zero fractional part and never draw.
+    draw = fractions > 0
+    n_draws = int(np.count_nonzero(draw))
+    if n_draws:
+        sampled[draw] += rng.random(n_draws) < fractions[draw]
+    return np.minimum(sampled, counts)
 
 
 def _scale_codes(codes: np.ndarray, target_size: int, rng: np.random.Generator) -> np.ndarray:
@@ -179,21 +189,27 @@ def sps_publish_groups(
     rng = default_rng(rng)
     if perturbation is None:
         perturbation = UniformPerturbation(spec.retention_probability, spec.domain_size)
-    blocks: list[np.ndarray] = []
+    code_blocks: list[np.ndarray] = []
+    keys: list[tuple[int, ...]] = []
     records: list[GroupPublication] = []
     for group in groups:
         published_codes, record = sps_group(group, spec, perturbation, rng)
         records.append(record)
         if published_codes.size == 0:
             continue
-        block = np.empty((published_codes.size, n_public + 1), dtype=np.int64)
-        block[:, :n_public] = np.asarray(group.key, dtype=np.int64)
-        block[:, n_public] = published_codes
-        blocks.append(block)
-    if blocks:
-        codes = np.vstack(blocks)
-    else:
-        codes = np.empty((0, n_public + 1), dtype=np.int64)
+        code_blocks.append(published_codes)
+        keys.append(group.key)
+    if not code_blocks:
+        return np.empty((0, n_public + 1), dtype=np.int64), records
+    # Assemble the chunk's block in two bulk operations (repeat the NA keys,
+    # concatenate the SA codes) instead of one allocation per group; the row
+    # order — and therefore the published bytes — is unchanged.
+    sizes = np.fromiter((block.size for block in code_blocks), dtype=np.int64, count=len(code_blocks))
+    codes = np.empty((int(sizes.sum()), n_public + 1), dtype=np.int64)
+    codes[:, :n_public] = np.repeat(
+        np.asarray(keys, dtype=np.int64).reshape(len(keys), n_public), sizes, axis=0
+    )
+    codes[:, n_public] = np.concatenate(code_blocks)
     return codes, records
 
 

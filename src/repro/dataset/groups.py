@@ -88,12 +88,23 @@ class GroupIndex:
         change = np.any(np.diff(sorted_public, axis=0) != 0, axis=1)
         boundaries = np.concatenate(([0], np.flatnonzero(change) + 1, [len(table)]))
         m = table.schema.sensitive_domain_size
-        sensitive = table.sensitive_codes
-        for start, stop in zip(boundaries[:-1], boundaries[1:]):
-            indices = order[start:stop]
-            key = tuple(int(c) for c in sorted_public[start])
-            counts = np.bincount(sensitive[indices], minlength=m).astype(np.int64)
-            self._groups[key] = PersonalGroup(key=key, indices=indices, sensitive_counts=counts)
+        n_groups = boundaries.size - 1
+        starts = boundaries[:-1]
+        # One global bincount over (group id, SA code) pairs replaces one
+        # bincount call per group; each row of the reshaped result is exactly
+        # np.bincount(sensitive[indices], minlength=m) for that group.
+        group_ids = np.repeat(np.arange(n_groups), np.diff(boundaries))
+        sensitive_sorted = table.sensitive_codes[order]
+        counts_matrix = np.bincount(
+            group_ids * m + sensitive_sorted, minlength=n_groups * m
+        ).reshape(n_groups, m).astype(np.int64)
+        for gid, key_row in enumerate(sorted_public[starts].tolist()):
+            key = tuple(key_row)
+            self._groups[key] = PersonalGroup(
+                key=key,
+                indices=order[starts[gid] : boundaries[gid + 1]],
+                sensitive_counts=counts_matrix[gid],
+            )
 
     # ------------------------------------------------------------------ #
     @property

@@ -24,9 +24,20 @@ from repro.experiments.figure1 import run_figure1
 from repro.experiments.table1 import run_table1
 from repro.experiments.table2 import run_table2
 from repro.experiments.violation_sweep import run_violation_sweep
+from repro.utils.textplot import render_listing
+
+#: Experiment name → one-line description (also the ``--list`` output).
+EXPERIMENT_DESCRIPTIONS = {
+    "table1": "disclosure of the ADULT rule through two Laplace-noisy counts",
+    "table2": "the 2 (b/x)^2 disclosure-indicator grid",
+    "tables4-5": "impact of chi-square NA aggregation on ADULT and CENSUS",
+    "figure1": "the maximum group size s_g versus the maximum frequency f",
+    "figures2-4": "violation rates under plain UP on ADULT and CENSUS",
+    "figures3-5": "relative-error cost of SPS versus plain UP on ADULT and CENSUS",
+}
 
 #: Experiment names accepted on the command line.
-EXPERIMENTS = ("table1", "table2", "tables4-5", "figure1", "figures2-4", "figures3-5")
+EXPERIMENTS = tuple(EXPERIMENT_DESCRIPTIONS)
 
 
 def _config_for(scale: str) -> ExperimentConfig:
@@ -75,12 +86,20 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("experiments", nargs="*", choices=[*EXPERIMENTS, []], help="experiments to run")
     parser.add_argument("--all", action="store_true", help="run every experiment")
     parser.add_argument(
+        "--list", action="store_true", dest="list_experiments",
+        help="list the available experiments and exit",
+    )
+    parser.add_argument(
         "--scale",
         choices=("quick", "default", "paper"),
         default="default",
         help="data-size / run-count preset (paper = full sizes from the paper, slow)",
     )
     args = parser.parse_args(argv)
+
+    if args.list_experiments:
+        print(render_listing(EXPERIMENT_DESCRIPTIONS, title="experiments (repro-experiments NAME ...)"))
+        return 0
 
     names = list(EXPERIMENTS) if args.all or not args.experiments else list(args.experiments)
     config = _config_for(args.scale)

@@ -11,6 +11,13 @@ used everywhere else in the library because it avoids building the matrix.
 The MLE is unbiased (Lemma 2(iii)) but may fall outside ``[0, 1]`` for small
 samples; :func:`mle_frequencies_clipped` projects it back onto the simplex for
 consumers that need a proper distribution (e.g. the naive Bayes learner).
+
+All closed-form estimators accept *batched* inputs: an array of shape
+``(..., m)`` is treated as a stack of observed-count vectors and reconstructed
+in one vectorised pass.  Because the closed form is purely elementwise, every
+row of a batched call is bit-for-bit identical to the corresponding
+one-vector call — batching callers that used to loop over groups is a pure
+speedup, never a numerical change.
 """
 
 from __future__ import annotations
@@ -22,11 +29,19 @@ from repro.perturbation.matrix import PerturbationMatrix
 
 def _validate(observed_counts: np.ndarray, domain_size: int) -> np.ndarray:
     counts = np.asarray(observed_counts, dtype=float)
-    if counts.shape != (domain_size,):
-        raise ValueError(f"observed_counts must have shape ({domain_size},)")
+    if counts.ndim == 0 or counts.shape[-1] != domain_size:
+        raise ValueError(f"observed_counts must have shape (..., {domain_size})")
     if (counts < 0).any():
         raise ValueError("observed counts must be non-negative")
     return counts
+
+
+def _validated_totals(counts: np.ndarray) -> np.ndarray:
+    """Per-vector totals ``|S|`` with the positivity check, keeping dims."""
+    totals = counts.sum(axis=-1, keepdims=True)
+    if (totals <= 0).any():
+        raise ValueError("the perturbed subset must contain at least one record")
+    return totals
 
 
 def mle_frequency(
@@ -51,26 +66,25 @@ def mle_frequencies(
     retention_probability: float,
     domain_size: int | None = None,
 ) -> np.ndarray:
-    """Closed-form MLE for the full SA frequency vector of a perturbed subset.
+    """Closed-form MLE for the SA frequency vector(s) of perturbed subset(s).
 
     Parameters
     ----------
     observed_counts:
         The counts ``O*_i`` of each SA value in the perturbed subset ``S*``,
-        length ``m``.  Their sum is ``|S|``.
+        shape ``(m,)`` — or a stack of such vectors, shape ``(..., m)``, each
+        reconstructed independently.  Each vector's sum is its ``|S|``.
     retention_probability:
         ``p`` used during perturbation.
     domain_size:
-        ``m``; defaults to ``len(observed_counts)``.
+        ``m``; defaults to ``observed_counts.shape[-1]``.
     """
     counts = np.asarray(observed_counts, dtype=float)
-    m = int(domain_size) if domain_size is not None else counts.shape[0]
+    m = int(domain_size) if domain_size is not None else counts.shape[-1]
     counts = _validate(counts, m)
-    total = counts.sum()
-    if total <= 0:
-        raise ValueError("the perturbed subset must contain at least one record")
+    totals = _validated_totals(counts)
     matrix = PerturbationMatrix(retention_probability, m)
-    return (counts / total - matrix.off_diagonal) / matrix.retention_probability
+    return (counts / totals - matrix.off_diagonal) / matrix.retention_probability
 
 
 def mle_frequencies_matrix(
@@ -80,13 +94,17 @@ def mle_frequencies_matrix(
 ) -> np.ndarray:
     """Matrix-form MLE ``P^-1 . O*/|S|`` (Theorem 1); equals :func:`mle_frequencies`."""
     counts = np.asarray(observed_counts, dtype=float)
-    m = int(domain_size) if domain_size is not None else counts.shape[0]
+    m = int(domain_size) if domain_size is not None else counts.shape[-1]
     counts = _validate(counts, m)
-    total = counts.sum()
-    if total <= 0:
-        raise ValueError("the perturbed subset must contain at least one record")
+    totals = _validated_totals(counts)
     matrix = PerturbationMatrix(retention_probability, m)
-    return matrix.inverse() @ (counts / total)
+    observed = counts / totals
+    if observed.ndim == 1:
+        return matrix.inverse() @ observed
+    # Batched: one row per subset.  P^-1 is symmetric for the uniform
+    # operator, but transpose anyway so the expression stays correct for any
+    # future non-symmetric matrix.
+    return observed @ matrix.inverse().T
 
 
 def mle_frequencies_clipped(
@@ -98,14 +116,15 @@ def mle_frequencies_clipped(
 
     The raw MLE already sums to one; clipping negative entries to zero and
     renormalising gives the standard feasible estimator used when the result
-    must be a valid distribution.
+    must be a valid distribution.  A vector whose every entry clips to zero
+    falls back to the uniform distribution.
     """
     raw = mle_frequencies(observed_counts, retention_probability, domain_size)
     clipped = np.clip(raw, 0.0, None)
-    total = clipped.sum()
-    if total == 0:
-        return np.full_like(clipped, 1.0 / clipped.size)
-    return clipped / total
+    totals = clipped.sum(axis=-1, keepdims=True)
+    m = clipped.shape[-1]
+    safe_totals = np.where(totals == 0, 1.0, totals)
+    return np.where(totals == 0, 1.0 / m, clipped / safe_totals)
 
 
 def reconstruct_counts(
@@ -114,12 +133,14 @@ def reconstruct_counts(
     domain_size: int | None = None,
     clip: bool = False,
 ) -> np.ndarray:
-    """Reconstructed absolute counts ``|S| * F'`` for a perturbed subset.
+    """Reconstructed absolute counts ``|S| * F'`` for perturbed subset(s).
 
     This is the estimator behind the paper's query answering (Section 6.1):
-    ``est = |S*| * F'``.  With ``clip=True`` the clipped MLE is used.
+    ``est = |S*| * F'``.  With ``clip=True`` the clipped MLE is used.  Batched
+    inputs of shape ``(..., m)`` reconstruct each vector independently.
     """
     counts = np.asarray(observed_counts, dtype=float)
-    total = counts.sum()
+    totals = counts.sum(axis=-1, keepdims=True)
     estimator = mle_frequencies_clipped if clip else mle_frequencies
-    return total * estimator(counts, retention_probability, domain_size)
+    reconstructed = totals * estimator(counts, retention_probability, domain_size)
+    return reconstructed

@@ -3,13 +3,14 @@ plain-text rendering of tables and series used by the experiment harness."""
 
 from repro.utils.rng import default_rng, spawn_rngs
 from repro.utils.stats import mean_and_standard_error, relative_error
-from repro.utils.textplot import render_series, render_table
+from repro.utils.textplot import render_listing, render_series, render_table
 
 __all__ = [
     "default_rng",
     "spawn_rngs",
     "mean_and_standard_error",
     "relative_error",
+    "render_listing",
     "render_series",
     "render_table",
 ]

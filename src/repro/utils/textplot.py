@@ -46,6 +46,21 @@ def render_table(
     return "\n".join(lines)
 
 
+def render_listing(
+    items: Sequence[tuple[str, str]] | Mapping[str, str],
+    title: str | None = None,
+    headers: Sequence[str] = ("name", "description"),
+) -> str:
+    """Render a name → description listing as an aligned two-column table.
+
+    The one shared formatter behind every CLI ``--list`` flag
+    (``repro-bench --list``, ``repro-experiments --list``), so listings look
+    the same everywhere instead of each command rolling its own printing.
+    """
+    rows = list(items.items()) if isinstance(items, Mapping) else [tuple(row) for row in items]
+    return render_table(headers, rows, title=title)
+
+
 def render_series(
     x_label: str,
     x_values: Sequence[object],

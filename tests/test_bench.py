@@ -1,0 +1,257 @@
+"""Tests for the repro.bench subsystem.
+
+Covers the acceptance surface of the benchmark harness: deterministic
+scenario-matrix expansion, warmup/repeat timer behaviour, report schema
+round-trips through JSON, run-to-run determinism of the recorded operation
+counts, the ``repro-bench`` CLI, and a tiny-size smoke run of every ported
+paper scenario.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench.cli import main as bench_main
+from repro.bench.micro import run_micro_benchmarks
+from repro.bench.paper import (
+    available_paper_scenarios,
+    paper_scenario,
+    smoke_config,
+)
+from repro.bench.runner import report_path, run_suite, write_report
+from repro.bench.scenarios import ScenarioMatrix, core_matrix, matrix_for, service_matrix
+from repro.bench.schema import SCHEMA_VERSION, SchemaError, validate_report
+from repro.bench.timing import Measurement, TimingSpec, time_callable
+from repro.utils.textplot import render_listing
+
+EXPECTED_PAPER_SCENARIOS = {
+    "core-ops",
+    "table1",
+    "table2",
+    "tables4-5",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "ablation-bounds",
+    "ablation-sampling",
+    "criteria-comparison",
+}
+
+
+class TestScenarioMatrix:
+    def test_expansion_is_full_cross_product_in_fixed_order(self):
+        matrix = ScenarioMatrix(
+            strategies=("sps", "uniform"),
+            datasets=(("adult", 100), ("census", 200)),
+            chunk_sizes=(8, 16),
+            workers=(1, 2),
+        )
+        scenarios = matrix.expand("core")
+        assert len(scenarios) == matrix.size == 16
+        # Strategy-major order, workers innermost.
+        assert scenarios[0].name == "sps/adult-100/c8/w1"
+        assert scenarios[1].name == "sps/adult-100/c8/w2"
+        assert scenarios[2].name == "sps/adult-100/c16/w1"
+        assert scenarios[-1].name == "uniform/census-200/c16/w2"
+        assert len({s.name for s in scenarios}) == 16
+        # Expansion is deterministic.
+        assert [s.name for s in matrix.expand("core")] == [s.name for s in scenarios]
+
+    def test_presets_cover_both_datasets_and_tiny_is_smaller(self):
+        tiny, full = core_matrix(tiny=True), core_matrix()
+        assert tiny.size < full.size
+        assert {d for d, _ in tiny.datasets} == {"adult", "census"}
+        assert all(rows <= 5_000 for _, rows in tiny.datasets)
+        service = service_matrix(tiny=True)
+        assert len(service.workers) > 1  # the workers axis is real in the service suite
+
+    def test_matrix_for_rejects_unknown_suite(self):
+        with pytest.raises(ValueError, match="paper"):
+            matrix_for("paper")
+
+
+class TestTiming:
+    def test_warmup_and_repeats_counts(self):
+        calls = []
+        spec = TimingSpec(warmup=2, repeats=3)
+        result, measurement = time_callable(lambda: calls.append(1) or len(calls), spec)
+        assert len(calls) == 5  # 2 discarded + 3 timed
+        assert result == 5  # last pass's return value
+        assert len(measurement.seconds) == 3
+        assert measurement.best <= measurement.mean
+
+    def test_deterministic_work_under_fixed_seed(self):
+        def work(seed):
+            return int(np.random.default_rng(seed).integers(0, 1000, size=100).sum())
+
+        first, _ = time_callable(lambda: work(7), TimingSpec(warmup=1, repeats=2))
+        second, _ = time_callable(lambda: work(7), TimingSpec(warmup=1, repeats=2))
+        assert first == second
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            TimingSpec(warmup=-1)
+        with pytest.raises(ValueError):
+            TimingSpec(repeats=0)
+
+    def test_measurement_json(self):
+        measurement = Measurement(seconds=(0.2, 0.1, 0.3))
+        data = measurement.to_json()
+        assert data["best"] == 0.1
+        assert data["repeats"] == [0.2, 0.1, 0.3]
+
+
+class TestSchema:
+    def _tiny_report(self, tmp_path):
+        report = run_suite(
+            "core",
+            tiny=True,
+            seed=3,
+            timing=TimingSpec(warmup=0, repeats=1),
+            scenario_filter=["sps/adult-2000/c64/w1"],
+            include_micro=False,
+        )
+        return report
+
+    def test_round_trip_through_json_stays_valid(self, tmp_path):
+        report = self._tiny_report(tmp_path)
+        path = write_report(report, tmp_path)
+        assert path == report_path("core", tmp_path)
+        loaded = json.loads(path.read_text())
+        validate_report(loaded)  # must not raise
+        assert loaded == report
+        assert loaded["schema_version"] == SCHEMA_VERSION
+
+    def test_validator_catches_all_problems_at_once(self):
+        with pytest.raises(SchemaError) as excinfo:
+            validate_report({"schema_version": 99, "suite": "nope", "scenarios": []})
+        message = str(excinfo.value)
+        assert "schema_version" in message
+        assert "suite" in message
+        assert "scenarios" in message
+        assert "seed" in message
+
+    def test_validator_rejects_duplicate_scenario_names(self, tmp_path):
+        report = self._tiny_report(tmp_path)
+        report["scenarios"] = report["scenarios"] * 2
+        with pytest.raises(SchemaError, match="duplicate"):
+            validate_report(report)
+
+    def test_validator_rejects_non_object(self):
+        with pytest.raises(SchemaError):
+            validate_report([1, 2, 3])
+
+
+class TestRunnerDeterminism:
+    def test_core_suite_same_seed_same_scenarios_and_ops(self):
+        kwargs = dict(
+            tiny=True,
+            seed=123,
+            timing=TimingSpec(warmup=0, repeats=1),
+            scenario_filter=["sps"],
+            include_micro=False,
+        )
+        first = run_suite("core", **kwargs)
+        second = run_suite("core", **kwargs)
+        assert [s["name"] for s in first["scenarios"]] == [s["name"] for s in second["scenarios"]]
+        assert [s["ops"] for s in first["scenarios"]] == [s["ops"] for s in second["scenarios"]]
+        assert all("enforce" in s["stages"] for s in first["scenarios"])
+
+    def test_service_suite_runs_and_reuses_cached_index(self):
+        report = run_suite(
+            "service", tiny=True, seed=5, timing=TimingSpec(warmup=1, repeats=1)
+        )
+        validate_report(report)
+        assert report["suite"] == "service"
+        for entry in report["scenarios"]:
+            # The warmup pass populated the dataset's group-index cache.
+            assert entry["ops"]["group_index_cached"] is True
+            assert entry["ops"]["published_records"] > 0
+
+    def test_unknown_scenario_filter_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            run_suite("core", tiny=True, scenario_filter=["no-such-scenario"])
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(ValueError, match="unknown suite"):
+            run_suite("nope")
+
+
+class TestMicroBenchmarks:
+    def test_vectorized_paths_match_their_baselines(self):
+        entries = run_micro_benchmarks(seed=1, tiny=True, timing=TimingSpec(warmup=0, repeats=1))
+        by_name = {entry["name"]: entry for entry in entries}
+        assert set(by_name) == {"sps-sample-counts", "group-index-build", "mle-batch", "em-batch"}
+        # The elementwise/integer rewrites are exact; the EM is machine-precision.
+        for name in ("sps-sample-counts", "group-index-build", "mle-batch"):
+            assert by_name[name]["identical"] is True
+        assert by_name["em-batch"]["max_abs_diff"] < 1e-12
+        for entry in entries:
+            assert entry["n"] > 0 and entry["baseline_seconds"] >= 0
+
+
+class TestPaperScenarios:
+    def test_all_twelve_ported_scripts_are_registered(self):
+        assert set(available_paper_scenarios()) == EXPECTED_PAPER_SCENARIOS
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_PAPER_SCENARIOS))
+    def test_smoke_run_at_tiny_sizes(self, name):
+        scenario = paper_scenario(name)
+        config = smoke_config()
+        result = scenario.run(config)
+        rendered = scenario.render(result)
+        assert isinstance(rendered, str) and rendered.strip()
+        summary = scenario.summarize(result)
+        assert isinstance(summary, dict) and summary
+        if scenario.checks_at_tiny:
+            scenario.check(result, config)  # closed-form checks hold at any size
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError, match="unknown paper scenario"):
+            paper_scenario("figure99")
+
+
+class TestCLI:
+    def test_list_flag(self, capsys):
+        assert bench_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "core scenario matrix" in out
+        assert "paper scenarios" in out
+        assert "figure3" in out
+
+    def test_run_writes_schema_valid_report(self, tmp_path, capsys):
+        code = bench_main(
+            [
+                "run",
+                "--suite", "core",
+                "--tiny",
+                "--seed", "9",
+                "--scenario", "uniform",
+                "--warmup", "0",
+                "--repeats", "1",
+                "--no-micro",
+                "--output-dir", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        path = tmp_path / "BENCH_core.json"
+        assert path.exists()
+        validate_report(json.loads(path.read_text()))
+        assert "BENCH_core.json" in capsys.readouterr().out
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            bench_main(["--version"])
+        assert excinfo.value.code == 0
+
+
+class TestRenderListing:
+    def test_mapping_and_pairs_render_identically(self):
+        as_mapping = render_listing({"a": "first", "b": "second"}, title="t")
+        as_pairs = render_listing([("a", "first"), ("b", "second")], title="t")
+        assert as_mapping == as_pairs
+        assert as_mapping.splitlines()[0] == "t"
+        assert "first" in as_mapping

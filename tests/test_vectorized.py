@@ -1,0 +1,170 @@
+"""Byte-identity of the vectorized hot paths against their loop baselines.
+
+PR 3 replaced per-record / per-group Python loops with numpy bulk operations
+in the SPS sampling step, the personal-group index build, the closed-form MLE
+and the naive Bayes training pass.  These tests pin the contract that made
+that safe: for a fixed seed the vectorized code consumes the same RNG stream
+and produces the same bytes as the loops it replaced.  The loop baselines are
+the ones :mod:`repro.bench.micro` ships (imported, not duplicated, so the
+micro-benchmarks and this suite always pin the same reference).  The batched
+EM is the one documented exception — reassociated matrix products agree to
+machine precision, not bit-for-bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.micro import _reference_group_index, _reference_sample_counts
+from repro.core.criterion import PrivacySpec
+from repro.core.sps import _sample_counts, sps_publish
+from repro.dataset.adult import generate_adult
+from repro.dataset.census import generate_census
+from repro.dataset.groups import personal_groups
+from repro.perturbation.uniform import perturb_table
+from repro.reconstruction.iterative import iterative_bayes_frequencies
+from repro.reconstruction.mle import (
+    mle_frequencies,
+    mle_frequencies_clipped,
+    mle_frequencies_matrix,
+    reconstruct_counts,
+)
+
+
+class TestSampleCountsVectorization:
+    def test_byte_identical_to_loop_across_many_cases(self):
+        master = np.random.default_rng(0)
+        for _ in range(300):
+            m = int(master.integers(1, 64))
+            counts = master.integers(0, 50, size=m).astype(np.int64)
+            rate = float(master.random())
+            seed = int(master.integers(0, 2**31))
+            expected = _reference_sample_counts(counts, rate, np.random.default_rng(seed))
+            actual = _sample_counts(counts, rate, np.random.default_rng(seed))
+            assert np.array_equal(expected, actual)
+            assert actual.dtype == expected.dtype
+
+    def test_rng_stream_position_matches_loop(self):
+        # Whatever follows the sampling step must see the same stream state.
+        counts = np.array([10, 0, 3, 7, 0, 25], dtype=np.int64)
+        ref_rng = np.random.default_rng(42)
+        vec_rng = np.random.default_rng(42)
+        _reference_sample_counts(counts, 0.37, ref_rng)
+        _sample_counts(counts, 0.37, vec_rng)
+        assert ref_rng.random() == vec_rng.random()
+
+    def test_never_exceeds_counts_and_preserves_zeroes(self):
+        counts = np.array([0, 1, 100, 0, 7], dtype=np.int64)
+        sampled = _sample_counts(counts, 0.9, np.random.default_rng(1))
+        assert (sampled <= counts).all()
+        assert sampled[0] == 0 and sampled[3] == 0
+
+
+class TestGroupIndexVectorization:
+    @pytest.mark.parametrize("table", [generate_adult(3000, seed=5), generate_census(4000, seed=5)])
+    def test_identical_keys_counts_indices(self, table):
+        reference = _reference_group_index(table)
+        index = personal_groups(table)
+        assert len(index) == len(reference)
+        for group in index:
+            ref_group = reference[group.key]
+            assert np.array_equal(group.indices, ref_group.indices)
+            assert np.array_equal(group.sensitive_counts, ref_group.sensitive_counts)
+            assert group.sensitive_counts.dtype == ref_group.sensitive_counts.dtype
+
+    def test_key_elements_are_python_ints(self):
+        table = generate_adult(500, seed=0)
+        group = next(iter(personal_groups(table)))
+        assert all(type(k) is int for k in group.key)
+
+
+class TestSPSPublishStability:
+    def test_published_bytes_depend_only_on_seed(self):
+        table = generate_adult(2000, seed=3)
+        spec = PrivacySpec(lam=0.3, delta=0.3, retention_probability=0.5, domain_size=2)
+        first = sps_publish(table, spec, rng=7)
+        second = sps_publish(table, spec, rng=7)
+        assert np.array_equal(first.published.codes, second.published.codes)
+        assert first.groups == second.groups
+
+
+class TestBatchedMLE:
+    def setup_method(self):
+        rng = np.random.default_rng(11)
+        self.counts = rng.integers(0, 80, size=(60, 9)).astype(float)
+        self.counts[self.counts.sum(axis=1) == 0, 0] = 1  # every subset non-empty
+
+    @pytest.mark.parametrize(
+        "estimator",
+        [
+            mle_frequencies,
+            mle_frequencies_clipped,
+            lambda c, p: reconstruct_counts(c, p),
+            lambda c, p: reconstruct_counts(c, p, clip=True),
+        ],
+    )
+    def test_batch_rows_bitwise_equal_per_vector_calls(self, estimator):
+        batched = estimator(self.counts, 0.5)
+        stacked = np.stack([estimator(row, 0.5) for row in self.counts])
+        assert np.array_equal(batched, stacked)
+
+    def test_matrix_form_matches_closed_form_in_batch(self):
+        batched = mle_frequencies_matrix(self.counts, 0.5)
+        closed = mle_frequencies(self.counts, 0.5)
+        assert np.allclose(batched, closed, atol=1e-12)
+
+    def test_clipped_batch_zero_row_falls_back_to_uniform(self):
+        # A subset whose raw MLE clips entirely to zero gets the uniform fallback.
+        counts = np.array([[9.0, 1.0, 1.0, 1.0], [1.0, 1.0, 1.0, 1.0]])
+        single = mle_frequencies_clipped(counts[1], 0.9)
+        batched = mle_frequencies_clipped(counts, 0.9)
+        assert np.array_equal(batched[1], single)
+
+    def test_rejects_empty_subset_in_batch(self):
+        counts = np.array([[1.0, 2.0], [0.0, 0.0]])
+        with pytest.raises(ValueError):
+            mle_frequencies(counts, 0.5)
+
+
+class TestBatchedEM:
+    def test_batch_agrees_with_per_vector_calls_to_machine_precision(self):
+        rng = np.random.default_rng(2)
+        counts = rng.integers(1, 150, size=(30, 12)).astype(float)
+        batched = iterative_bayes_frequencies(counts, 0.5)
+        stacked = np.stack([iterative_bayes_frequencies(row, 0.5) for row in counts])
+        assert batched.shape == stacked.shape
+        assert np.allclose(batched, stacked, atol=1e-12)
+
+    def test_single_vector_path_unchanged_shape_and_simplex(self):
+        result = iterative_bayes_frequencies(np.array([40.0, 10.0, 5.0]), 0.6)
+        assert result.shape == (3,)
+        assert result.min() >= 0 and np.isclose(result.sum(), 1.0)
+
+    def test_batch_preserves_leading_shape(self):
+        counts = np.ones((2, 3, 4))
+        result = iterative_bayes_frequencies(counts, 0.5)
+        assert result.shape == (2, 3, 4)
+
+
+class TestNaiveBayesVectorizedFit:
+    def test_fit_matches_per_group_reference(self):
+        from repro.analysis.learning import NaiveBayesOnReconstruction
+
+        table = generate_adult(2500, seed=9)
+        perturbed = perturb_table(table, 0.5, rng=4)
+        model = NaiveBayesOnReconstruction(0.5).fit(perturbed)
+
+        # Reference: the pre-vectorization per-attribute-value loop.
+        schema = perturbed.schema
+        m = schema.sensitive_domain_size
+        for column, attribute in enumerate(schema.public):
+            likelihood = np.zeros((attribute.size, m))
+            for value_code in range(attribute.size):
+                mask = perturbed.public_codes[:, column] == value_code
+                if not mask.any():
+                    continue
+                counts = perturbed.sensitive_counts(mask)
+                frequencies = mle_frequencies_clipped(counts, 0.5, m)
+                likelihood[value_code] = frequencies * mask.sum()
+            column_totals = likelihood.sum(axis=0, keepdims=True)
+            likelihood = (likelihood + 1.0) / (column_totals + 1.0 * attribute.size)
+            assert np.array_equal(model._conditionals[column], likelihood)
