@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Validate the documentation's intra-repo links and ``repro.*`` references.
+
+Two classes of rot are checked (CI runs this on every push):
+
+1. **Markdown links** — every ``[text](target)`` whose target is not an
+   absolute URL must resolve to an existing file or directory, relative to
+   the markdown file that contains it (an optional ``#fragment`` is ignored).
+2. **Module references** — every backticked dotted name starting with
+   ``repro.`` (e.g. ```repro.stream.engine```, ```repro.publish```) must
+   import: either as a module, or as an attribute of its parent module.
+   Call-shaped references like ``repro.publish()`` are normalised first.
+
+Usage::
+
+    python scripts/check_doc_links.py README.md docs/*.md
+
+Exit status 1 if any link or reference is broken, with one ``file:line``
+diagnostic per problem.
+"""
+
+from __future__ import annotations
+
+import importlib
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_MODREF = re.compile(r"`+([A-Za-z_][\w.]*(?:\.[\w]+)+)(?:\(\))?`+")
+_FENCE = re.compile(r"^```.*?^```\s*$", re.MULTILINE | re.DOTALL)
+
+
+def check_link(target: str, base: Path) -> str | None:
+    """Return a problem description for one markdown link target, or ``None``."""
+    if target.startswith(("http://", "https://", "mailto:")):
+        return None
+    path_part = target.split("#", 1)[0]
+    if not path_part:  # pure in-page anchor
+        return None
+    resolved = (base.parent / path_part).resolve()
+    if not resolved.exists():
+        return f"broken link: ({target}) -> {resolved}"
+    return None
+
+
+def check_module_reference(name: str) -> str | None:
+    """Return a problem description for one ``repro.*`` dotted name, or ``None``.
+
+    Resolves the longest importable module prefix, then walks the remaining
+    segments as attributes — so ``repro.stream``, ``repro.publish`` and
+    ``repro.pipeline.PublishStrategy.chunk_publisher`` all validate.
+    """
+    parts = name.split(".")
+    module = None
+    consumed = 0
+    for end in range(len(parts), 0, -1):
+        try:
+            module = importlib.import_module(".".join(parts[:end]))
+            consumed = end
+            break
+        except ImportError:
+            continue
+    if module is None:
+        return f"unresolvable reference: {name} (cannot import any prefix)"
+    obj = module
+    path = ".".join(parts[:consumed])
+    for attribute in parts[consumed:]:
+        if not hasattr(obj, attribute):
+            return f"unresolvable reference: {name} ({path} has no attribute {attribute!r})"
+        obj = getattr(obj, attribute)
+        path += "." + attribute
+    return None
+
+
+def check_file(path: Path) -> list[str]:
+    """All problems found in one markdown file, as ``file:line: message`` strings."""
+    text = path.read_text()
+    # Blank out fenced code blocks line-preservingly: links/identifiers inside
+    # code samples are exercised by run_doc_snippets.py, not by this checker.
+    prose = _FENCE.sub(lambda match: "\n" * match.group(0).count("\n"), text)
+    problems: list[str] = []
+    for lineno, line in enumerate(prose.splitlines(), start=1):
+        for match in _LINK.finditer(line):
+            problem = check_link(match.group(1), path)
+            if problem:
+                problems.append(f"{path}:{lineno}: {problem}")
+        for match in _MODREF.finditer(line):
+            name = match.group(1)
+            if not name.startswith("repro."):
+                continue
+            problem = check_module_reference(name)
+            if problem:
+                problems.append(f"{path}:{lineno}: {problem}")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(__doc__)
+        return 2
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    problems: list[str] = []
+    checked = 0
+    for name in argv:
+        path = Path(name)
+        problems.extend(check_file(path))
+        checked += 1
+    for problem in problems:
+        print(problem)
+    print(f"\n{checked} files checked, {len(problems)} problems")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Run every ```python code block of the given markdown files.
+"""Run every ```python code block of the given markdown files (+ doctests).
 
 The docs promise copy-pasteable snippets; this sweep (wired into CI's
 quickstart smoke step) keeps that promise honest.  Each fenced block whose
@@ -8,9 +8,15 @@ info string is exactly ``python`` runs in its own interpreter with the repo's
 offending file, block number and output.  Blocks marked ``python no-run``
 (illustrative fragments) and non-python blocks are skipped.
 
+``--doctest-module NAME`` (repeatable) additionally executes the named
+module's docstring examples through :mod:`doctest` in a subprocess, so the
+runnable examples in API docstrings are held to the same standard as the
+markdown snippets.
+
 Usage::
 
-    python scripts/run_doc_snippets.py README.md docs/*.md
+    python scripts/run_doc_snippets.py README.md docs/*.md \\
+        --doctest-module repro.stream.engine --doctest-module repro.dataset.loaders
 """
 
 from __future__ import annotations
@@ -57,13 +63,47 @@ def run_block(source: str, label: str) -> bool:
     return True
 
 
+_DOCTEST_DRIVER = """\
+import doctest, importlib, sys
+module = importlib.import_module(sys.argv[1])
+result = doctest.testmod(module, verbose=False)
+print(f"{result.attempted} examples, {result.failed} failures")
+if result.attempted == 0:
+    # A guarded module with zero examples means the examples were deleted —
+    # the sweep would otherwise stay green while checking nothing.
+    print("no doctest examples found; this module is expected to carry some")
+    sys.exit(1)
+sys.exit(1 if result.failed else 0)
+"""
+
+
+def run_doctests(module: str) -> bool:
+    """Execute ``module``'s docstring examples via doctest in a subprocess."""
+    return run_block(
+        _DOCTEST_DRIVER.replace("sys.argv[1]", repr(module)),
+        f"doctest {module}",
+    )
+
+
 def main(argv: list[str]) -> int:
-    if not argv:
+    files: list[str] = []
+    doctest_modules: list[str] = []
+    iterator = iter(argv)
+    for arg in iterator:
+        if arg == "--doctest-module":
+            try:
+                doctest_modules.append(next(iterator))
+            except StopIteration:
+                print("--doctest-module requires a module name")
+                return 2
+        else:
+            files.append(arg)
+    if not files and not doctest_modules:
         print(__doc__)
         return 2
     failures = 0
     total = 0
-    for name in argv:
+    for name in files:
         path = Path(name)
         blocks = python_blocks(path.read_text())
         if not blocks:
@@ -73,6 +113,10 @@ def main(argv: list[str]) -> int:
             total += 1
             if not run_block(block, f"{path} [block {i}/{len(blocks)}]"):
                 failures += 1
+    for module in doctest_modules:
+        total += 1
+        if not run_doctests(module):
+            failures += 1
     print(f"\n{total - failures}/{total} snippets passed")
     return 1 if failures else 0
 

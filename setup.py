@@ -50,6 +50,7 @@ setup(
             "repro-service=repro.service.cli:main",
             "repro-experiments=repro.experiments.runner:main",
             "repro-bench=repro.bench.cli:main",
+            "repro-stream=repro.stream.cli:main",
         ],
     },
     classifiers=[

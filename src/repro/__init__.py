@@ -20,7 +20,10 @@ algorithm, together with every substrate the evaluation depends on:
   them by name;
 * a benchmark & profiling subsystem (:mod:`repro.bench`, the ``repro-bench``
   CLI) that times those same entry points over a deterministic scenario
-  matrix and emits schema-versioned ``BENCH_*.json`` perf reports.
+  matrix and emits schema-versioned ``BENCH_*.json`` perf reports;
+* an out-of-core streaming engine (:mod:`repro.stream`, the ``repro-stream``
+  CLI) that publishes CSV sources larger than memory in bounded chunks,
+  byte-identical to the in-memory path for the same seed and chunk size.
 
 Quickstart::
 
@@ -55,10 +58,11 @@ from repro.pipeline import (
     register_strategy,
 )
 from repro.reconstruction.mle import mle_frequencies, mle_frequencies_clipped, reconstruct_counts
+from repro.stream import ChunkedReader, StreamReport, stream_publish
 from repro.queries.workload import WorkloadConfig, generate_workload
 from repro.queries.count_query import CountQuery, answer_on_perturbed, answer_on_raw
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "PrivacySpec",
@@ -94,6 +98,9 @@ __all__ = [
     "mle_frequencies",
     "mle_frequencies_clipped",
     "reconstruct_counts",
+    "ChunkedReader",
+    "StreamReport",
+    "stream_publish",
     "WorkloadConfig",
     "generate_workload",
     "CountQuery",

@@ -24,7 +24,7 @@ from repro.bench.scenarios import matrix_for
 from repro.bench.timing import TimingSpec
 from repro.utils.textplot import render_listing, render_table
 
-SUITES = ("core", "service", "paper")
+SUITES = ("core", "service", "paper", "stream")
 
 
 def _listing_text(suite: str | None, tiny: bool) -> str:
@@ -34,6 +34,22 @@ def _listing_text(suite: str | None, tiny: bool) -> str:
         if name == "paper":
             blocks.append(
                 render_listing(paper_scenario_listing(), title="paper scenarios (repro-bench run --suite paper)")
+            )
+            continue
+        if name == "stream":
+            from repro.bench.stream import stream_scenarios
+
+            scale = "tiny" if tiny else "default"
+            rows = [
+                (
+                    s.name,
+                    f"{s.strategy} on {s.dataset} ({s.rows} rows), out-of-core vs "
+                    f"in-memory, chunk_rows={s.params['chunk_rows']}",
+                )
+                for s in stream_scenarios(tiny)
+            ]
+            blocks.append(
+                render_listing(rows, title=f"stream scenarios ({scale} scale, {len(rows)} scenarios)")
             )
             continue
         matrix = matrix_for(name, tiny)

@@ -9,7 +9,10 @@ Three suites:
   :class:`repro.service.AnonymizationService` (thread-pool path, cached
   group indexes);
 * ``paper`` — the twelve named paper scenarios of
-  :mod:`repro.bench.paper`.
+  :mod:`repro.bench.paper`;
+* ``stream`` — out-of-core vs in-memory publishing over ×10 row-growth
+  pairs (:mod:`repro.bench.stream`): rows/sec, peak tracked allocation of
+  both paths, and a per-scenario byte-identity verdict.
 
 Determinism contract: for a fixed ``(suite, tiny, seed, filter)`` the
 scenario set, every scenario's operation counts and the published bytes
@@ -203,6 +206,26 @@ def run_suite(
             entries.append(run_core_scenario(scenario, cache, seed, timing))
         if include_micro:
             micro = run_micro_benchmarks(seed, tiny=tiny, timing=timing)
+    elif suite == "stream":
+        import tempfile
+
+        from repro.bench.stream import run_stream_scenario, stream_scenarios
+        from repro.dataset.loaders import write_csv
+
+        scenarios = _filter_scenarios(stream_scenarios(tiny), scenario_filter)
+        cache = _DatasetCache(seed)
+        with tempfile.TemporaryDirectory(prefix="repro-bench-stream-") as tmp:
+            workdir = Path(tmp)
+            csv_paths: dict[tuple[str, int], Path] = {}
+            for scenario in scenarios:
+                key = (scenario.dataset, scenario.rows)
+                if key not in csv_paths:
+                    path = workdir / f"{scenario.dataset}-{scenario.rows}.csv"
+                    write_csv(cache.get(scenario.dataset, scenario.rows), path)
+                    csv_paths[key] = path
+                entries.append(
+                    run_stream_scenario(scenario, csv_paths[key], seed, timing, workdir)
+                )
     elif suite == "service":
         from repro.service import AnonymizationService, JobStore
 
@@ -216,7 +239,7 @@ def run_suite(
         for scenario in scenarios:
             entries.append(run_service_scenario(scenario, service, seed, timing))
     else:
-        raise ValueError(f"unknown suite {suite!r}; choose core, service or paper")
+        raise ValueError(f"unknown suite {suite!r}; choose core, service, paper or stream")
 
     report: dict[str, Any] = {
         "schema_version": SCHEMA_VERSION,

@@ -1,0 +1,134 @@
+"""The ``stream`` benchmark suite: out-of-core vs in-memory publishing.
+
+Each scenario publishes a synthetic CSV twice — through
+:func:`repro.stream.stream_publish` (bounded-memory, rows streamed to a CSV
+sink) and through the classic load-then-:func:`repro.publish` path — and
+records three things per point:
+
+* **throughput** — rows/second of the streaming path (timed like every
+  other suite);
+* **peak tracked allocation** — ``tracemalloc`` peaks of both paths, in
+  bytes.  Scenarios come in ×10 row-growth pairs, so the report shows the
+  streaming peak staying flat while the in-memory peak grows with ``n``;
+* **byte identity** — whether the streamed CSV equals the in-memory
+  published table's CSV bit for bit (it must, for every scenario).
+
+The suite writes ``BENCH_stream.json`` through the shared runner/schema
+machinery; ``docs/streaming.md`` reads its numbers for the chunk-size tuning
+guide.
+"""
+
+from __future__ import annotations
+
+import io
+import tracemalloc
+from pathlib import Path
+from typing import Any
+
+from repro.bench.scenarios import Scenario
+from repro.bench.timing import TimingSpec, time_callable
+from repro.dataset.loaders import read_csv, write_csv
+from repro.pipeline import publish
+from repro.stream import stream_publish
+
+_SENSITIVE = {"adult": "Income", "census": "Occupation"}
+
+
+def stream_scenarios(tiny: bool = False) -> list[Scenario]:
+    """The stream-suite scenario list (×10 row-growth pairs per strategy).
+
+    ``chunk_rows`` rides in ``params`` (it is a streaming-only axis); the
+    scenario order — strategy-major, then rows ascending — is fixed so the
+    emitted report is diffable, like every other suite's.
+    """
+    if tiny:
+        points = [("sps", "adult", 1_000), ("sps", "adult", 10_000)]
+        chunk_rows = 500
+    else:
+        points = [
+            ("sps", "adult", 10_000),
+            ("sps", "adult", 100_000),
+            ("dp-laplace", "census", 10_000),
+            ("dp-laplace", "census", 100_000),
+        ]
+        chunk_rows = 5_000
+    return [
+        Scenario(
+            name=f"stream/{strategy}/{dataset}-{rows}/c256/r{chunk_rows}",
+            suite="stream",
+            strategy=strategy,
+            dataset=dataset,
+            rows=rows,
+            chunk_size=256,
+            workers=1,
+            params={"chunk_rows": chunk_rows},
+        )
+        for strategy, dataset, rows in points
+    ]
+
+
+def _tracked_peak(fn) -> tuple[Any, int]:
+    """Run ``fn`` once and return (result, peak tracemalloc bytes)."""
+    started = not tracemalloc.is_tracing()
+    if started:
+        tracemalloc.start()
+    tracemalloc.reset_peak()
+    try:
+        result = fn()
+        return result, tracemalloc.get_traced_memory()[1]
+    finally:
+        if started:
+            tracemalloc.stop()
+
+
+def run_stream_scenario(
+    scenario: Scenario,
+    csv_path: Path,
+    seed: int,
+    timing: TimingSpec,
+    workdir: Path,
+) -> dict[str, Any]:
+    """Benchmark one stream scenario against its in-memory twin."""
+    sensitive = _SENSITIVE[scenario.dataset]
+    chunk_rows = int(scenario.params["chunk_rows"])
+    out_path = workdir / f"{scenario.dataset}-{scenario.rows}-out.csv"
+
+    def streaming_once():
+        return stream_publish(
+            csv_path,
+            sensitive=sensitive,
+            strategy=scenario.strategy,
+            rng=seed,
+            chunk_size=scenario.chunk_size,
+            chunk_rows=chunk_rows,
+            output=out_path,
+        )
+
+    def inmemory_once():
+        table = read_csv(csv_path, sensitive=sensitive)
+        report = publish(
+            table, strategy=scenario.strategy, rng=seed, chunk_size=scenario.chunk_size
+        )
+        buffer = io.StringIO()
+        write_csv(report.published, buffer)
+        return buffer.getvalue()
+
+    report, measurement = time_callable(streaming_once, timing)
+    _, stream_peak = _tracked_peak(streaming_once)
+    inmemory_csv, inmemory_peak = _tracked_peak(inmemory_once)
+    byte_identical = out_path.read_bytes().decode("utf-8") == inmemory_csv
+
+    entry = scenario.to_json()
+    entry["ops"] = {
+        "rows": scenario.rows,
+        "published_records": report.published_records,
+        "n_groups": report.n_groups,
+        "chunks_read": report.n_chunks,
+        "rows_per_second": scenario.rows / measurement.best,
+        "peak_tracked_streaming_bytes": int(stream_peak),
+        "peak_tracked_inmemory_bytes": int(inmemory_peak),
+        "byte_identical": bool(byte_identical),
+    }
+    entry["seconds"] = measurement.to_json()
+    entry["stages"] = {stage: float(s) for stage, s in report.timings.items()}
+    return entry

@@ -21,59 +21,155 @@ def infer_schema(
     header: Sequence[str],
     rows: Iterable[Sequence[str]],
     sensitive: str,
+    source: str = "csv data",
 ) -> tuple[Schema, list[Sequence[str]]]:
     """Infer a :class:`Schema` from a header and string rows.
 
     Returns the schema and the materialised rows (so the caller can encode
     them without re-reading the source).  The sensitive column may appear at
     any position in the input; records are reordered so it comes last.
+    ``source`` names the data's origin in error messages.
+
+    Example:
+
+    >>> schema, rows = infer_schema(["City", "Disease"], [["Oslo", "Flu"]], "Disease")
+    >>> schema.public_names, schema.sensitive_name
+    (('City',), 'Disease')
+    >>> rows
+    [['Oslo', 'Flu']]
     """
     header = [str(h) for h in header]
     if sensitive not in header:
-        raise SchemaError(f"sensitive column {sensitive!r} not found in header {header}")
+        raise SchemaError(
+            f"{source}: sensitive column {sensitive!r} not found in header {header}"
+        )
     materialised = [list(map(str, row)) for row in rows]
-    for row in materialised:
+    for i, row in enumerate(materialised):
         if len(row) != len(header):
-            raise SchemaError("row width does not match header width")
+            raise SchemaError(
+                f"{source}: row {i + 1} has {len(row)} fields but the header "
+                f"has {len(header)}"
+            )
 
     sensitive_index = header.index(sensitive)
     public_names = [h for i, h in enumerate(header) if i != sensitive_index]
-
-    domains: dict[str, list[str]] = {name: [] for name in header}
-    seen: dict[str, set[str]] = {name: set() for name in header}
-    for row in materialised:
-        for name, value in zip(header, row):
-            if value not in seen[name]:
-                seen[name].add(value)
-                domains[name].append(value)
-
-    schema = Schema(
-        public=tuple(Attribute(name, tuple(sorted(domains[name]))) for name in public_names),
-        sensitive=Attribute(sensitive, tuple(sorted(domains[sensitive]))),
-    )
+    public_indices = [i for i in range(len(header)) if i != sensitive_index]
     reordered = [
-        [row[header.index(name)] for name in public_names] + [row[sensitive_index]]
-        for row in materialised
+        [row[i] for i in public_indices] + [row[sensitive_index]] for row in materialised
     ]
-    return schema, reordered
+    return _schema_from_reordered(public_names, sensitive, reordered), reordered
+
+
+def source_label(source: object) -> str:
+    """A human-readable name for a CSV source, used in error messages.
+
+    Paths name themselves; file-like objects are named by their ``name``
+    attribute when they have one (open files do, ``io.StringIO`` does not).
+
+    >>> source_label("data/adult.csv")
+    'data/adult.csv'
+    >>> import io
+    >>> source_label(io.StringIO("City,Disease\\n"))
+    'csv stream'
+    """
+    if hasattr(source, "read"):
+        name = getattr(source, "name", None)
+        return f"csv stream {name!r}" if isinstance(name, str) else "csv stream"
+    return str(source)
+
+
+def _strip_bom(header: list[str]) -> list[str]:
+    """Remove a UTF-8 byte-order mark from the first header cell, if present."""
+    if header and header[0].startswith('\ufeff'):
+        header = [header[0].lstrip('\ufeff'), *header[1:]]
+    return header
+
+
+def open_csv_rows(
+    handle: Iterable[str], source: str, sensitive: str, delimiter: str = ","
+) -> tuple[list[str], Iterable[list[str]]]:
+    """Validate a CSV handle's header and return ``(header, row iterator)``.
+
+    The single source of the tolerant-input contract shared by
+    :func:`read_csv` and the streaming
+    :class:`~repro.stream.reader.ChunkedReader`: the UTF-8 BOM is stripped
+    from the header, blank lines are skipped, and every error \u2014 empty input,
+    missing sensitive column, ragged row, header without data rows \u2014 names
+    ``source`` (plus the line number for ragged rows).  The iterator yields
+    rows reordered so the sensitive column comes last, and raises
+    :class:`~repro.dataset.schema.SchemaError` lazily as problems are
+    reached, so callers can consume it chunk by chunk with bounded memory.
+
+    >>> import io
+    >>> header, rows = open_csv_rows(
+    ...     io.StringIO("Disease,City\\nFlu,Oslo\\n"), "demo.csv", "Disease")
+    >>> header, list(rows)
+    (['Disease', 'City'], [['Oslo', 'Flu']])
+    """
+    reader = csv.reader(handle, delimiter=delimiter)
+    try:
+        header = _strip_bom(next(reader))
+    except StopIteration:
+        raise SchemaError(f"{source} is empty") from None
+    if sensitive not in header:
+        raise SchemaError(
+            f"{source}: sensitive column {sensitive!r} not found in header {header}"
+        )
+    sensitive_index = header.index(sensitive)
+    public_indices = [i for i in range(len(header)) if i != sensitive_index]
+    width = len(header)
+
+    def rows() -> Iterable[list[str]]:
+        yielded = 0
+        for row in reader:
+            if not row:
+                continue
+            if len(row) != width:
+                raise SchemaError(
+                    f"{source}, line {reader.line_num}: row has {len(row)} "
+                    f"fields but the header has {width}"
+                )
+            yielded += 1
+            yield [row[i] for i in public_indices] + [row[sensitive_index]]
+        if yielded == 0:
+            raise SchemaError(
+                f"{source} has a header but no data rows; at least one record "
+                "is required to infer the attribute domains"
+            )
+
+    return header, rows()
+
+
+def _schema_from_reordered(
+    public_names: Sequence[str], sensitive: str, rows: Iterable[Sequence[str]]
+) -> Schema:
+    """Infer the schema from rows already validated and reordered SA-last.
+
+    Produces exactly the schema :func:`infer_schema` infers (sorted domains)
+    without re-validating or re-copying rows :func:`open_csv_rows` already
+    checked — one pass collecting domain values per column.
+    """
+    seen: list[set[str]] = [set() for _ in range(len(public_names) + 1)]
+    for row in rows:
+        for column, value in enumerate(row):
+            seen[column].add(value)
+    return Schema(
+        public=tuple(
+            Attribute(name, tuple(sorted(seen[i]))) for i, name in enumerate(public_names)
+        ),
+        sensitive=Attribute(sensitive, tuple(sorted(seen[-1]))),
+    )
 
 
 def _read_csv_stream(
     handle: Iterable[str], source: str, sensitive: str, delimiter: str
 ) -> Table:
-    reader = csv.reader(handle, delimiter=delimiter)
-    try:
-        header = next(reader)
-    except StopIteration:
-        raise SchemaError(f"{source} is empty") from None
-    rows = [row for row in reader if row]
-    if not rows:
-        raise SchemaError(
-            f"{source} has a header but no data rows; at least one record is "
-            "required to infer the attribute domains"
-        )
-    schema, reordered = infer_schema(header, rows, sensitive)
-    return Table.from_records(schema, reordered)
+    header, row_iter = open_csv_rows(handle, source, sensitive, delimiter)
+    rows = list(row_iter)
+    sensitive_index = header.index(sensitive)
+    public_names = [h for i, h in enumerate(header) if i != sensitive_index]
+    schema = _schema_from_reordered(public_names, sensitive, rows)
+    return Table.from_records(schema, rows)
 
 
 def read_csv(source: str | Path | IO[str], sensitive: str, delimiter: str = ",") -> Table:
@@ -93,12 +189,22 @@ def read_csv(source: str | Path | IO[str], sensitive: str, delimiter: str = ",")
     Raises
     ------
     SchemaError
-        If the input is empty or contains a header but no data rows.
+        If the input is empty or contains a header but no data rows; the
+        message names the source (path or stream) and, for malformed rows,
+        the offending line number.
+
+    Example:
+
+    >>> import io
+    >>> table = read_csv(io.StringIO("City,Disease\\nOslo,Flu\\nOslo,Cold\\n"),
+    ...                  sensitive="Disease")
+    >>> len(table), table.schema.sensitive_name
+    (2, 'Disease')
     """
     if hasattr(source, "read"):
-        return _read_csv_stream(source, "csv stream", sensitive, delimiter)
+        return _read_csv_stream(source, source_label(source), sensitive, delimiter)
     path = Path(source)
-    with path.open(newline="") as handle:
+    with path.open(newline="", encoding="utf-8-sig") as handle:
         return _read_csv_stream(handle, str(path), sensitive, delimiter)
 
 
@@ -123,10 +229,21 @@ def write_csv(table: Table, destination: str | Path | IO[str], delimiter: str = 
         :func:`read_csv`'s file-like sources.
     delimiter:
         Field delimiter (default comma).
+
+    Example:
+
+    >>> import io
+    >>> table = read_csv(io.StringIO("City,Disease\\nOslo,Flu\\n"), sensitive="Disease")
+    >>> out = io.StringIO()
+    >>> write_csv(table, out)
+    >>> out.getvalue().splitlines()
+    ['City,Disease', 'Oslo,Flu']
     """
     if hasattr(destination, "write"):
         _write_csv_stream(table, destination, delimiter)
         return
     path = Path(destination)
-    with path.open("w", newline="") as handle:
+    # UTF-8 to mirror read_csv's utf-8-sig decoding, so round-trips work on
+    # any locale.
+    with path.open("w", newline="", encoding="utf-8") as handle:
         _write_csv_stream(table, handle, delimiter)

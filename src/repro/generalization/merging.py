@@ -107,17 +107,22 @@ def _component_label(component_values: tuple[str, ...]) -> str:
     return "|".join(component_values)
 
 
-def merge_attribute_values(
-    table: Table,
-    attribute_name: str,
+def merge_attribute_from_counts(
+    attribute: Attribute,
+    conditional: dict[int, np.ndarray],
+    sensitive_domain_size: int,
     significance: float = DEFAULT_SIGNIFICANCE,
 ) -> AttributeMerge:
-    """Decide the value merging for one public attribute of ``table``."""
-    schema = table.schema
-    attribute = schema.public_attribute(attribute_name)
-    column = schema.public_index(attribute_name)
-    conditional = _conditional_counts(table, column)
+    """Decide the value merging for one public attribute from its SA counts.
 
+    ``conditional`` maps each *observed* value code of ``attribute`` to its SA
+    count vector (length ``sensitive_domain_size``) — exactly what
+    :func:`merge_attribute_values` derives from a materialised table.  The
+    out-of-core streaming engine calls this directly with counts accumulated
+    chunk by chunk, so the merge decisions (and therefore the generalised
+    schema) are byte-identical to the in-memory path without ever holding the
+    full table.
+    """
     graph = nx.Graph()
     graph.add_nodes_from(range(attribute.size))
     observed = sorted(conditional)
@@ -132,7 +137,7 @@ def merge_attribute_values(
                 conditional[code_a],
                 conditional[code_b],
                 significance=significance,
-                degrees_of_freedom=schema.sensitive_domain_size,
+                degrees_of_freedom=sensitive_domain_size,
             ):
                 graph.add_edge(code_a, code_b)
 
@@ -154,6 +159,22 @@ def merge_attribute_values(
         generalized=generalized,
         value_map=value_map,
         components=component_values,
+    )
+
+
+def merge_attribute_values(
+    table: Table,
+    attribute_name: str,
+    significance: float = DEFAULT_SIGNIFICANCE,
+) -> AttributeMerge:
+    """Decide the value merging for one public attribute of ``table``."""
+    schema = table.schema
+    column = schema.public_index(attribute_name)
+    return merge_attribute_from_counts(
+        schema.public_attribute(attribute_name),
+        _conditional_counts(table, column),
+        schema.sensitive_domain_size,
+        significance=significance,
     )
 
 

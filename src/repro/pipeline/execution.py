@@ -31,6 +31,10 @@ R = TypeVar("R")
 #: Default number of personal groups per work chunk.
 DEFAULT_CHUNK_SIZE = 256
 
+#: Default number of CSV records per ingestion chunk of the streaming engine
+#: (:mod:`repro.stream`); bounds peak memory of an out-of-core publish.
+DEFAULT_CHUNK_ROWS = 32_768
+
 #: Signature of a chunk executor: ``runner(items, chunk_fn, seed, chunk_size)``
 #: must return ``chunk_fn(chunk, rng)`` results in chunk order.
 ChunkRunner = Callable[
@@ -40,14 +44,26 @@ ChunkRunner = Callable[
 
 
 def chunk_items(items: Sequence[T], chunk_size: int) -> list[Sequence[T]]:
-    """Split ``items`` into consecutive chunks of at most ``chunk_size``."""
+    """Split ``items`` into consecutive chunks of at most ``chunk_size``.
+
+    >>> chunk_items([1, 2, 3, 4, 5], 2)
+    [[1, 2], [3, 4], [5]]
+    """
     if chunk_size <= 0:
         raise ValueError("chunk_size must be positive")
     return [items[start : start + chunk_size] for start in range(0, len(items), chunk_size)]
 
 
 def chunk_rngs(seed: int, n_chunks: int) -> list[np.random.Generator]:
-    """Derive one independent, reproducible generator per chunk from ``seed``."""
+    """Derive one independent, reproducible generator per chunk from ``seed``.
+
+    The spawn tree is a pure function of the root seed, so the same seed
+    always yields generators producing the same streams:
+
+    >>> a, b = chunk_rngs(7, 2), chunk_rngs(7, 2)
+    >>> [x.random() for x in a] == [y.random() for y in b]
+    True
+    """
     if n_chunks == 0:
         return []
     children = np.random.SeedSequence(seed).spawn(n_chunks)
@@ -64,6 +80,9 @@ def run_chunks_serial(
 
     This is both the library's default executor and the sequential reference
     the service's thread-pool runner is tested against.
+
+    >>> run_chunks_serial([1, 2, 3], lambda chunk, rng: sum(chunk), seed=0, chunk_size=2)
+    [3, 3]
     """
     chunks = chunk_items(items, chunk_size)
     rngs = chunk_rngs(seed, len(chunks))
@@ -76,6 +95,12 @@ def coerce_seed(rng: int | np.random.Generator | None = None) -> int:
     ``None`` draws fresh entropy; an integer is used as-is; an existing
     generator deterministically yields one 63-bit seed (so passing the same
     generator state twice gives the same published table).
+
+    >>> coerce_seed(42)
+    42
+    >>> import numpy as np
+    >>> coerce_seed(np.random.default_rng(0)) == coerce_seed(np.random.default_rng(0))
+    True
     """
     if rng is None:
         return int(np.random.SeedSequence().generate_state(1, np.uint64)[0])

@@ -24,9 +24,12 @@ as ``repro.publish``.
 from __future__ import annotations
 
 import time
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.stream.report import StreamReport
 
 from repro.core.testing import audit_table
 from repro.dataset.groups import GroupIndex, personal_groups
@@ -209,9 +212,14 @@ class PublishPipeline:
 
 
 def publish(
-    table: Table,
+    table: Table | None = None,
     strategy: str | PublishStrategy = "sps",
     *,
+    source: Any = None,
+    sensitive: str | None = None,
+    streaming: bool = False,
+    chunk_rows: int | None = None,
+    output: Any = None,
     rng: int | np.random.Generator | None = None,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     audit: bool = True,
@@ -219,8 +227,8 @@ def publish(
     generalization: GeneralizationResult | None = None,
     runner: ChunkRunner | None = None,
     **params: Any,
-) -> PublishReport:
-    """Publish ``table`` with a named strategy — the library's front door.
+) -> PublishReport | "StreamReport":
+    """Publish a table or a CSV source with a named strategy — the front door.
 
     ``repro.publish(table, strategy="sps", lam=0.3, delta=0.3, rng=7)`` runs
     the full prepare → generalize → audit → enforce → report pipeline and
@@ -228,24 +236,93 @@ def publish(
     arguments other than the options below are strategy parameters, validated
     against the strategy's typed specs.
 
+    Instead of a table, a CSV ``source`` (path or open text stream) may be
+    given together with the ``sensitive`` column name.  With
+    ``streaming=False`` the source is simply loaded first; with
+    ``streaming=True`` the out-of-core engine
+    (:func:`repro.stream.stream_publish`) publishes it in bounded-memory
+    chunks of ``chunk_rows`` records and returns a
+    :class:`~repro.stream.report.StreamReport` — byte-identical output for
+    the same seed and ``chunk_size``.
+
     Parameters
     ----------
     table:
-        The raw table ``D``.
+        The raw table ``D`` (mutually exclusive with ``source``).
     strategy:
         Registered strategy name (see
         :func:`~repro.pipeline.strategy.available_strategies`) or an instance.
+    source, sensitive:
+        CSV path or stream plus its sensitive column, as an alternative to
+        ``table``.
+    streaming:
+        Publish the source out-of-core (requires ``source``).
+    chunk_rows:
+        Records per ingestion chunk of the streaming engine (memory knob;
+        never affects the published bytes).
+    output:
+        Streaming only: CSV sink for the published rows (omit to materialise
+        the published table on the report).
     rng:
         Seed or generator; a fixed integer seed gives byte-identical output
-        through the library and the service for the same ``chunk_size``.
+        through the library, the service and the streaming engine for the
+        same ``chunk_size``.
     chunk_size:
         Personal groups per deterministic work chunk.
     audit:
         Set ``False`` to skip the pre-publication audit stage.
     groups, generalization, runner:
         Pre-built artifacts / custom chunk executor (see
-        :class:`PublishPipeline`).
+        :class:`PublishPipeline`); in-memory path only.
     """
+    if source is not None and table is not None:
+        raise ValueError("pass either table or source, not both")
+    if streaming:
+        if source is None:
+            raise ValueError("streaming=True requires source=")
+        if sensitive is None:
+            raise ValueError("source= requires sensitive= (the SA column name)")
+        if groups is not None or generalization is not None or runner is not None:
+            raise ValueError(
+                "groups/generalization/runner are in-memory artifacts; "
+                "the streaming engine builds its own"
+            )
+        from repro.stream.engine import stream_publish
+
+        # Engine-only keywords are not exposed here; a name collision in
+        # **params would silently bind them instead of reaching the
+        # strategy's typed parameter validation — fail loudly instead.
+        engine_only = {"materialize", "overwrite", "delimiter", "progress", "track_memory"}
+        collisions = sorted(engine_only & params.keys())
+        if collisions:
+            raise ValueError(
+                f"{collisions} are streaming-engine options, not strategy "
+                "parameters; call repro.stream_publish directly to set them"
+            )
+        kwargs: dict[str, Any] = {}
+        if chunk_rows is not None:
+            kwargs["chunk_rows"] = int(chunk_rows)
+        return stream_publish(
+            source,
+            sensitive=sensitive,
+            strategy=strategy,
+            rng=rng,
+            chunk_size=chunk_size,
+            audit=audit,
+            output=output,
+            **kwargs,
+            **params,
+        )
+    if output is not None or chunk_rows is not None:
+        raise ValueError("output/chunk_rows are streaming options; pass streaming=True")
+    if source is not None:
+        if sensitive is None:
+            raise ValueError("source= requires sensitive= (the SA column name)")
+        from repro.dataset.loaders import read_csv
+
+        table = read_csv(source, sensitive=sensitive)
+    if table is None:
+        raise ValueError("publish() needs a table or a source")
     pipeline = (
         PublishPipeline(strategy, **params)
         .with_rng(rng)

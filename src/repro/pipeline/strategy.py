@@ -21,7 +21,7 @@ Built-in strategies
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from collections.abc import Mapping, Sequence
+from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass, field
 from typing import Any, ClassVar
 
@@ -30,6 +30,7 @@ import numpy as np
 from repro.core.criterion import PrivacySpec
 from repro.core.sps import GroupPublication, sps_publish_groups
 from repro.dataset.groups import GroupIndex, PersonalGroup
+from repro.dataset.schema import Schema
 from repro.dataset.table import Table
 from repro.dp.mechanisms import GaussianMechanism, LaplaceMechanism
 from repro.perturbation.uniform import UniformPerturbation
@@ -69,6 +70,11 @@ class PublishStrategy(ABC):
     generalizes: ClassVar[bool] = False
     audits: ClassVar[bool] = True
     uses_groups: ClassVar[bool] = True
+    #: Whether the strategy's published bytes are a pure function of the input
+    #: *row stream* (row order preserved, one output row per input row).  The
+    #: streaming engine drives such strategies through a row spool instead of
+    #: the group list; only :class:`UniformStrategy` sets this today.
+    streams_rows: ClassVar[bool] = False
 
     def resolve(self, params: Mapping[str, Any]) -> dict[str, Any]:
         """Validate ``params`` against the declared specs and fill defaults."""
@@ -77,6 +83,34 @@ class PublishStrategy(ABC):
     def spec_for(self, table: Table, resolved: Mapping[str, Any]) -> PrivacySpec | None:
         """The privacy spec this strategy enforces on ``table`` (``None`` if none)."""
         return None
+
+    def chunk_publisher(
+        self,
+        schema: Schema,
+        spec: PrivacySpec | None,
+        resolved: Mapping[str, Any],
+    ) -> Callable[
+        [Sequence[PersonalGroup], np.random.Generator],
+        tuple[np.ndarray, Sequence[GroupPublication]],
+    ] | None:
+        """The group-batch publishing kernel, or ``None`` if not streamable.
+
+        When a strategy's published bytes depend only on the ordered list of
+        personal groups (their NA keys and SA count vectors) — true for SPS
+        and the DP histogram strategies — it returns
+        ``fn(chunk_of_groups, rng) -> (codes_block, group_records)`` here.
+        :meth:`enforce` and the out-of-core streaming engine both drive this
+        same kernel over deterministic seeded chunks, which is why streaming
+        output is byte-identical to the in-memory path for a fixed
+        ``(seed, chunk_size)``.  Strategies that need the full table return
+        ``None`` (the default) and are rejected by the streaming engine
+        unless they declare ``streams_rows``.
+        """
+        return None
+
+    def metadata_for(self, resolved: Mapping[str, Any]) -> dict[str, Any]:
+        """Strategy-specific report metadata (mechanism scales etc.)."""
+        return {}
 
     @abstractmethod
     def enforce(
@@ -179,23 +213,21 @@ def _spec_from(table: Table, resolved: Mapping[str, Any]) -> PrivacySpec:
     )
 
 
-def _chunked_sps(
+def _run_chunk_publisher(
+    strategy: "PublishStrategy",
     table: Table,
     groups: GroupIndex,
-    spec: PrivacySpec,
+    spec: PrivacySpec | None,
+    resolved: Mapping[str, Any],
     seed: int,
     runner: ChunkRunner,
     chunk_size: int,
 ) -> tuple[Table, tuple[GroupPublication, ...]]:
-    """Run SPS over ``groups`` through ``runner`` in deterministic seeded chunks."""
-    perturbation = UniformPerturbation(spec.retention_probability, spec.domain_size)
+    """Drive a strategy's group-batch kernel through ``runner`` and assemble the table."""
+    chunk_fn = strategy.chunk_publisher(table.schema, spec, resolved)
+    if chunk_fn is None:  # pragma: no cover - enforced by the built-in strategies
+        raise ValueError(f"strategy {strategy.name!r} has no chunk publisher")
     n_public = len(table.schema.public)
-
-    def chunk_fn(
-        chunk: Sequence[PersonalGroup], rng: np.random.Generator
-    ) -> tuple[np.ndarray, list[GroupPublication]]:
-        return sps_publish_groups(chunk, spec, rng, n_public, perturbation)
-
     results = runner(list(groups), chunk_fn, seed, chunk_size)
     blocks = [codes for codes, _ in results if codes.size]
     records = [record for _, chunk_records in results for record in chunk_records]
@@ -221,8 +253,21 @@ class SPSStrategy(PublishStrategy):
     def spec_for(self, table, resolved):
         return _spec_from(table, resolved)
 
+    def chunk_publisher(self, schema, spec, resolved):
+        perturbation = UniformPerturbation(spec.retention_probability, spec.domain_size)
+        n_public = len(schema.public)
+
+        def chunk_fn(
+            chunk: Sequence[PersonalGroup], rng: np.random.Generator
+        ) -> tuple[np.ndarray, list[GroupPublication]]:
+            return sps_publish_groups(chunk, spec, rng, n_public, perturbation)
+
+        return chunk_fn
+
     def enforce(self, table, groups, spec, resolved, seed, runner, chunk_size):
-        published, records = _chunked_sps(table, groups, spec, seed, runner, chunk_size)
+        published, records = _run_chunk_publisher(
+            self, table, groups, spec, resolved, seed, runner, chunk_size
+        )
         return StrategyOutcome(published=published, records=records)
 
 
@@ -259,6 +304,7 @@ class UniformStrategy(PublishStrategy):
     summary = "plain uniform perturbation of the sensitive attribute (UP baseline)"
     params = _SPS_PARAMS
     uses_groups = False
+    streams_rows = True
 
     def spec_for(self, table, resolved):
         return _spec_from(table, resolved)
@@ -286,12 +332,17 @@ class _DPHistogramStrategy(PublishStrategy):
     def _mechanism_metadata(self, mechanism) -> dict[str, Any]:
         raise NotImplementedError
 
-    def enforce(self, table, groups, spec, resolved, seed, runner, chunk_size):
-        mechanism = self._mechanism(resolved)
-        m = table.schema.sensitive_domain_size
-        n_public = len(table.schema.public)
+    def metadata_for(self, resolved: Mapping[str, Any]) -> dict[str, Any]:
+        return self._mechanism_metadata(self._mechanism(resolved))
 
-        def chunk_fn(chunk: Sequence[PersonalGroup], rng: np.random.Generator) -> np.ndarray:
+    def chunk_publisher(self, schema, spec, resolved):
+        mechanism = self._mechanism(resolved)
+        m = schema.sensitive_domain_size
+        n_public = len(schema.public)
+
+        def chunk_fn(
+            chunk: Sequence[PersonalGroup], rng: np.random.Generator
+        ) -> tuple[np.ndarray, tuple[GroupPublication, ...]]:
             blocks: list[np.ndarray] = []
             for group in chunk:
                 noisy = np.asarray(
@@ -306,18 +357,18 @@ class _DPHistogramStrategy(PublishStrategy):
                 block[:, n_public] = codes
                 blocks.append(block)
             if blocks:
-                return np.vstack(blocks)
-            return np.empty((0, n_public + 1), dtype=np.int64)
+                return np.vstack(blocks), ()
+            return np.empty((0, n_public + 1), dtype=np.int64), ()
 
-        results = runner(list(groups), chunk_fn, seed, chunk_size)
-        nonempty = [block for block in results if block.size]
-        if nonempty:
-            codes = np.vstack(nonempty)
-        else:
-            codes = np.empty((0, n_public + 1), dtype=np.int64)
+        return chunk_fn
+
+    def enforce(self, table, groups, spec, resolved, seed, runner, chunk_size):
+        published, _ = _run_chunk_publisher(
+            self, table, groups, spec, resolved, seed, runner, chunk_size
+        )
         return StrategyOutcome(
-            published=Table(table.schema, codes),
-            metadata=self._mechanism_metadata(mechanism),
+            published=published,
+            metadata=self.metadata_for(resolved),
         )
 
 

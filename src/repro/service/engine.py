@@ -166,6 +166,143 @@ class AnonymizationService:
         self.jobs.add(record)
         return record
 
+    def publish_stream(
+        self,
+        source: str | Path,
+        sensitive: str,
+        backend: str,
+        params: Mapping[str, Any] | None = None,
+        seed: int = 0,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        chunk_rows: int | None = None,
+        output: str | Path | None = None,
+    ) -> JobRecord:
+        """Publish a CSV source out-of-core as a ``stream=true`` job.
+
+        Unlike :meth:`publish`, the source is never registered as a dataset
+        and never fully loaded: the job streams it through
+        :func:`repro.stream.stream_publish` in bounded-memory chunks of
+        ``chunk_rows`` records.  The job record is added to the store *before*
+        execution with ``status == "running"`` and its ``progress`` field is
+        updated as chunks flow, so concurrent ``GET /jobs/<id>`` requests (and
+        snapshots) see rows-read / records-published counters mid-flight.
+
+        When ``output`` is given the published rows stream to that CSV and
+        the record holds no table; without it the published table stays in
+        memory like a regular job's.  For a fixed ``(seed, chunk_size)`` the
+        published bytes equal the in-memory backend's.
+        """
+        from repro.pipeline.params import ParamError
+        from repro.pipeline.strategy import UnknownStrategyError, get_strategy
+        from repro.stream.engine import stream_publish
+
+        spec = JobSpec(
+            dataset=str(source),
+            backend=backend,
+            params=dict(params or {}),
+            seed=int(seed),
+            chunk_size=int(chunk_size),
+            max_workers=1,
+            stream=True,
+            source=str(source),
+            sensitive=str(sensitive),
+            chunk_rows=int(chunk_rows) if chunk_rows is not None else None,
+            output=str(output) if output is not None else None,
+        )
+        if spec.chunk_size <= 0:
+            raise ServiceError("chunk_size must be positive")
+        if spec.chunk_rows is not None and spec.chunk_rows <= 0:
+            raise ServiceError("chunk_rows must be positive")
+        # Engine/job options are top-level fields; a params key with one of
+        # their names would silently bind (or collide with) a stream_publish
+        # keyword instead of reaching the strategy's typed validation.
+        reserved = {
+            "source", "sensitive", "strategy", "rng", "chunk_size", "chunk_rows",
+            "audit", "output", "materialize", "overwrite", "delimiter", "progress",
+            "track_memory",
+        }
+        collisions = sorted(reserved & spec.params.keys())
+        if collisions:
+            raise ServiceError(
+                f"{collisions} are stream-job options, not strategy parameters; "
+                "pass them as top-level request fields"
+            )
+        try:
+            strategy = get_strategy(backend)
+        except UnknownStrategyError as exc:
+            raise ServiceError(str(exc)) from None
+        record = JobRecord(job_id=self.jobs.new_job_id(), spec=spec, status="running")
+        self.jobs.add(record)
+
+        def on_progress(event: Mapping[str, Any]) -> None:
+            record.progress = dict(event)
+
+        extra: dict[str, Any] = {}
+        if spec.chunk_rows is not None:
+            extra["chunk_rows"] = spec.chunk_rows
+        start = time.perf_counter()
+        try:
+            report = stream_publish(
+                source,
+                sensitive=sensitive,
+                strategy=strategy,
+                rng=spec.seed,
+                chunk_size=spec.chunk_size,
+                output=output,
+                # mode "x": never clobber an existing server-side file, even
+                # when two concurrent jobs race to the same output path.
+                overwrite=False,
+                progress=on_progress,
+                **extra,
+                **spec.params,
+            )
+        except BaseException as exc:
+            # The record was added as "running" before execution; whatever
+            # went wrong (client error, MemoryError, interrupt), never leave
+            # it in that state — the store and its snapshots must stay
+            # truthful.
+            total = time.perf_counter() - start
+            record.status = "failed"
+            record.error = str(exc) or type(exc).__name__
+            record.timings = JobTimings(
+                group_index_seconds=0.0,
+                publish_seconds=total,
+                total_seconds=total,
+                group_index_cached=False,
+            )
+            if isinstance(exc, (ValueError, ParamError, OSError)):
+                raise ServiceError(f"job {record.job_id} failed: {exc}") from exc
+            raise
+        total = time.perf_counter() - start
+        record.status = "completed"
+        record.published = report.published
+        record.published_records = report.published_records
+        record.metadata = {
+            "params": dict(report.params),
+            "rows_read": report.n_rows,
+            "chunks_read": report.n_chunks,
+            "chunk_rows": report.chunk_rows,
+            "output": report.output,
+            **report.metadata,
+        }
+        if report.groups:
+            record.metadata.update(
+                n_groups=len(report.groups),
+                n_sampled_groups=report.n_sampled_groups,
+                sampled_fraction=report.sampled_fraction,
+            )
+        record.audit = AuditSummary.from_audit(report.audit) if report.audit else None
+        index_seconds = report.timings.get("group_index", 0.0)
+        record.timings = JobTimings(
+            group_index_seconds=index_seconds,
+            publish_seconds=total - index_seconds,
+            total_seconds=total,
+            group_index_cached=False,
+        )
+        # Re-add so the store tracks (and caps) the resident published table.
+        self.jobs.add(record)
+        return record
+
     def job(self, job_id: str) -> JobRecord:
         """Look one job record up by id."""
         return self.jobs.get(job_id)

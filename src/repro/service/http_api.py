@@ -13,9 +13,12 @@ GET    ``/stats``                 counters: version, jobs, cache hits, backends
 GET    ``/datasets``              list registered datasets
 POST   ``/datasets``              register a CSV body (``?name=&sensitive=``)
 GET    ``/datasets/<name>``       one dataset's detail
-POST   ``/publish``               run a publish job (JSON body)
+POST   ``/publish``               run a publish job (JSON body); pass
+                                  ``"stream": true`` with ``source`` and
+                                  ``sensitive`` for an out-of-core job
 GET    ``/jobs``                  list job records
-GET    ``/jobs/<id>``             one job record
+GET    ``/jobs/<id>``             one job record (stream jobs include live
+                                  ``progress`` while running)
 GET    ``/jobs/<id>/table.csv``   download a job's published table
 GET    ``/audit``                 audit a dataset (query parameters)
 POST   ``/audit``                 audit a dataset (JSON body)
@@ -31,6 +34,7 @@ import csv
 import io
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
 from typing import Any
 from urllib.parse import parse_qs, urlparse
 
@@ -230,13 +234,45 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
     def _handle_publish(self) -> None:
         body = self._read_json_body()
-        dataset = body.get("dataset")
         backend = body.get("backend")
-        if not dataset or not backend:
-            raise ServiceError("POST /publish requires 'dataset' and 'backend' fields")
         params = body.get("params") or {}
         if not isinstance(params, dict):
             raise ServiceError("'params' must be a JSON object")
+        if body.get("stream"):
+            # Out-of-core job mode: publish straight from a server-side CSV
+            # path in bounded-memory chunks; GET /jobs/<id> shows progress
+            # while the job runs.  Paths resolve on the server with the
+            # service's privileges (same trust level as the CLI); at least
+            # refuse to clobber existing files so a client cannot truncate
+            # an arbitrary path by naming it as 'output'.
+            source = body.get("source")
+            sensitive = body.get("sensitive")
+            if not source or not sensitive or not backend:
+                raise ServiceError(
+                    "stream publish requires 'source', 'sensitive' and 'backend' fields"
+                )
+            output = body.get("output")
+            if output and Path(output).exists():
+                raise ServiceError(
+                    f"output path {str(output)!r} already exists on the server; "
+                    "stream jobs only write new files"
+                )
+            chunk_rows = body.get("chunk_rows")
+            record = self.service.publish_stream(
+                source=str(source),
+                sensitive=str(sensitive),
+                backend=str(backend),
+                params=params,
+                seed=_as_int(body.get("seed", 0), "seed"),
+                chunk_size=_as_int(body.get("chunk_size", DEFAULT_CHUNK_SIZE), "chunk_size"),
+                chunk_rows=_as_int(chunk_rows, "chunk_rows") if chunk_rows is not None else None,
+                output=output,
+            )
+            self._send_json(record.to_json(), status=201)
+            return
+        dataset = body.get("dataset")
+        if not dataset or not backend:
+            raise ServiceError("POST /publish requires 'dataset' and 'backend' fields")
         record = self.service.publish(
             dataset=str(dataset),
             backend=str(backend),

@@ -99,7 +99,13 @@ class AuditSummary:
 
 @dataclass(frozen=True)
 class JobSpec:
-    """What a publish job was asked to do."""
+    """What a publish job was asked to do.
+
+    A *stream* job (``stream=True``) publishes straight from a CSV
+    ``source`` out-of-core instead of a registered dataset; ``chunk_rows``
+    bounds its ingestion memory and ``output`` names the CSV sink the
+    published rows streamed to (``None`` when the table was kept in memory).
+    """
 
     dataset: str
     backend: str
@@ -107,9 +113,14 @@ class JobSpec:
     seed: int = 0
     chunk_size: int = DEFAULT_CHUNK_SIZE
     max_workers: int = 1
+    stream: bool = False
+    source: str | None = None
+    sensitive: str | None = None
+    chunk_rows: int | None = None
+    output: str | None = None
 
     def to_json(self) -> dict[str, Any]:
-        return {
+        data = {
             "dataset": self.dataset,
             "backend": self.backend,
             "params": dict(self.params),
@@ -117,9 +128,19 @@ class JobSpec:
             "chunk_size": self.chunk_size,
             "max_workers": self.max_workers,
         }
+        if self.stream:
+            data.update(
+                stream=True,
+                source=self.source,
+                sensitive=self.sensitive,
+                chunk_rows=self.chunk_rows,
+                output=self.output,
+            )
+        return data
 
     @classmethod
     def from_json(cls, data: dict[str, Any]) -> "JobSpec":
+        chunk_rows = data.get("chunk_rows")
         return cls(
             dataset=str(data["dataset"]),
             backend=str(data["backend"]),
@@ -127,6 +148,11 @@ class JobSpec:
             seed=int(data.get("seed", 0)),
             chunk_size=int(data.get("chunk_size", DEFAULT_CHUNK_SIZE)),
             max_workers=int(data.get("max_workers", 1)),
+            stream=bool(data.get("stream", False)),
+            source=data.get("source"),
+            sensitive=data.get("sensitive"),
+            chunk_rows=int(chunk_rows) if chunk_rows is not None else None,
+            output=data.get("output"),
         )
 
 
@@ -174,6 +200,10 @@ class JobRecord:
     published_records: int = 0
     metadata: dict[str, Any] = field(default_factory=dict)
     error: str | None = None
+    #: Live progress of a stream job (phase, rows read, records published);
+    #: updated while the job runs, so ``GET /jobs/<id>`` shows it mid-flight,
+    #: and persisted with the record.
+    progress: dict[str, Any] = field(default_factory=dict)
     published: Table | None = field(default=None, repr=False, compare=False)
 
     def to_json(self, include_table: bool = False) -> dict[str, Any]:
@@ -187,6 +217,8 @@ class JobRecord:
             "metadata": dict(self.metadata),
             "error": self.error,
         }
+        if self.progress:
+            data["progress"] = dict(self.progress)
         if include_table and self.published is not None:
             data["published"] = table_to_json(self.published)
         return data
@@ -203,5 +235,6 @@ class JobRecord:
             published_records=int(data.get("published_records", 0)),
             metadata=dict(data.get("metadata", {})),
             error=data.get("error"),
+            progress=dict(data.get("progress", {})),
             published=table_from_json(published) if published else None,
         )

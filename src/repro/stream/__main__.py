@@ -1,0 +1,6 @@
+"""``python -m repro.stream`` — alias for the ``repro-stream`` console script."""
+
+from repro.stream.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

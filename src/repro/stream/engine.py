@@ -1,0 +1,542 @@
+"""The out-of-core streaming publishing engine.
+
+:func:`stream_publish` publishes a CSV source without ever materialising it:
+one bounded-memory pass builds the incremental group index (and, for
+row-order-preserving strategies, a disk spool of encoded rows), then the
+strategy's group-batch kernel — the same kernel the in-memory pipeline runs —
+is driven over deterministic seeded chunks and its output blocks are written
+straight to the sink.  Peak memory is proportional to ``chunk_rows`` plus the
+group index, never to the number of records.
+
+Determinism contract (pinned by ``tests/test_stream.py``): for a fixed seed
+and ``chunk_size``, the streamed output is **byte-identical** to
+``repro.publish`` on the fully loaded table — including the RNG stream
+consumption — for every registered strategy.  This holds because
+
+1. the incremental index finalizes to the exact schema and group order the
+   in-memory :class:`~repro.dataset.groups.GroupIndex` produces;
+2. group chunks and their spawned generators are the same
+   (:func:`~repro.pipeline.execution.chunk_items` /
+   :func:`~repro.pipeline.execution.chunk_rngs`);
+3. row-stream strategies draw their whole-table vectorised draws chunk by
+   chunk, and numpy generators fill chunked array draws from the same stream
+   positions as one whole-array draw.
+"""
+
+from __future__ import annotations
+
+import csv
+import tempfile
+import time
+import tracemalloc
+from collections.abc import Callable
+from pathlib import Path
+from typing import IO, Any
+
+import numpy as np
+
+from repro.core.criterion import PrivacySpec
+from repro.core.sps import GroupPublication
+from repro.core.testing import PrivacyAudit, audit_group
+from repro.dataset.loaders import source_label
+from repro.dataset.schema import Schema
+from repro.dataset.table import Table
+from repro.generalization.chi_square import DEFAULT_SIGNIFICANCE
+from repro.generalization.merging import AttributeMerge, merge_attribute_from_counts
+from repro.pipeline.execution import (
+    DEFAULT_CHUNK_ROWS,
+    DEFAULT_CHUNK_SIZE,
+    chunk_items,
+    chunk_rngs,
+    coerce_seed,
+)
+from repro.pipeline.strategy import PublishStrategy, get_strategy
+from repro.stream.index import (
+    IncrementalGroupIndex,
+    StreamGroup,
+    apply_code_maps,
+    conditional_sa_counts,
+)
+from repro.stream.reader import ChunkedReader
+from repro.stream.report import StreamReport
+
+#: Signature of the optional progress callback: called with small JSON-ready
+#: dicts carrying a ``phase`` key as the run advances.
+ProgressCallback = Callable[[dict[str, Any]], None]
+
+
+class _SchemaHolder:
+    """Minimal table stand-in for ``strategy.spec_for`` (schema access only)."""
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+
+
+class _TableSink:
+    """Collect published blocks into an in-memory table (no ``output`` given)."""
+
+    def __init__(self, schema: Schema) -> None:
+        self._schema = schema
+        self._blocks: list[np.ndarray] = []
+        self.records_written = 0
+
+    def write_block(self, block: np.ndarray) -> None:
+        if block.size:
+            self._blocks.append(block)
+            self.records_written += block.shape[0]
+
+    def close(self) -> Table:
+        n_cols = len(self._schema.public) + 1
+        if self._blocks:
+            codes = np.vstack(self._blocks)
+        else:
+            codes = np.empty((0, n_cols), dtype=np.int64)
+        return Table(self._schema, codes)
+
+    def abort(self) -> None:
+        self._blocks.clear()
+
+
+class _NullSink:
+    """Count published records, keep nothing (``materialize=False``, no output).
+
+    Lets a stats-only run (e.g. ``repro-stream`` without ``--output``) stay
+    bounded-memory on inputs the table-materialising sink could not hold.
+    """
+
+    def __init__(self) -> None:
+        self.records_written = 0
+
+    def write_block(self, block: np.ndarray) -> None:
+        self.records_written += block.shape[0]
+
+    def close(self) -> None:
+        return None
+
+    def abort(self) -> None:
+        return None
+
+
+class _CsvSink:
+    """Stream published blocks to a CSV destination, decoding as they arrive.
+
+    Produces exactly the bytes :func:`repro.dataset.loaders.write_csv` writes
+    for the equivalent in-memory table (header, then one decoded row per
+    published record, in publish order).
+    """
+
+    def __init__(
+        self, destination: str | Path | IO[str], schema: Schema, overwrite: bool = True
+    ) -> None:
+        self._schema = schema
+        if hasattr(destination, "write"):
+            self._handle: IO[str] = destination  # type: ignore[assignment]
+            self._owned = False
+            self.path = None
+        else:
+            path = Path(destination)
+            # "x" makes no-overwrite atomic (two concurrent jobs naming the
+            # same output: one wins, the other fails cleanly); UTF-8 mirrors
+            # read_csv's decoding so round-trips work on any locale.
+            self._handle = path.open("w" if overwrite else "x", newline="", encoding="utf-8")
+            self._owned = True
+            self.path = path
+        self._writer = csv.writer(self._handle)
+        self._writer.writerow(list(schema.public_names) + [schema.sensitive_name])
+        self.records_written = 0
+
+    def write_block(self, block: np.ndarray) -> None:
+        decode = self._schema.decode_record
+        self._writer.writerows(decode(row) for row in block)
+        self.records_written += block.shape[0]
+
+    def close(self) -> None:
+        if self._owned:
+            self._handle.close()
+        return None
+
+    def abort(self) -> None:
+        """Close and remove an owned partial file after a mid-publish failure.
+
+        Deleting the partial keeps stream jobs retryable: the service's
+        "only write new files" guard would otherwise block a retry on the
+        broken output the failed job itself left behind.  Caller-provided
+        streams are only closed-by-not-touched (we don't own them).
+        """
+        self.close()
+        if self._owned and self.path is not None:
+            self.path.unlink(missing_ok=True)
+
+
+class _RowSpool:
+    """Disk spool of provisional-coded row blocks plus per-row retain bits.
+
+    Backs the row-stream (``streams_rows``) path: pass 1 appends each encoded
+    chunk, the enforcement phases replay the chunks in order.  Lives entirely
+    in anonymous temp files, so memory stays bounded while disk carries the
+    ``O(n)`` state an order-preserving perturbation inevitably needs.
+    """
+
+    def __init__(self, n_cols: int) -> None:
+        self._n_cols = n_cols
+        self._codes = tempfile.TemporaryFile()
+        self._retain = tempfile.TemporaryFile()
+        self.chunk_lengths: list[int] = []
+
+    def append(self, block: np.ndarray) -> None:
+        self._codes.write(np.ascontiguousarray(block, dtype=np.int64).tobytes())
+        self.chunk_lengths.append(block.shape[0])
+
+    def append_retain(self, retain: np.ndarray) -> None:
+        self._retain.write(np.packbits(retain).tobytes())
+
+    def replay(self, with_retain: bool = False):
+        """Yield the spooled blocks (optionally with their retain bits) in order."""
+        self._codes.seek(0)
+        if with_retain:
+            self._retain.seek(0)
+        row_bytes = self._n_cols * 8
+        for length in self.chunk_lengths:
+            raw = self._codes.read(length * row_bytes)
+            block = np.frombuffer(raw, dtype=np.int64).reshape(length, self._n_cols)
+            if with_retain:
+                packed = np.frombuffer(self._retain.read((length + 7) // 8), dtype=np.uint8)
+                yield block, np.unpackbits(packed)[:length].astype(bool)
+            else:
+                yield block, None
+
+    def close(self) -> None:
+        self._codes.close()
+        self._retain.close()
+
+
+def _streamable(strategy: PublishStrategy) -> bool:
+    overrides_kernel = (
+        type(strategy).chunk_publisher is not PublishStrategy.chunk_publisher
+    )
+    return overrides_kernel or strategy.streams_rows
+
+
+def stream_publish(
+    source: str | Path | IO[str],
+    *,
+    sensitive: str,
+    strategy: str | PublishStrategy = "sps",
+    rng: int | np.random.Generator | None = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    audit: bool = True,
+    output: str | Path | IO[str] | None = None,
+    materialize: bool = True,
+    overwrite: bool = True,
+    delimiter: str = ",",
+    progress: ProgressCallback | None = None,
+    track_memory: bool = False,
+    **params: Any,
+) -> StreamReport:
+    """Publish a CSV source out-of-core with bounded memory.
+
+    Parameters
+    ----------
+    source:
+        CSV file path or open text stream; read exactly once, in chunks of
+        ``chunk_rows`` records.
+    sensitive:
+        Name of the sensitive column SA.
+    strategy:
+        Registered strategy name or instance.  Must either expose a
+        group-batch kernel (``chunk_publisher`` — SPS, the DP histogram
+        strategies, ``generalize+sps``) or declare ``streams_rows``
+        (``uniform``); anything else raises :class:`ValueError`.
+    rng, chunk_size:
+        Seed and groups-per-work-chunk, with the same meaning (and the same
+        bytes out) as :func:`repro.publish`.
+    chunk_rows:
+        Records per ingestion chunk — the memory knob.
+    audit:
+        Run the pre-publication audit (computed from the incremental index).
+    output:
+        CSV path or text stream for the published rows.  When given, rows
+        stream to it and ``report.published`` is ``None``; when omitted the
+        published table is materialised on the report.
+    materialize:
+        Only consulted when ``output`` is ``None``: pass ``False`` to count
+        published records without keeping them (bounded memory for
+        stats-only runs, e.g. ``repro-stream`` without ``--output``);
+        ``report.published`` is then ``None``.
+    overwrite:
+        Only consulted for path outputs: pass ``False`` to open the sink
+        with mode ``"x"``, atomically refusing to clobber an existing file
+        (the service's stream jobs do).
+    delimiter:
+        Field delimiter of the source.
+    progress:
+        Optional callback receiving ``{"phase": ..., ...}`` dicts as the run
+        advances (used by the service's stream jobs).
+    track_memory:
+        Record the run's peak ``tracemalloc`` allocation on the report.
+    params:
+        Strategy parameters, validated like :func:`repro.publish`.
+
+    Example:
+
+    >>> import io
+    >>> src = io.StringIO("City,Disease\\n" + "Oslo,Flu\\n" * 40 + "Bergen,Cold\\n" * 24)
+    >>> report = stream_publish(src, sensitive="Disease", strategy="sps",
+    ...                         rng=7, chunk_rows=16)
+    >>> report.n_rows, report.n_chunks, report.n_groups
+    (64, 4, 2)
+    >>> report.published is not None
+    True
+    """
+    strategy = get_strategy(strategy) if isinstance(strategy, str) else strategy
+    if not _streamable(strategy):
+        raise ValueError(
+            f"strategy {strategy.name!r} is not streamable: it neither exposes a "
+            "group-batch chunk_publisher nor declares streams_rows; "
+            "load the table and use repro.publish instead"
+        )
+    if strategy.generalizes and strategy.streams_rows:
+        raise ValueError("row-stream strategies cannot generalize")
+
+    started_tracing = False
+    if track_memory:
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+            started_tracing = True
+        tracemalloc.reset_peak()
+
+    try:
+        return _run(
+            strategy, source, sensitive, rng, chunk_size, chunk_rows, audit,
+            output, materialize, overwrite, delimiter, progress, track_memory, params,
+        )
+    finally:
+        if started_tracing:
+            tracemalloc.stop()
+
+
+def _run(
+    strategy: PublishStrategy,
+    source: str | Path | IO[str],
+    sensitive: str,
+    rng: int | np.random.Generator | None,
+    chunk_size: int,
+    chunk_rows: int,
+    audit: bool,
+    output: str | Path | IO[str] | None,
+    materialize: bool,
+    overwrite: bool,
+    delimiter: str,
+    progress: ProgressCallback | None,
+    track_memory: bool,
+    params: dict[str, Any],
+) -> StreamReport:
+    timings: dict[str, float] = {}
+    notify = progress or (lambda event: None)
+
+    # prepare: typed parameter resolution + seed normalisation.
+    start = time.perf_counter()
+    resolved = strategy.resolve(params)
+    seed = coerce_seed(rng)
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    timings["prepare"] = time.perf_counter() - start
+
+    # read: one bounded-memory pass over the source.
+    start = time.perf_counter()
+    reader = ChunkedReader(source, sensitive, chunk_rows=chunk_rows, delimiter=delimiter)
+    index: IncrementalGroupIndex | None = None
+    spool: _RowSpool | None = None
+    for chunk in reader.chunks():
+        if index is None:
+            index = IncrementalGroupIndex(reader.public_names or [], sensitive)
+            if strategy.streams_rows:
+                spool = _RowSpool(len(reader.public_names or []) + 1)
+        if spool is not None:
+            spool.append(index.update_encoded(chunk))
+        else:
+            index.update(chunk)
+        notify({
+            "phase": "read",
+            "rows_read": reader.rows_read,
+            "chunks_read": reader.chunks_read,
+        })
+    assert index is not None  # reader raises on empty input
+    timings["read"] = time.perf_counter() - start
+
+    # group index: finalize schema + lexicographically ordered groups.
+    start = time.perf_counter()
+    schema, groups = index.finalize()
+    timings["group_index"] = time.perf_counter() - start
+    notify({"phase": "group_index", "n_groups": len(groups)})
+
+    # generalize: chi-square merging decided from streamed counts.
+    start = time.perf_counter()
+    merges: tuple[AttributeMerge, ...] | None = None
+    prepared_schema = schema
+    metadata = dict(strategy.metadata_for(resolved))
+    if strategy.generalizes:
+        m = schema.sensitive_domain_size
+        significance = resolved.get("significance", DEFAULT_SIGNIFICANCE)
+        merges = tuple(
+            merge_attribute_from_counts(
+                attribute,
+                conditional_sa_counts(groups, column, m),
+                m,
+                significance=significance,
+            )
+            for column, attribute in enumerate(schema.public)
+        )
+        prepared_schema = Schema(
+            public=tuple(merge.generalized for merge in merges),
+            sensitive=schema.sensitive,
+        )
+        groups = apply_code_maps(groups, [merge.code_map() for merge in merges])
+        metadata["generalized_domains"] = {
+            merge.original.name: {
+                "before": merge.original_domain_size,
+                "after": merge.generalized_domain_size,
+            }
+            for merge in merges
+        }
+    timings["generalize"] = time.perf_counter() - start
+
+    spec = strategy.spec_for(_SchemaHolder(prepared_schema), resolved)
+
+    # audit: Corollary 4 over the incremental groups (no table required).
+    start = time.perf_counter()
+    privacy_audit: PrivacyAudit | None = None
+    if audit and strategy.audits and spec is not None:
+        audits = tuple(audit_group(spec, group) for group in groups)
+        privacy_audit = PrivacyAudit(
+            spec=spec, groups=audits, total_records=index.n_rows
+        )
+    timings["audit"] = time.perf_counter() - start
+
+    # enforce: drive the kernel per group batch (or replay the row spool),
+    # writing published blocks straight to the sink.
+    start = time.perf_counter()
+    if output is not None:
+        sink: Any = _CsvSink(output, prepared_schema, overwrite=overwrite)
+    elif materialize:
+        sink = _TableSink(prepared_schema)
+    else:
+        sink = _NullSink()
+    records: list[GroupPublication] = []
+    try:
+        if spool is not None:
+            _enforce_rows(strategy, spec, index, spool, seed, sink, notify)
+        else:
+            _enforce_groups(
+                strategy, prepared_schema, spec, resolved, groups,
+                seed, chunk_size, sink, records, notify,
+            )
+        published = sink.close()
+    except BaseException:
+        sink.abort()
+        raise
+    finally:
+        if spool is not None:
+            spool.close()
+    timings["enforce"] = time.perf_counter() - start
+    notify({"phase": "done", "published_records": sink.records_written})
+
+    peak: int | None = None
+    if track_memory:
+        peak = tracemalloc.get_traced_memory()[1]
+
+    return StreamReport(
+        strategy=strategy.name,
+        params=resolved,
+        seed=seed,
+        chunk_rows=int(chunk_rows),
+        chunk_size=int(chunk_size),
+        n_rows=index.n_rows,
+        n_chunks=reader.chunks_read,
+        n_groups=len(groups),
+        published_records=sink.records_written,
+        schema=prepared_schema,
+        spec=spec,
+        audit=privacy_audit,
+        groups=tuple(records),
+        merges=merges,
+        metadata=metadata,
+        timings=timings,
+        output=None if output is None else source_label(output),
+        published=published if output is None else None,
+        peak_tracked_bytes=peak,
+    )
+
+
+def _enforce_groups(
+    strategy: PublishStrategy,
+    schema: Schema,
+    spec: PrivacySpec | None,
+    resolved: dict[str, Any],
+    groups: list[StreamGroup],
+    seed: int,
+    chunk_size: int,
+    sink: Any,
+    records: list[GroupPublication],
+    notify: ProgressCallback,
+) -> None:
+    chunk_fn = strategy.chunk_publisher(schema, spec, resolved)
+    if chunk_fn is None:
+        raise ValueError(
+            f"strategy {strategy.name!r} returned no chunk publisher for this "
+            "configuration; it cannot publish out-of-core"
+        )
+    chunks = chunk_items(groups, chunk_size)
+    rngs = chunk_rngs(seed, len(chunks))
+    done = 0
+    for chunk, chunk_rng in zip(chunks, rngs):
+        block, chunk_records = chunk_fn(chunk, chunk_rng)
+        sink.write_block(block)
+        records.extend(chunk_records)
+        done += len(chunk)
+        notify({
+            "phase": "enforce",
+            "groups_done": done,
+            "n_groups": len(groups),
+            "published_records": sink.records_written,
+        })
+
+
+def _enforce_rows(
+    strategy: PublishStrategy,
+    spec: PrivacySpec | None,
+    index: IncrementalGroupIndex,
+    spool: _RowSpool,
+    seed: int,
+    sink: Any,
+    notify: ProgressCallback,
+) -> None:
+    """Replay the row spool through the whole-table uniform perturbation.
+
+    Byte-identity with ``UniformPerturbation.perturb_table`` holds because
+    the in-memory path draws ``rng.random(n)`` then ``rng.integers(0, m, n)``,
+    and chunked draws from the same generator consume the same stream: all
+    retain draws happen first (phase one), all replacement draws second.
+    """
+    if spec is None:  # pragma: no cover - uniform always has a spec
+        raise ValueError(f"strategy {strategy.name!r} has no spec for row streaming")
+    p = spec.retention_probability
+    m = spec.domain_size
+    generator = np.random.default_rng(np.random.SeedSequence(seed))
+    for block, _ in spool.replay():
+        spool.append_retain(generator.random(block.shape[0]) < p)
+    total = sum(spool.chunk_lengths)
+    done = 0
+    for block, retain in spool.replay(with_retain=True):
+        replacements = generator.integers(0, m, size=block.shape[0])
+        final = index.remap_block(block)
+        final[:, -1] = np.where(retain, final[:, -1], replacements)
+        sink.write_block(final)
+        done += block.shape[0]
+        notify({
+            "phase": "enforce",
+            "rows_done": done,
+            "n_rows": total,
+            "published_records": sink.records_written,
+        })

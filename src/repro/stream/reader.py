@@ -1,0 +1,132 @@
+"""Bounded-memory chunked CSV reading.
+
+:class:`ChunkedReader` is the ingestion half of the out-of-core publishing
+engine: it walks a CSV source (path or open text stream) in chunks of at most
+``chunk_rows`` records, validating each row against the header as it goes, so
+peak memory is proportional to the chunk size rather than the file size.
+Rows are yielded with the sensitive column moved last — the same record
+layout :func:`repro.dataset.loaders.infer_schema` produces — so downstream
+consumers never need to know where the SA column sat in the file.
+
+The reader shares the tolerant-input contract of
+:func:`repro.dataset.loaders.read_csv` by construction — both consume the
+same :func:`repro.dataset.loaders.open_csv_rows` row source: a UTF-8
+byte-order mark is stripped, CRLF line endings are handled by the
+:mod:`csv` module, blank lines are skipped, and error messages name the
+source and the offending line number.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from pathlib import Path
+from typing import IO
+
+from repro.dataset.loaders import open_csv_rows, source_label
+from repro.pipeline.execution import DEFAULT_CHUNK_ROWS
+
+
+class ChunkedReader:
+    """Iterate a header-carrying CSV source as bounded-size row chunks.
+
+    Parameters
+    ----------
+    source:
+        CSV file path, or an open text-mode file-like object.  Paths are
+        opened (and closed) per iteration and can therefore be read more
+        than once; file-like sources are read exactly once and not closed.
+    sensitive:
+        Name of the sensitive column SA.  Each yielded row is reordered so
+        this column comes last.
+    chunk_rows:
+        Maximum number of records per chunk (the final chunk may be
+        smaller).
+    delimiter:
+        Field delimiter (default comma).
+
+    Example:
+
+    >>> import io
+    >>> reader = ChunkedReader(
+    ...     io.StringIO("City,Disease\\nOslo,Flu\\nBergen,Cold\\nOslo,Flu\\n"),
+    ...     sensitive="Disease", chunk_rows=2)
+    >>> [len(chunk) for chunk in reader.chunks()]
+    [2, 1]
+    >>> reader.rows_read, reader.header
+    (3, ['City', 'Disease'])
+    """
+
+    def __init__(
+        self,
+        source: str | Path | IO[str],
+        sensitive: str,
+        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+        delimiter: str = ",",
+    ) -> None:
+        if chunk_rows <= 0:
+            raise ValueError("chunk_rows must be positive")
+        self._source = source
+        self._sensitive = sensitive
+        self._chunk_rows = int(chunk_rows)
+        self._delimiter = delimiter
+        self.label = source_label(source)
+        #: Header of the last completed/started iteration (file column order).
+        self.header: list[str] | None = None
+        #: Public column names in header order (set once the header is read).
+        self.public_names: list[str] | None = None
+        #: Records yielded so far in the current iteration.
+        self.rows_read = 0
+        #: Chunks yielded so far in the current iteration.
+        self.chunks_read = 0
+
+    @property
+    def chunk_rows(self) -> int:
+        """The configured maximum records per chunk."""
+        return self._chunk_rows
+
+    @property
+    def sensitive(self) -> str:
+        """The sensitive column name."""
+        return self._sensitive
+
+    def _open(self) -> tuple[IO[str], bool]:
+        if hasattr(self._source, "read"):
+            return self._source, False  # type: ignore[return-value]
+        path = Path(self._source)  # type: ignore[arg-type]
+        return path.open(newline="", encoding="utf-8-sig"), True
+
+    def chunks(self) -> Iterator[list[list[str]]]:
+        """Yield lists of at most ``chunk_rows`` records (NA values then SA).
+
+        Raises :class:`~repro.dataset.schema.SchemaError` — naming the source
+        and line number — on an empty source, a header without data rows, a
+        header missing the sensitive column, or a row whose width does not
+        match the header.
+        """
+        handle, owned = self._open()
+        try:
+            yield from self._chunks_from(handle)
+        finally:
+            if owned:
+                handle.close()
+
+    def _chunks_from(self, handle: IO[str]) -> Iterator[list[list[str]]]:
+        header, rows = open_csv_rows(handle, self.label, self._sensitive, self._delimiter)
+        sensitive_index = header.index(self._sensitive)
+        self.header = header
+        self.public_names = [h for i, h in enumerate(header) if i != sensitive_index]
+        self.rows_read = 0
+        self.chunks_read = 0
+
+        chunk: list[list[str]] = []
+        for row in rows:
+            chunk.append(row)
+            if len(chunk) >= self._chunk_rows:
+                self.rows_read += len(chunk)
+                self.chunks_read += 1
+                yield chunk
+                chunk = []
+        if chunk:
+            self.rows_read += len(chunk)
+            self.chunks_read += 1
+            yield chunk

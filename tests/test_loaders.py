@@ -82,6 +82,47 @@ class TestFileLikeSources:
             read_csv(path, sensitive="Income")
 
 
+class TestErrorMessagesNameTheSource:
+    def test_header_only_error_names_the_path(self, tmp_path):
+        path = tmp_path / "header.csv"
+        path.write_text("Job,Income\n")
+        with pytest.raises(SchemaError, match=str(path)):
+            read_csv(path, sensitive="Income")
+
+    def test_header_only_error_names_the_stream(self):
+        with pytest.raises(SchemaError, match="csv stream"):
+            read_csv(io.StringIO("Job,Income\n"), sensitive="Income")
+
+    def test_named_stream_error_includes_its_name(self, tmp_path):
+        path = tmp_path / "upload.csv"
+        path.write_text("Job,Income\n")
+        with path.open() as handle:  # open files carry a .name
+            with pytest.raises(SchemaError, match="upload.csv"):
+                read_csv(handle, sensitive="Income")
+
+    def test_row_width_error_names_source_and_line(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("Job,Income\neng,high\nartist\n")
+        with pytest.raises(SchemaError, match=rf"{path}, line 3"):
+            read_csv(path, sensitive="Income")
+
+    def test_missing_sensitive_error_names_source(self, tmp_path):
+        path = tmp_path / "nosens.csv"
+        path.write_text("Job,City\neng,Oslo\n")
+        with pytest.raises(SchemaError, match=str(path)):
+            read_csv(path, sensitive="Income")
+
+    def test_utf8_bom_file_loads(self, tmp_path):
+        path = tmp_path / "bom.csv"
+        path.write_bytes("\ufeffJob,Income\neng,high\n".encode("utf-8"))
+        table = read_csv(path, sensitive="Income")
+        assert table.schema.public_names == ("Job",)
+
+    def test_utf8_bom_stream_loads(self):
+        table = read_csv(io.StringIO("\ufeffJob,Income\neng,high\n"), sensitive="Income")
+        assert table.schema.public_names == ("Job",)
+
+
 class TestFileLikeDestinations:
     def test_write_to_stream_roundtrips(self, small_table):
         stream = io.StringIO()
