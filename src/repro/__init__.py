@@ -23,7 +23,10 @@ algorithm, together with every substrate the evaluation depends on:
   matrix and emits schema-versioned ``BENCH_*.json`` perf reports;
 * an out-of-core streaming engine (:mod:`repro.stream`, the ``repro-stream``
   CLI) that publishes CSV sources larger than memory in bounded chunks,
-  byte-identical to the in-memory path for the same seed and chunk size.
+  byte-identical to the in-memory path for the same seed and chunk size;
+* a shared multi-worker scheduler (:mod:`repro.parallel`) behind every
+  ``workers=`` knob — process-pool chunk execution with an ordered block
+  writer, byte-identical output at any worker count.
 
 Quickstart::
 
@@ -62,7 +65,7 @@ from repro.stream import ChunkedReader, StreamReport, stream_publish
 from repro.queries.workload import WorkloadConfig, generate_workload
 from repro.queries.count_query import CountQuery, answer_on_perturbed, answer_on_raw
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "PrivacySpec",

@@ -3,7 +3,7 @@
 Usage (installed console script, or ``python -m repro.bench``)::
 
     repro-bench run --suite core --tiny          # CI's bench-smoke matrix
-    repro-bench run --suite service              # thread-pool path, full sizes
+    repro-bench run --suite service              # scheduler path, full sizes
     repro-bench run --suite paper --scenario figure3
     repro-bench --list                           # every scenario of every suite
 
@@ -24,7 +24,7 @@ from repro.bench.scenarios import matrix_for
 from repro.bench.timing import TimingSpec
 from repro.utils.textplot import render_listing, render_table
 
-SUITES = ("core", "service", "paper", "stream")
+SUITES = ("core", "service", "paper", "stream", "parallel")
 
 
 def _listing_text(suite: str | None, tiny: bool) -> str:
@@ -50,6 +50,22 @@ def _listing_text(suite: str | None, tiny: bool) -> str:
             ]
             blocks.append(
                 render_listing(rows, title=f"stream scenarios ({scale} scale, {len(rows)} scenarios)")
+            )
+            continue
+        if name == "parallel":
+            from repro.bench.parallel import parallel_scenarios
+
+            scale = "tiny" if tiny else "default"
+            rows = [
+                (
+                    s.name,
+                    f"{s.strategy} on {s.dataset} ({s.rows} rows), "
+                    f"workers={s.workers}, scaling vs the sequential reference",
+                )
+                for s in parallel_scenarios(tiny)
+            ]
+            blocks.append(
+                render_listing(rows, title=f"parallel scenarios ({scale} scale, {len(rows)} scenarios)")
             )
             continue
         matrix = matrix_for(name, tiny)

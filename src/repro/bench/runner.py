@@ -6,13 +6,17 @@ Three suites:
   path), plus the vectorization micro-benchmarks of
   :mod:`repro.bench.micro`;
 * ``service`` — the scenario matrix through
-  :class:`repro.service.AnonymizationService` (thread-pool path, cached
+  :class:`repro.service.AnonymizationService` (shared-scheduler path, cached
   group indexes);
 * ``paper`` — the twelve named paper scenarios of
   :mod:`repro.bench.paper`;
 * ``stream`` — out-of-core vs in-memory publishing over ×10 row-growth
   pairs (:mod:`repro.bench.stream`): rows/sec, peak tracked allocation of
-  both paths, and a per-scenario byte-identity verdict.
+  both paths, and a per-scenario byte-identity verdict;
+* ``parallel`` — worker-count scaling of the shared scheduler
+  (:mod:`repro.bench.parallel`): strategy × workers in {1, 2, 4}, rows/sec,
+  ``speedup_vs_w1`` and a per-scenario byte-identity verdict against both
+  the sequential stream and the in-memory pipeline.
 
 Determinism contract: for a fixed ``(suite, tiny, seed, filter)`` the
 scenario set, every scenario's operation counts and the published bytes
@@ -24,6 +28,7 @@ writing) so the repo root carries a diffable perf trajectory.
 from __future__ import annotations
 
 import json
+import os
 import platform
 from collections.abc import Sequence
 from pathlib import Path
@@ -118,7 +123,7 @@ def run_core_scenario(
 
 
 def run_service_scenario(scenario: Scenario, service, seed: int, timing: TimingSpec) -> dict[str, Any]:
-    """Time one service-path scenario (cached group index, thread pool)."""
+    """Time one service-path scenario (cached group index, shared scheduler)."""
     dataset_name = f"{scenario.dataset}-{scenario.rows}"
 
     def once():
@@ -226,6 +231,29 @@ def run_suite(
                 entries.append(
                     run_stream_scenario(scenario, csv_paths[key], seed, timing, workdir)
                 )
+    elif suite == "parallel":
+        import tempfile
+
+        from repro.bench.parallel import parallel_scenarios, run_parallel_scenario
+        from repro.dataset.loaders import write_csv
+
+        scenarios = _filter_scenarios(parallel_scenarios(tiny), scenario_filter)
+        cache = _DatasetCache(seed)
+        with tempfile.TemporaryDirectory(prefix="repro-bench-parallel-") as tmp:
+            workdir = Path(tmp)
+            csv_paths: dict[tuple[str, int], Path] = {}
+            baselines: dict[tuple[str, str, int], dict[str, Any]] = {}
+            for scenario in scenarios:
+                key = (scenario.dataset, scenario.rows)
+                if key not in csv_paths:
+                    path = workdir / f"{scenario.dataset}-{scenario.rows}.csv"
+                    write_csv(cache.get(scenario.dataset, scenario.rows), path)
+                    csv_paths[key] = path
+                entries.append(
+                    run_parallel_scenario(
+                        scenario, csv_paths[key], seed, timing, workdir, baselines
+                    )
+                )
     elif suite == "service":
         from repro.service import AnonymizationService, JobStore
 
@@ -239,7 +267,9 @@ def run_suite(
         for scenario in scenarios:
             entries.append(run_service_scenario(scenario, service, seed, timing))
     else:
-        raise ValueError(f"unknown suite {suite!r}; choose core, service, paper or stream")
+        raise ValueError(
+            f"unknown suite {suite!r}; choose core, service, paper, stream or parallel"
+        )
 
     report: dict[str, Any] = {
         "schema_version": SCHEMA_VERSION,
@@ -252,6 +282,9 @@ def run_suite(
             "numpy": np.__version__,
             "platform": platform.platform(),
             "repro_version": __version__,
+            # Worker-scaling numbers (the parallel suite) only mean anything
+            # read against the cores the run actually had.
+            "cpu_count": os.cpu_count() or 1,
         },
         "scenarios": entries,
     }

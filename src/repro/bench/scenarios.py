@@ -11,7 +11,7 @@ Two suites are built from matrices:
 * ``core`` — times :func:`repro.publish` (the library path, serial chunk
   execution, so the ``workers`` axis is pinned to 1);
 * ``service`` — times :meth:`repro.service.AnonymizationService.publish`
-  (the thread-pool path, exercising the ``workers`` axis and the dataset
+  (the shared-scheduler path, exercising the ``workers`` axis and the dataset
   registry's cached group index).
 
 Each suite has a ``tiny`` preset (seconds, used by CI's bench-smoke job and
@@ -117,7 +117,7 @@ def core_matrix(tiny: bool = False) -> ScenarioMatrix:
 
 
 def service_matrix(tiny: bool = False) -> ScenarioMatrix:
-    """The service-path matrix (thread-pool execution; workers is a real axis)."""
+    """The service-path matrix (scheduler execution; workers is a real axis)."""
     if tiny:
         return ScenarioMatrix(
             strategies=("sps", "generalize+sps"),

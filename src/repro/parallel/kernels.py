@@ -1,0 +1,175 @@
+"""Picklable chunk kernels: the unit of work shipped to worker processes.
+
+A closure built by :meth:`PublishStrategy.chunk_publisher` cannot cross a
+process boundary, so the process backend ships *descriptions* instead: a
+kernel object carrying the strategy instance, the (prepared) schema, the
+privacy spec and the resolved parameters.  The worker rebuilds the closure
+lazily on first call and caches it for the life of the process; the built
+closure itself is excluded from pickling.
+
+Construction of a chunk publisher draws no randomness, so rebuilding it in a
+worker changes nothing about the published bytes — every draw still comes
+from the per-chunk generator handed in with the payload.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.criterion import PrivacySpec
+    from repro.dataset.schema import Schema
+    from repro.pipeline.strategy import PublishStrategy
+
+
+class MissingChunkPublisher(ValueError):
+    """Raised by :meth:`StrategyKernel.build` when the strategy has no kernel.
+
+    A distinct type so callers can tell "this strategy cannot publish in
+    chunks" apart from a real :class:`ValueError` the strategy's own
+    ``chunk_publisher`` builder raised (bad parameters etc.) — the latter
+    must propagate unchanged.
+    """
+
+
+def remap_columns(block: np.ndarray, remaps: Sequence[np.ndarray]) -> np.ndarray:
+    """Translate a codes block through per-column code tables (new array).
+
+    The one provisional→final translation both
+    :meth:`repro.stream.index.IncrementalGroupIndex.remap_block` and the
+    parallel :class:`UniformRowKernel` use — kept single-sourced so the
+    serial and worker paths cannot diverge byte-wise.
+    """
+    remapped = np.empty_like(block)
+    for i, remap in enumerate(remaps):
+        remapped[:, i] = remap[block[:, i]]
+    return remapped
+
+
+@dataclass(frozen=True)
+class EncodedBlock:
+    """A published block already rendered to CSV text by a worker.
+
+    ``text`` is exactly what the parent's CSV sink would have written for the
+    block (one ``\\r\\n``-terminated line per record, stdlib ``csv`` dialect),
+    so the parent only concatenates in chunk order — the per-row decode loop,
+    the hot path of a CSV publish, runs in the workers.
+    """
+
+    text: str
+    n_rows: int
+
+
+def encode_block_csv(schema: "Schema", block: np.ndarray) -> EncodedBlock:
+    """Render a codes block to the exact CSV text ``_CsvSink`` would write."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    decode = schema.decode_record
+    writer.writerows(decode(row) for row in block)
+    return EncodedBlock(text=buffer.getvalue(), n_rows=int(block.shape[0]))
+
+
+@dataclass
+class StrategyKernel:
+    """A picklable stand-in for ``strategy.chunk_publisher(schema, spec, resolved)``.
+
+    Calling the kernel is byte-for-byte the same as calling the closure the
+    strategy builds — the kernel *is* that closure, built lazily (and cached)
+    in whichever process the call lands in.  Pickling drops the built
+    closure; the strategy instance, schema, spec and resolved parameters ride
+    along and rebuild it on the other side.
+
+    Strategies whose class is importable (module level) pickle by reference,
+    so custom strategies keep working across processes; locally-defined test
+    strategies fail the scheduler's pickle probe and fall back to threads.
+    """
+
+    strategy: "PublishStrategy"
+    schema: "Schema"
+    spec: "PrivacySpec | None"
+    resolved: dict[str, Any]
+    _fn: Any = field(default=None, repr=False, compare=False)
+
+    def build(self):
+        """The underlying chunk publisher, built once per process.
+
+        Raises :class:`MissingChunkPublisher` when the strategy returns
+        ``None``; any exception the strategy's builder itself raises
+        propagates unchanged.
+        """
+        if self._fn is None:
+            fn = self.strategy.chunk_publisher(self.schema, self.spec, self.resolved)
+            if fn is None:
+                raise MissingChunkPublisher(
+                    f"strategy {self.strategy.name!r} returned no chunk publisher "
+                    "for this configuration; it cannot publish in chunks"
+                )
+            self._fn = fn
+        return self._fn
+
+    def __call__(
+        self, chunk: Sequence[Any], rng: np.random.Generator
+    ) -> tuple[np.ndarray, Sequence[Any]]:
+        return self.build()(chunk, rng)
+
+    def __getstate__(self) -> dict[str, Any]:
+        state = self.__dict__.copy()
+        state["_fn"] = None  # closures don't pickle; rebuilt lazily on arrival
+        return state
+
+
+@dataclass
+class CsvChunkKernel:
+    """Wrap a chunk kernel so workers also render their block to CSV text.
+
+    Returns ``(EncodedBlock, records)`` instead of ``(block, records)``; the
+    parent writes the text straight to the sink in chunk order.  Used by the
+    streaming engine when the sink is a CSV and ``workers > 1`` — it moves
+    the per-row decode loop (the dominant serial cost of a CSV publish) into
+    the workers without changing a single output byte.
+    """
+
+    kernel: StrategyKernel
+
+    def __call__(
+        self, chunk: Sequence[Any], rng: np.random.Generator
+    ) -> tuple[EncodedBlock, Sequence[Any]]:
+        block, records = self.kernel(chunk, rng)
+        return encode_block_csv(self.kernel.schema, block), records
+
+
+@dataclass
+class UniformRowKernel:
+    """Per-spool-block finishing of the uniform row-stream path.
+
+    The phase-split draws (all retain draws, then all replacement draws)
+    stay **sequential in the parent** — they are cheap vectorised generator
+    calls whose order defines the byte contract — and workers get pure
+    deterministic payloads: ``(provisional block, retain bits, replacement
+    codes)``.  The kernel remaps the block onto the finalized schema codes,
+    applies the perturbation, and (for CSV sinks) renders the rows — the
+    actually expensive parts of the uniform path.
+
+    ``remaps`` are the per-column provisional→final code tables the
+    incremental index produced at finalize time.
+    """
+
+    remaps: tuple[np.ndarray, ...]
+    schema: "Schema"
+    encode: bool = False
+
+    def __call__(
+        self, payload: tuple[np.ndarray, np.ndarray, np.ndarray], rng: Any = None
+    ) -> np.ndarray | EncodedBlock:
+        block, retain, replacements = payload
+        final = remap_columns(block, self.remaps)
+        final[:, -1] = np.where(retain, final[:, -1], replacements)
+        if self.encode:
+            return encode_block_csv(self.schema, final)
+        return final

@@ -1,0 +1,81 @@
+"""The ordered block writer: out-of-order completions, in-order flushes.
+
+Parallel chunk execution finishes chunks in whatever order the machine
+pleases; everything downstream (the CSV sink, the table assembler, the
+record list) requires chunk order.  :class:`OrderedEmitter` is the small
+buffer between the two: completions are pushed with their chunk index, and a
+result is flushed to the consumer exactly when every earlier chunk has been
+flushed before it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any, Generic, TypeVar
+
+R = TypeVar("R")
+
+
+class OrderedEmitter(Generic[R]):
+    """Buffer out-of-order ``(index, result)`` completions; emit in index order.
+
+    ``emit`` is called with each result exactly once, in strictly increasing
+    index order starting at 0, however the pushes arrive.  Out-of-order
+    results wait in an internal buffer; :attr:`buffered` exposes its size so
+    schedulers can bound it via submission backpressure.
+
+    Example:
+
+    >>> flushed = []
+    >>> emitter = OrderedEmitter(flushed.append)
+    >>> emitter.push(2, "c")  # chunk 2 finished first: buffered, not flushed
+    0
+    >>> emitter.buffered
+    1
+    >>> emitter.push(0, "a")  # flushes chunk 0 only
+    1
+    >>> emitter.push(1, "b")  # flushes chunk 1 and the buffered chunk 2
+    2
+    >>> flushed
+    ['a', 'b', 'c']
+    >>> emitter.buffered, emitter.emitted
+    (0, 3)
+    """
+
+    def __init__(self, emit: Callable[[R], Any]) -> None:
+        self._emit = emit
+        self._pending: dict[int, R] = {}
+        self._next = 0
+
+    @property
+    def buffered(self) -> int:
+        """Number of results waiting for an earlier chunk to complete."""
+        return len(self._pending)
+
+    @property
+    def emitted(self) -> int:
+        """Number of results flushed so far (== the next expected index)."""
+        return self._next
+
+    def push(self, index: int, result: R) -> int:
+        """Accept the result of chunk ``index``; flush everything now in order.
+
+        Returns the number of results flushed by this push (possibly 0).
+        """
+        if index < self._next or index in self._pending:
+            raise ValueError(f"chunk {index} was already emitted or is already buffered")
+        self._pending[index] = result
+        flushed = 0
+        while self._next in self._pending:
+            self._emit(self._pending.pop(self._next))
+            self._next += 1
+            flushed += 1
+        return flushed
+
+    def close(self) -> None:
+        """Assert the stream completed cleanly (nothing left buffered)."""
+        if self._pending:
+            raise ValueError(
+                f"ordered emitter closed with {len(self._pending)} buffered "
+                f"result(s); chunk {self._next} never arrived"
+            )

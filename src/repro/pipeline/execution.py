@@ -12,7 +12,7 @@ holds because
    were actually processed in.
 
 The library runs chunks inline through :func:`run_chunks_serial`; the service
-substitutes its thread-pool runner (:func:`repro.service.parallel.run_chunked`)
+substitutes the shared scheduler's runner (:func:`repro.service.parallel.run_chunked`)
 through the same :data:`ChunkRunner` signature, which is why the library and
 the service produce byte-identical output for the same seed.
 """
@@ -79,7 +79,7 @@ def run_chunks_serial(
     """Apply ``chunk_fn(chunk, rng)`` to every chunk inline, in chunk order.
 
     This is both the library's default executor and the sequential reference
-    the service's thread-pool runner is tested against.
+    the service's pool runner is tested against.
 
     >>> run_chunks_serial([1, 2, 3], lambda chunk, rng: sum(chunk), seed=0, chunk_size=2)
     [3, 3]

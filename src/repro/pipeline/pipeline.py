@@ -16,7 +16,7 @@ harness — is the same sequence of explicit stages:
 
 :class:`PublishPipeline` is a fluent builder over those stages; callers that
 hold pre-built artifacts (a cached group index, a cached generalisation, a
-thread-pool chunk runner) inject them and the corresponding stage is skipped
+pool chunk runner) inject them and the corresponding stage is skipped
 or delegated.  :func:`publish` is the one-call convenience wrapper exported
 as ``repro.publish``.
 """
@@ -100,9 +100,28 @@ class PublishPipeline:
         return self
 
     def with_runner(self, runner: ChunkRunner) -> "PublishPipeline":
-        """Substitute the chunk executor (e.g. the service's thread pool)."""
+        """Substitute the chunk executor (e.g. the service's pool runner)."""
         self._runner = runner
         return self
+
+    def with_workers(self, workers: int, backend: str = "auto") -> "PublishPipeline":
+        """Fan the enforce stage out over ``workers`` via the shared scheduler.
+
+        A convenience over :meth:`with_runner`: installs
+        :func:`repro.parallel.run_chunks` with the worker count and backend
+        bound.  The published bytes are identical at any worker count (the
+        scheduler's determinism contract); only wall-clock changes.
+        """
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        from repro.parallel import run_chunks
+
+        def runner(items, chunk_fn, seed, chunk_size):
+            return run_chunks(
+                items, chunk_fn, seed, chunk_size, workers=int(workers), backend=backend
+            )
+
+        return self.with_runner(runner)
 
     def with_groups(self, groups: GroupIndex) -> "PublishPipeline":
         """Reuse a pre-built personal-group index of the *prepared* table."""
@@ -222,6 +241,7 @@ def publish(
     output: Any = None,
     rng: int | np.random.Generator | None = None,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    workers: int = 1,
     audit: bool = True,
     groups: GroupIndex | None = None,
     generalization: GeneralizationResult | None = None,
@@ -269,14 +289,24 @@ def publish(
         same ``chunk_size``.
     chunk_size:
         Personal groups per deterministic work chunk.
+    workers:
+        Fan the enforce stage out over this many workers through the shared
+        scheduler (:mod:`repro.parallel`).  Never changes the published
+        bytes — for a fixed seed and ``chunk_size`` the output is
+        byte-identical at any worker count; only wall-clock changes.
     audit:
         Set ``False`` to skip the pre-publication audit stage.
     groups, generalization, runner:
         Pre-built artifacts / custom chunk executor (see
-        :class:`PublishPipeline`); in-memory path only.
+        :class:`PublishPipeline`); in-memory path only.  ``runner`` is
+        mutually exclusive with ``workers > 1``.
     """
     if source is not None and table is not None:
         raise ValueError("pass either table or source, not both")
+    if workers <= 0:
+        raise ValueError("workers must be positive")
+    if runner is not None and workers > 1:
+        raise ValueError("pass either workers or a custom runner, not both")
     if streaming:
         if source is None:
             raise ValueError("streaming=True requires source=")
@@ -292,7 +322,10 @@ def publish(
         # Engine-only keywords are not exposed here; a name collision in
         # **params would silently bind them instead of reaching the
         # strategy's typed parameter validation — fail loudly instead.
-        engine_only = {"materialize", "overwrite", "delimiter", "progress", "track_memory"}
+        engine_only = {
+            "materialize", "overwrite", "delimiter", "progress", "track_memory",
+            "parallel_backend",
+        }
         collisions = sorted(engine_only & params.keys())
         if collisions:
             raise ValueError(
@@ -308,6 +341,7 @@ def publish(
             strategy=strategy,
             rng=rng,
             chunk_size=chunk_size,
+            workers=workers,
             audit=audit,
             output=output,
             **kwargs,
@@ -335,4 +369,6 @@ def publish(
         pipeline.with_generalization(generalization)
     if runner is not None:
         pipeline.with_runner(runner)
+    elif workers > 1:
+        pipeline.with_workers(workers)
     return pipeline.run(table)

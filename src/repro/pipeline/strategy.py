@@ -223,10 +223,16 @@ def _run_chunk_publisher(
     runner: ChunkRunner,
     chunk_size: int,
 ) -> tuple[Table, tuple[GroupPublication, ...]]:
-    """Drive a strategy's group-batch kernel through ``runner`` and assemble the table."""
-    chunk_fn = strategy.chunk_publisher(table.schema, spec, resolved)
-    if chunk_fn is None:  # pragma: no cover - enforced by the built-in strategies
-        raise ValueError(f"strategy {strategy.name!r} has no chunk publisher")
+    """Drive a strategy's group-batch kernel through ``runner`` and assemble the table.
+
+    The kernel is wrapped in a picklable :class:`~repro.parallel.kernels.StrategyKernel`
+    so the runner may be the process-pool scheduler; calling it is
+    byte-identical to calling ``strategy.chunk_publisher(...)`` directly.
+    """
+    from repro.parallel.kernels import StrategyKernel
+
+    chunk_fn = StrategyKernel(strategy, table.schema, spec, dict(resolved))
+    chunk_fn.build()  # fail fast on a kernel-less strategy; caches the closure
     n_public = len(table.schema.public)
     results = runner(list(groups), chunk_fn, seed, chunk_size)
     blocks = [codes for codes, _ in results if codes.size]

@@ -8,10 +8,10 @@ service concerns:
 
 * wiring the :class:`~repro.service.registry.DatasetEntry` caches (group
   index, per-significance generalisation) into the pipeline;
-* substituting the thread-pool chunk runner
-  (:func:`repro.service.parallel.run_chunked`) so publish jobs fan out over
-  ``max_workers`` threads while staying byte-identical to the library path
-  for the same ``(seed, chunk_size)``;
+* substituting the shared scheduler's chunk runner
+  (:func:`repro.service.parallel.run_chunked`, a process pool by default)
+  so publish jobs fan out over ``max_workers`` workers while staying
+  byte-identical to the library path for the same ``(seed, chunk_size)``;
 * translating :class:`~repro.pipeline.params.ParamError` into
   :class:`~repro.service.registry.ServiceError` for the HTTP/CLI layers.
 

@@ -2,9 +2,10 @@
 
 :class:`AnonymizationService` is the facade shared by the HTTP front end and
 the CLI: it owns the dataset registry and job store, executes publish jobs
-through the named backend (fanning group work out over
-``concurrent.futures`` threads with per-chunk seeded streams), runs audits
-against the cached group indexes, and snapshots its state to JSON.
+through the named backend (fanning group work out over the shared
+process-pool scheduler of :mod:`repro.parallel` with per-chunk seeded
+streams), runs audits against the cached group indexes, and snapshots its
+state to JSON.
 """
 
 from __future__ import annotations
@@ -175,6 +176,7 @@ class AnonymizationService:
         seed: int = 0,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         chunk_rows: int | None = None,
+        workers: int = 1,
         output: str | Path | None = None,
     ) -> JobRecord:
         """Publish a CSV source out-of-core as a ``stream=true`` job.
@@ -190,7 +192,9 @@ class AnonymizationService:
         When ``output`` is given the published rows stream to that CSV and
         the record holds no table; without it the published table stays in
         memory like a regular job's.  For a fixed ``(seed, chunk_size)`` the
-        published bytes equal the in-memory backend's.
+        published bytes equal the in-memory backend's — at any ``workers``
+        count (the enforce stage fans out over the shared process-pool
+        scheduler; the spec records it as ``max_workers``).
         """
         from repro.pipeline.params import ParamError
         from repro.pipeline.strategy import UnknownStrategyError, get_strategy
@@ -202,7 +206,7 @@ class AnonymizationService:
             params=dict(params or {}),
             seed=int(seed),
             chunk_size=int(chunk_size),
-            max_workers=1,
+            max_workers=int(workers),
             stream=True,
             source=str(source),
             sensitive=str(sensitive),
@@ -213,13 +217,15 @@ class AnonymizationService:
             raise ServiceError("chunk_size must be positive")
         if spec.chunk_rows is not None and spec.chunk_rows <= 0:
             raise ServiceError("chunk_rows must be positive")
+        if spec.max_workers <= 0:
+            raise ServiceError("workers must be positive")
         # Engine/job options are top-level fields; a params key with one of
         # their names would silently bind (or collide with) a stream_publish
         # keyword instead of reaching the strategy's typed validation.
         reserved = {
             "source", "sensitive", "strategy", "rng", "chunk_size", "chunk_rows",
-            "audit", "output", "materialize", "overwrite", "delimiter", "progress",
-            "track_memory",
+            "workers", "parallel_backend", "audit", "output", "materialize",
+            "overwrite", "delimiter", "progress", "track_memory",
         }
         collisions = sorted(reserved & spec.params.keys())
         if collisions:
@@ -248,6 +254,7 @@ class AnonymizationService:
                 strategy=strategy,
                 rng=spec.seed,
                 chunk_size=spec.chunk_size,
+                workers=spec.max_workers,
                 output=output,
                 # mode "x": never clobber an existing server-side file, even
                 # when two concurrent jobs race to the same output path.

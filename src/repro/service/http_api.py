@@ -60,6 +60,13 @@ def _as_float(value: Any, name: str) -> float:
         raise ServiceError(f"{name!r} must be a number, got {value!r}") from None
 
 
+def _workers_field(body: dict[str, Any]) -> Any:
+    """The request's worker count: ``workers``, or legacy ``max_workers``."""
+    if "workers" in body:
+        return body["workers"]
+    return body.get("max_workers", 1)
+
+
 class _LimitedReader(io.RawIOBase):
     """Raw stream exposing at most ``limit`` bytes of an underlying file."""
 
@@ -266,6 +273,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 seed=_as_int(body.get("seed", 0), "seed"),
                 chunk_size=_as_int(body.get("chunk_size", DEFAULT_CHUNK_SIZE), "chunk_size"),
                 chunk_rows=_as_int(chunk_rows, "chunk_rows") if chunk_rows is not None else None,
+                workers=_as_int(_workers_field(body), "workers"),
                 output=output,
             )
             self._send_json(record.to_json(), status=201)
@@ -279,7 +287,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             params=params,
             seed=_as_int(body.get("seed", 0), "seed"),
             chunk_size=_as_int(body.get("chunk_size", DEFAULT_CHUNK_SIZE), "chunk_size"),
-            max_workers=_as_int(body.get("max_workers", 1), "max_workers"),
+            max_workers=_as_int(_workers_field(body), "workers"),
         )
         self._send_json(record.to_json(), status=201)
 

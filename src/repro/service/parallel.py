@@ -1,28 +1,39 @@
-"""Thread-pool chunk execution for the service.
+"""The service's chunk executor — now a thin veneer over :mod:`repro.parallel`.
 
 The chunking and per-chunk seeding scheme lives in
 :mod:`repro.pipeline.execution` (it is the library/service-shared
 determinism contract: the published table depends only on the seed and the
-chunk size, never on the worker count or scheduling order).  This module adds
-the one thing that is a service concern: fanning those chunks out over a
-``concurrent.futures`` thread pool.
+chunk size, never on the worker count or scheduling order).  Fan-out is the
+shared scheduler's job (:func:`repro.parallel.run_chunks`): a process pool
+by default — real multi-core scaling for the numpy-light per-group kernels
+the GIL used to throttle — with ``backend="thread"`` kept as the cheap
+fallback for tiny jobs and for kernels that cannot cross a process
+boundary.
 
-``max_workers=1`` and ``max_workers=32`` produce byte-identical output, which
-makes the service's parallel hot path testable against the library's
-sequential reference (:func:`repro.pipeline.execution.run_chunks_serial`).
+``max_workers=1`` and ``max_workers=32`` produce byte-identical output on
+every backend, which keeps the service's parallel hot path testable against
+the library's sequential reference
+(:func:`repro.pipeline.execution.run_chunks_serial`).
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable, Sequence
-from concurrent.futures import ThreadPoolExecutor
 from typing import TypeVar
 
 import numpy as np
 
+from repro.parallel import DEFAULT_BACKEND, PARALLEL_BACKENDS, run_chunks
 from repro.pipeline.execution import DEFAULT_CHUNK_SIZE, chunk_items, chunk_rngs
 
-__all__ = ["DEFAULT_CHUNK_SIZE", "chunk_items", "chunk_rngs", "run_chunked"]
+__all__ = [
+    "DEFAULT_BACKEND",
+    "DEFAULT_CHUNK_SIZE",
+    "PARALLEL_BACKENDS",
+    "chunk_items",
+    "chunk_rngs",
+    "run_chunked",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -34,19 +45,16 @@ def run_chunked(
     seed: int,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     max_workers: int = 1,
+    backend: str = DEFAULT_BACKEND,
 ) -> list[R]:
     """Apply ``chunk_fn(chunk, rng)`` to every chunk and return results in chunk order.
 
-    ``max_workers <= 1`` runs inline (no executor), which is both the
-    sequential reference for determinism tests and the cheapest path for
-    small jobs.
+    ``max_workers <= 1`` runs inline (no executor) — the sequential
+    reference for determinism tests and the cheapest path for small jobs.
+    Otherwise the shared scheduler fans the chunks out; ``backend`` selects
+    ``"process"`` (default via ``"auto"`` when the kernel pickles),
+    ``"thread"`` or ``"serial"``.
     """
-    chunks = chunk_items(items, chunk_size)
-    rngs = chunk_rngs(seed, len(chunks))
-    if max_workers <= 1 or len(chunks) <= 1:
-        return [chunk_fn(chunk, rng) for chunk, rng in zip(chunks, rngs)]
-    with ThreadPoolExecutor(max_workers=max_workers) as executor:
-        futures = [
-            executor.submit(chunk_fn, chunk, rng) for chunk, rng in zip(chunks, rngs)
-        ]
-        return [future.result() for future in futures]
+    return run_chunks(
+        items, chunk_fn, seed, chunk_size, workers=max_workers, backend=backend
+    )

@@ -63,6 +63,11 @@ def build_parser() -> argparse.ArgumentParser:
         "does not affect the published bytes)",
     )
     parser.add_argument(
+        "--workers", type=int, default=1,
+        help="fan the enforce stage out over this many worker processes "
+        "(never affects the published bytes)",
+    )
+    parser.add_argument(
         "--output", metavar="PATH",
         help="write published rows to this CSV (omitted: rows are counted "
         "but discarded, keeping memory bounded, and only stats are reported)",
@@ -123,6 +128,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             rng=args.seed,
             chunk_size=args.chunk_size,
             chunk_rows=args.chunk_rows,
+            workers=args.workers,
             audit=not args.no_audit,
             output=args.output,
             materialize=False,  # CLI never reads the table back; stay bounded

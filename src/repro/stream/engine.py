@@ -43,11 +43,21 @@ from repro.dataset.schema import Schema
 from repro.dataset.table import Table
 from repro.generalization.chi_square import DEFAULT_SIGNIFICANCE
 from repro.generalization.merging import AttributeMerge, merge_attribute_from_counts
+from repro.parallel.kernels import (
+    CsvChunkKernel,
+    EncodedBlock,
+    MissingChunkPublisher,
+    StrategyKernel,
+    UniformRowKernel,
+)
+from repro.parallel.scheduler import (
+    DEFAULT_BACKEND,
+    iter_chunk_results,
+    iter_ordered_map,
+)
 from repro.pipeline.execution import (
     DEFAULT_CHUNK_ROWS,
     DEFAULT_CHUNK_SIZE,
-    chunk_items,
-    chunk_rngs,
     coerce_seed,
 )
 from repro.pipeline.strategy import PublishStrategy, get_strategy
@@ -150,6 +160,16 @@ class _CsvSink:
         self._writer.writerows(decode(row) for row in block)
         self.records_written += block.shape[0]
 
+    def write_encoded(self, encoded: EncodedBlock) -> None:
+        """Append CSV text a worker already rendered (same bytes as write_block).
+
+        The handle was opened with ``newline=""``, so the worker-rendered
+        ``\\r\\n`` terminators pass through untranslated — the file is
+        byte-identical to the per-row ``csv.writer`` path.
+        """
+        self._handle.write(encoded.text)
+        self.records_written += encoded.n_rows
+
     def close(self) -> None:
         if self._owned:
             self._handle.close()
@@ -225,6 +245,8 @@ def stream_publish(
     rng: int | np.random.Generator | None = None,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    workers: int = 1,
+    parallel_backend: str = DEFAULT_BACKEND,
     audit: bool = True,
     output: str | Path | IO[str] | None = None,
     materialize: bool = True,
@@ -253,6 +275,16 @@ def stream_publish(
         bytes out) as :func:`repro.publish`.
     chunk_rows:
         Records per ingestion chunk — the memory knob.
+    workers:
+        Fan the enforce stage out over this many workers through the shared
+        scheduler (:mod:`repro.parallel`).  Byte-identity is preserved at
+        any worker count: chunks and their seeded generators are fixed
+        before dispatch and completions are flushed to the sink in chunk
+        order, so the published table, the CSV bytes and the RNG stream
+        consumption never depend on ``workers``.
+    parallel_backend:
+        ``"auto"`` (process pool when the kernel pickles, threads
+        otherwise), ``"process"``, ``"thread"`` or ``"serial"``.
     audit:
         Run the pre-publication audit (computed from the incremental index).
     output:
@@ -298,6 +330,8 @@ def stream_publish(
         )
     if strategy.generalizes and strategy.streams_rows:
         raise ValueError("row-stream strategies cannot generalize")
+    if workers <= 0:
+        raise ValueError("workers must be positive")
 
     started_tracing = False
     if track_memory:
@@ -308,7 +342,8 @@ def stream_publish(
 
     try:
         return _run(
-            strategy, source, sensitive, rng, chunk_size, chunk_rows, audit,
+            strategy, source, sensitive, rng, chunk_size, chunk_rows,
+            int(workers), parallel_backend, audit,
             output, materialize, overwrite, delimiter, progress, track_memory, params,
         )
     finally:
@@ -323,6 +358,8 @@ def _run(
     rng: int | np.random.Generator | None,
     chunk_size: int,
     chunk_rows: int,
+    workers: int,
+    parallel_backend: str,
     audit: bool,
     output: str | Path | IO[str] | None,
     materialize: bool,
@@ -343,103 +380,113 @@ def _run(
         raise ValueError("chunk_size must be positive")
     timings["prepare"] = time.perf_counter() - start
 
-    # read: one bounded-memory pass over the source.
-    start = time.perf_counter()
-    reader = ChunkedReader(source, sensitive, chunk_rows=chunk_rows, delimiter=delimiter)
-    index: IncrementalGroupIndex | None = None
+    # Everything that owns on-disk state (the row spool, the CSV sink) lives
+    # inside this one try: whatever fails — a bad row mid-read, a strategy
+    # exception, a worker process dying mid-enforce — the spool's temp files
+    # are closed and any owned partial output is removed before the error
+    # propagates.
     spool: _RowSpool | None = None
-    for chunk in reader.chunks():
-        if index is None:
-            index = IncrementalGroupIndex(reader.public_names or [], sensitive)
-            if strategy.streams_rows:
-                spool = _RowSpool(len(reader.public_names or []) + 1)
-        if spool is not None:
-            spool.append(index.update_encoded(chunk))
-        else:
-            index.update(chunk)
-        notify({
-            "phase": "read",
-            "rows_read": reader.rows_read,
-            "chunks_read": reader.chunks_read,
-        })
-    assert index is not None  # reader raises on empty input
-    timings["read"] = time.perf_counter() - start
-
-    # group index: finalize schema + lexicographically ordered groups.
-    start = time.perf_counter()
-    schema, groups = index.finalize()
-    timings["group_index"] = time.perf_counter() - start
-    notify({"phase": "group_index", "n_groups": len(groups)})
-
-    # generalize: chi-square merging decided from streamed counts.
-    start = time.perf_counter()
-    merges: tuple[AttributeMerge, ...] | None = None
-    prepared_schema = schema
-    metadata = dict(strategy.metadata_for(resolved))
-    if strategy.generalizes:
-        m = schema.sensitive_domain_size
-        significance = resolved.get("significance", DEFAULT_SIGNIFICANCE)
-        merges = tuple(
-            merge_attribute_from_counts(
-                attribute,
-                conditional_sa_counts(groups, column, m),
-                m,
-                significance=significance,
-            )
-            for column, attribute in enumerate(schema.public)
-        )
-        prepared_schema = Schema(
-            public=tuple(merge.generalized for merge in merges),
-            sensitive=schema.sensitive,
-        )
-        groups = apply_code_maps(groups, [merge.code_map() for merge in merges])
-        metadata["generalized_domains"] = {
-            merge.original.name: {
-                "before": merge.original_domain_size,
-                "after": merge.generalized_domain_size,
-            }
-            for merge in merges
-        }
-    timings["generalize"] = time.perf_counter() - start
-
-    spec = strategy.spec_for(_SchemaHolder(prepared_schema), resolved)
-
-    # audit: Corollary 4 over the incremental groups (no table required).
-    start = time.perf_counter()
-    privacy_audit: PrivacyAudit | None = None
-    if audit and strategy.audits and spec is not None:
-        audits = tuple(audit_group(spec, group) for group in groups)
-        privacy_audit = PrivacyAudit(
-            spec=spec, groups=audits, total_records=index.n_rows
-        )
-    timings["audit"] = time.perf_counter() - start
-
-    # enforce: drive the kernel per group batch (or replay the row spool),
-    # writing published blocks straight to the sink.
-    start = time.perf_counter()
-    if output is not None:
-        sink: Any = _CsvSink(output, prepared_schema, overwrite=overwrite)
-    elif materialize:
-        sink = _TableSink(prepared_schema)
-    else:
-        sink = _NullSink()
-    records: list[GroupPublication] = []
+    sink: Any = None
     try:
+        # read: one bounded-memory pass over the source.
+        start = time.perf_counter()
+        reader = ChunkedReader(source, sensitive, chunk_rows=chunk_rows, delimiter=delimiter)
+        index: IncrementalGroupIndex | None = None
+        for chunk in reader.chunks():
+            if index is None:
+                index = IncrementalGroupIndex(reader.public_names or [], sensitive)
+                if strategy.streams_rows:
+                    spool = _RowSpool(len(reader.public_names or []) + 1)
+            if spool is not None:
+                spool.append(index.update_encoded(chunk))
+            else:
+                index.update(chunk)
+            notify({
+                "phase": "read",
+                "rows_read": reader.rows_read,
+                "chunks_read": reader.chunks_read,
+            })
+        assert index is not None  # reader raises on empty input
+        timings["read"] = time.perf_counter() - start
+
+        # group index: finalize schema + lexicographically ordered groups.
+        start = time.perf_counter()
+        schema, groups = index.finalize()
+        timings["group_index"] = time.perf_counter() - start
+        notify({"phase": "group_index", "n_groups": len(groups)})
+
+        # generalize: chi-square merging decided from streamed counts.
+        start = time.perf_counter()
+        merges: tuple[AttributeMerge, ...] | None = None
+        prepared_schema = schema
+        metadata = dict(strategy.metadata_for(resolved))
+        if strategy.generalizes:
+            m = schema.sensitive_domain_size
+            significance = resolved.get("significance", DEFAULT_SIGNIFICANCE)
+            merges = tuple(
+                merge_attribute_from_counts(
+                    attribute,
+                    conditional_sa_counts(groups, column, m),
+                    m,
+                    significance=significance,
+                )
+                for column, attribute in enumerate(schema.public)
+            )
+            prepared_schema = Schema(
+                public=tuple(merge.generalized for merge in merges),
+                sensitive=schema.sensitive,
+            )
+            groups = apply_code_maps(groups, [merge.code_map() for merge in merges])
+            metadata["generalized_domains"] = {
+                merge.original.name: {
+                    "before": merge.original_domain_size,
+                    "after": merge.generalized_domain_size,
+                }
+                for merge in merges
+            }
+        timings["generalize"] = time.perf_counter() - start
+
+        spec = strategy.spec_for(_SchemaHolder(prepared_schema), resolved)
+
+        # audit: Corollary 4 over the incremental groups (no table required).
+        start = time.perf_counter()
+        privacy_audit: PrivacyAudit | None = None
+        if audit and strategy.audits and spec is not None:
+            audits = tuple(audit_group(spec, group) for group in groups)
+            privacy_audit = PrivacyAudit(
+                spec=spec, groups=audits, total_records=index.n_rows
+            )
+        timings["audit"] = time.perf_counter() - start
+
+        # enforce: drive the kernel per group batch (or replay the row spool),
+        # writing published blocks straight to the sink in chunk order.
+        start = time.perf_counter()
+        if output is not None:
+            sink = _CsvSink(output, prepared_schema, overwrite=overwrite)
+        elif materialize:
+            sink = _TableSink(prepared_schema)
+        else:
+            sink = _NullSink()
+        records: list[GroupPublication] = []
         if spool is not None:
-            _enforce_rows(strategy, spec, index, spool, seed, sink, notify)
+            _enforce_rows(
+                strategy, prepared_schema, spec, index, spool, seed,
+                workers, parallel_backend, sink, notify,
+            )
         else:
             _enforce_groups(
                 strategy, prepared_schema, spec, resolved, groups,
-                seed, chunk_size, sink, records, notify,
+                seed, chunk_size, workers, parallel_backend, sink, records, notify,
             )
         published = sink.close()
+        timings["enforce"] = time.perf_counter() - start
     except BaseException:
-        sink.abort()
+        if sink is not None:
+            sink.abort()
         raise
     finally:
         if spool is not None:
             spool.close()
-    timings["enforce"] = time.perf_counter() - start
     notify({"phase": "done", "published_records": sink.records_written})
 
     peak: int | None = None
@@ -452,6 +499,7 @@ def _run(
         seed=seed,
         chunk_rows=int(chunk_rows),
         chunk_size=int(chunk_size),
+        workers=int(workers),
         n_rows=index.n_rows,
         n_chunks=reader.chunks_read,
         n_groups=len(groups),
@@ -477,24 +525,43 @@ def _enforce_groups(
     groups: list[StreamGroup],
     seed: int,
     chunk_size: int,
+    workers: int,
+    backend: str,
     sink: Any,
     records: list[GroupPublication],
     notify: ProgressCallback,
 ) -> None:
-    chunk_fn = strategy.chunk_publisher(schema, spec, resolved)
-    if chunk_fn is None:
+    """Drive the strategy's group-batch kernel over seeded chunks, in chunk order.
+
+    With ``workers > 1`` the chunks are dispatched through the shared
+    scheduler (process pool by default) and, when the sink is a CSV, each
+    worker also renders its block to CSV text — the ordered emitter inside
+    the scheduler guarantees blocks reach the sink in chunk order, so the
+    output bytes never depend on the worker count.
+    """
+    kernel = StrategyKernel(strategy, schema, spec, dict(resolved))
+    try:
+        # Fail fast in the parent (and cache the closure for the serial
+        # path); workers rebuild their own copy after unpickling.
+        kernel.build()
+    except MissingChunkPublisher:
         raise ValueError(
             f"strategy {strategy.name!r} returned no chunk publisher for this "
             "configuration; it cannot publish out-of-core"
-        )
-    chunks = chunk_items(groups, chunk_size)
-    rngs = chunk_rngs(seed, len(chunks))
+        ) from None
+    encode = workers > 1 and isinstance(sink, _CsvSink)
+    chunk_fn = CsvChunkKernel(kernel) if encode else kernel
+    results = iter_chunk_results(
+        groups, chunk_fn, seed, chunk_size, workers=workers, backend=backend
+    )
     done = 0
-    for chunk, chunk_rng in zip(chunks, rngs):
-        block, chunk_records = chunk_fn(chunk, chunk_rng)
-        sink.write_block(block)
+    for payload, chunk_records in results:
+        if encode:
+            sink.write_encoded(payload)
+        else:
+            sink.write_block(payload)
         records.extend(chunk_records)
-        done += len(chunk)
+        done = min(done + chunk_size, len(groups))
         notify({
             "phase": "enforce",
             "groups_done": done,
@@ -505,10 +572,13 @@ def _enforce_groups(
 
 def _enforce_rows(
     strategy: PublishStrategy,
+    schema: Schema,
     spec: PrivacySpec | None,
     index: IncrementalGroupIndex,
     spool: _RowSpool,
     seed: int,
+    workers: int,
+    backend: str,
     sink: Any,
     notify: ProgressCallback,
 ) -> None:
@@ -518,6 +588,14 @@ def _enforce_rows(
     the in-memory path draws ``rng.random(n)`` then ``rng.integers(0, m, n)``,
     and chunked draws from the same generator consume the same stream: all
     retain draws happen first (phase one), all replacement draws second.
+
+    With ``workers > 1`` the draws **stay sequential in the parent** (they
+    define the byte contract and are cheap vectorised generator calls); the
+    spool is partitioned block-wise across the pool, whose workers do the
+    expensive parts — code remapping, perturbation apply and, for CSV sinks,
+    the per-row render — and the ordered scheduler flushes their results in
+    spool order.  The scheduler's submission backpressure caps in-flight
+    blocks, so memory stays bounded by ``O(workers * chunk_rows)``.
     """
     if spec is None:  # pragma: no cover - uniform always has a spec
         raise ValueError(f"strategy {strategy.name!r} has no spec for row streaming")
@@ -527,13 +605,28 @@ def _enforce_rows(
     for block, _ in spool.replay():
         spool.append_retain(generator.random(block.shape[0]) < p)
     total = sum(spool.chunk_lengths)
+
+    encode = workers > 1 and isinstance(sink, _CsvSink)
+    kernel = UniformRowKernel(remaps=tuple(index.remaps), schema=schema, encode=encode)
+
+    def payloads():
+        # Pulled lazily by the scheduler, so the phase-two draws happen in
+        # spool order regardless of which worker finishes first.
+        for block, retain in spool.replay(with_retain=True):
+            replacements = generator.integers(0, m, size=block.shape[0])
+            yield ((block, retain, replacements),)
+
     done = 0
-    for block, retain in spool.replay(with_retain=True):
-        replacements = generator.integers(0, m, size=block.shape[0])
-        final = index.remap_block(block)
-        final[:, -1] = np.where(retain, final[:, -1], replacements)
-        sink.write_block(final)
-        done += block.shape[0]
+    for result in iter_ordered_map(
+        kernel, payloads(), workers=workers, backend=backend,
+        n_tasks=len(spool.chunk_lengths),
+    ):
+        if encode:
+            sink.write_encoded(result)
+            done += result.n_rows
+        else:
+            sink.write_block(result)
+            done += result.shape[0]
         notify({
             "phase": "enforce",
             "rows_done": done,

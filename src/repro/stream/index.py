@@ -138,14 +138,24 @@ class IncrementalGroupIndex:
         self.n_rows += len(rows)
         return block
 
+    @property
+    def remaps(self) -> tuple[np.ndarray, ...]:
+        """Per-column provisional→final code tables (requires :meth:`finalize`).
+
+        Exposed so the parallel row kernel can remap spooled blocks inside
+        worker processes without shipping the whole index.
+        """
+        if self._remaps is None:
+            raise ValueError("remaps requires finalize() to have run")
+        return tuple(self._remaps)
+
     def remap_block(self, block: np.ndarray) -> np.ndarray:
         """Translate a provisional-coded block onto the finalized schema codes."""
         if self._remaps is None:
             raise ValueError("remap_block requires finalize() to have run")
-        remapped = np.empty_like(block)
-        for i, remap in enumerate(self._remaps):
-            remapped[:, i] = remap[block[:, i]]
-        return remapped
+        from repro.parallel.kernels import remap_columns
+
+        return remap_columns(block, self._remaps)
 
     def finalize(self) -> tuple[Schema, list[StreamGroup]]:
         """Build the inferred schema and the lexicographically ordered groups.

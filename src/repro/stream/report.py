@@ -42,6 +42,8 @@ class StreamReport:
     n_groups: int
     published_records: int
     schema: Schema
+    #: Worker count the enforce stage ran with (never affects the bytes).
+    workers: int = 1
     spec: PrivacySpec | None = None
     audit: PrivacyAudit | None = None
     groups: tuple[GroupPublication, ...] = ()
@@ -77,6 +79,7 @@ class StreamReport:
             "seed": self.seed,
             "chunk_rows": self.chunk_rows,
             "chunk_size": self.chunk_size,
+            "workers": self.workers,
             "rows_read": self.n_rows,
             "chunks_read": self.n_chunks,
             "n_groups": self.n_groups,

@@ -1,0 +1,611 @@
+"""The shared multi-worker scheduler and its determinism contract.
+
+The load-bearing suite for :mod:`repro.parallel`: for a fixed seed and
+``chunk_size``, the published table, the CSV bytes and the audit must be
+byte-identical at any ``workers`` count and on any backend — pinned here for
+every registered strategy, the way ``tests/test_stream.py`` pins streaming
+against the in-memory pipeline.  Also covers the ordered emitter, backend
+resolution/fallback, worker-failure cleanup (the spool and partial-output
+bugfix) and the perf-gate script's comparison logic.
+"""
+
+import importlib.util
+import io
+import os
+import pickle
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro.dataset.loaders import read_csv, write_csv
+from repro.parallel import (
+    OrderedEmitter,
+    StrategyKernel,
+    iter_ordered_map,
+    resolve_backend,
+    run_chunks,
+)
+from repro.parallel.kernels import UniformRowKernel, encode_block_csv
+from repro.pipeline import publish
+from repro.pipeline.execution import run_chunks_serial
+from repro.pipeline.strategy import SPSStrategy
+from repro.service.engine import AnonymizationService
+from repro.stream import stream_publish
+
+ALL_STRATEGIES = ("sps", "uniform", "dp-laplace", "dp-gaussian", "generalize+sps")
+
+
+def _csv_text(table):
+    buffer = io.StringIO()
+    write_csv(table, buffer)
+    return buffer.getvalue()
+
+
+@pytest.fixture(scope="module")
+def adult_csv():
+    return _csv_text(repro.generate_adult(1200, seed=11))
+
+
+# --------------------------------------------------------------------- #
+# OrderedEmitter
+# --------------------------------------------------------------------- #
+
+
+class TestOrderedEmitter:
+    def test_out_of_order_pushes_flush_in_order(self):
+        flushed = []
+        emitter = OrderedEmitter(flushed.append)
+        assert emitter.push(3, "d") == 0
+        assert emitter.push(1, "b") == 0
+        assert emitter.buffered == 2
+        assert emitter.push(0, "a") == 2  # flushes 0 and 1
+        assert flushed == ["a", "b"]
+        assert emitter.push(2, "c") == 2  # flushes 2 and the buffered 3
+        assert flushed == ["a", "b", "c", "d"]
+        emitter.close()
+
+    def test_duplicate_or_stale_index_rejected(self):
+        emitter = OrderedEmitter(lambda r: None)
+        emitter.push(0, "a")
+        with pytest.raises(ValueError, match="already emitted"):
+            emitter.push(0, "again")
+        emitter.push(2, "c")
+        with pytest.raises(ValueError, match="already emitted"):
+            emitter.push(2, "again")
+
+    def test_close_with_hole_raises(self):
+        emitter = OrderedEmitter(lambda r: None)
+        emitter.push(1, "b")
+        with pytest.raises(ValueError, match="chunk 0 never arrived"):
+            emitter.close()
+
+
+# --------------------------------------------------------------------- #
+# Backend resolution
+# --------------------------------------------------------------------- #
+
+
+def _module_level_sum(chunk, rng):
+    return sum(chunk) + int(rng.integers(0, 10))
+
+
+class TestResolveBackend:
+    def test_single_worker_or_single_task_is_serial(self):
+        assert resolve_backend("auto", 1, 100, _module_level_sum)[0] == "serial"
+        assert resolve_backend("process", 8, 1, _module_level_sum)[0] == "serial"
+        assert resolve_backend("serial", 8, 100, _module_level_sum)[0] == "serial"
+
+    def test_auto_prefers_process_for_picklable_kernels(self):
+        backend, payload = resolve_backend("auto", 4, 8, _module_level_sum)
+        assert backend == "process"
+        assert pickle.loads(payload) is _module_level_sum
+
+    def test_auto_keeps_tiny_jobs_on_threads(self):
+        # A few-chunk job can never amortise process-pool start-up, so auto
+        # stays on threads below the floor; explicit process bypasses it.
+        from repro.parallel.scheduler import AUTO_MIN_PROCESS_TASKS
+
+        tiny = AUTO_MIN_PROCESS_TASKS - 1
+        assert resolve_backend("auto", 4, tiny, _module_level_sum)[0] == "thread"
+        assert resolve_backend("process", 4, tiny, _module_level_sum)[0] == "process"
+
+    def test_auto_falls_back_to_thread_for_closures(self):
+        captured = []
+        backend, _ = resolve_backend("auto", 4, 8, lambda c, r: captured)
+        assert backend == "thread"
+
+    def test_explicit_process_with_unpicklable_kernel_is_an_error(self):
+        captured = []
+        with pytest.raises(ValueError, match="picklable"):
+            resolve_backend("process", 4, 8, lambda c, r: captured)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown parallel backend"):
+            resolve_backend("gpu", 4, 8, _module_level_sum)
+
+
+# --------------------------------------------------------------------- #
+# run_chunks / iter_ordered_map
+# --------------------------------------------------------------------- #
+
+
+class TestRunChunks:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_matches_sequential_reference_on_every_backend(self, backend):
+        items = list(range(37))
+        expected = run_chunks_serial(items, _module_level_sum, seed=5, chunk_size=4)
+        got = run_chunks(
+            items, _module_level_sum, seed=5, chunk_size=4, workers=3, backend=backend
+        )
+        assert got == expected
+
+    def test_results_ordered_even_when_completion_is_reversed(self):
+        first_may_finish = threading.Event()
+
+        def stalling(chunk, rng):
+            # The first chunk blocks until the last chunk has run, forcing
+            # maximally out-of-order completion.
+            if chunk[0] == 0:
+                assert first_may_finish.wait(timeout=10)
+            if chunk[0] == 8:
+                first_may_finish.set()
+            return chunk[0]
+
+        got = run_chunks(
+            list(range(10)), stalling, seed=0, chunk_size=2, workers=5, backend="thread"
+        )
+        assert got == [0, 2, 4, 6, 8]
+
+    def test_worker_exception_propagates(self):
+        def boom(chunk, rng):
+            if chunk[0] >= 4:
+                raise RuntimeError("kernel exploded")
+            return chunk[0]
+
+        with pytest.raises(RuntimeError, match="kernel exploded"):
+            run_chunks(list(range(8)), boom, seed=0, chunk_size=2, workers=2, backend="thread")
+
+    def test_lazy_payloads_pulled_with_backpressure(self):
+        pulled = []
+
+        def payloads():
+            for i in range(20):
+                pulled.append(i)
+                yield (i,)
+
+        def slow_identity(value):
+            time.sleep(0.005)
+            return value
+
+        iterator = iter_ordered_map(
+            slow_identity, payloads(), workers=2, backend="thread", n_tasks=20
+        )
+        first = next(iterator)
+        assert first == 0
+        # Submission backpressure: far fewer than all 20 payloads were pulled
+        # to produce the first result (bounded in-flight window).
+        assert len(pulled) <= 2 * 2 + 3
+        assert list(iterator) == list(range(1, 20))
+
+
+# --------------------------------------------------------------------- #
+# Worker-count equivalence: every strategy, workers x chunk_rows
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture(scope="module")
+def sequential_reference(adult_csv):
+    """Per-strategy reference outputs of the sequential paths (workers=1)."""
+    references = {}
+    for strategy in ALL_STRATEGIES:
+        table = read_csv(io.StringIO(adult_csv), sensitive="Income")
+        in_memory = publish(table, strategy=strategy, rng=7, chunk_size=32)
+        streamed = stream_publish(
+            io.StringIO(adult_csv), sensitive="Income", strategy=strategy,
+            rng=7, chunk_size=32, chunk_rows=300, workers=1,
+        )
+        sink = io.StringIO()
+        stream_publish(
+            io.StringIO(adult_csv), sensitive="Income", strategy=strategy,
+            rng=7, chunk_size=32, chunk_rows=300, workers=1, output=sink,
+        )
+        references[strategy] = {
+            "in_memory": in_memory,
+            "streamed": streamed,
+            "csv": sink.getvalue(),
+        }
+    return references
+
+
+def _audit_digest(audit):
+    if audit is None:
+        return None
+    return (
+        audit.n_groups,
+        len(audit.violating_groups),
+        float(audit.group_violation_rate),
+        float(audit.record_violation_rate),
+        audit.total_records,
+    )
+
+
+class TestWorkerCountEquivalence:
+    @pytest.mark.parametrize("chunk_rows", [250, 900])
+    @pytest.mark.parametrize("workers", [2, 4])
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_bytes_csv_and_audit_identical_to_sequential(
+        self, adult_csv, sequential_reference, strategy, workers, chunk_rows
+    ):
+        reference = sequential_reference[strategy]
+        report = stream_publish(
+            io.StringIO(adult_csv), sensitive="Income", strategy=strategy,
+            rng=7, chunk_size=32, chunk_rows=chunk_rows, workers=workers,
+        )
+        # Published table: identical to the parallel-free streamed run and
+        # the classic in-memory pipeline.
+        assert (report.published.codes == reference["streamed"].published.codes).all()
+        assert (report.published.codes == reference["in_memory"].published.codes).all()
+        # CSV bytes: identical through the worker-side encode path.
+        sink = io.StringIO()
+        stream_publish(
+            io.StringIO(adult_csv), sensitive="Income", strategy=strategy,
+            rng=7, chunk_size=32, chunk_rows=chunk_rows, workers=workers, output=sink,
+        )
+        assert sink.getvalue() == reference["csv"]
+        # Audit and per-group records: same report content.
+        assert _audit_digest(report.audit) == _audit_digest(reference["streamed"].audit)
+        assert report.groups == reference["streamed"].groups
+        assert report.workers == workers
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_in_memory_publish_workers_identical(self, adult_csv, sequential_reference, workers):
+        table = read_csv(io.StringIO(adult_csv), sensitive="Income")
+        report = publish(table, strategy="sps", rng=7, chunk_size=32, workers=workers)
+        reference = sequential_reference["sps"]["in_memory"]
+        assert (report.published.codes == reference.published.codes).all()
+        assert report.groups == reference.groups
+
+    def test_thread_backend_also_byte_identical(self, adult_csv, sequential_reference):
+        report = stream_publish(
+            io.StringIO(adult_csv), sensitive="Income", strategy="sps",
+            rng=7, chunk_size=32, chunk_rows=300, workers=3, parallel_backend="thread",
+        )
+        reference = sequential_reference["sps"]["streamed"]
+        assert (report.published.codes == reference.published.codes).all()
+
+    def test_workers_must_be_positive(self, adult_csv):
+        with pytest.raises(ValueError, match="workers must be positive"):
+            stream_publish(
+                io.StringIO(adult_csv), sensitive="Income", rng=7, workers=0
+            )
+        with pytest.raises(ValueError, match="workers must be positive"):
+            publish(repro.generate_adult(100, seed=0), workers=0)
+
+    def test_workers_and_custom_runner_conflict(self):
+        table = repro.generate_adult(100, seed=0)
+        with pytest.raises(ValueError, match="not both"):
+            publish(table, workers=2, runner=run_chunks_serial)
+
+
+# --------------------------------------------------------------------- #
+# Kernels
+# --------------------------------------------------------------------- #
+
+
+class TestKernels:
+    def test_strategy_kernel_pickles_and_matches_direct_call(self, adult_csv):
+        table = read_csv(io.StringIO(adult_csv), sensitive="Income")
+        strategy = SPSStrategy()
+        resolved = strategy.resolve({})
+        spec = strategy.spec_for(table, resolved)
+        kernel = StrategyKernel(strategy, table.schema, spec, resolved)
+        clone = pickle.loads(pickle.dumps(kernel))
+        from repro.dataset.groups import personal_groups
+
+        groups = list(personal_groups(table))[:5]
+        direct = strategy.chunk_publisher(table.schema, spec, resolved)
+        a = kernel(groups, np.random.default_rng(3))
+        b = clone(groups, np.random.default_rng(3))
+        c = direct(groups, np.random.default_rng(3))
+        assert (a[0] == b[0]).all() and (a[0] == c[0]).all()
+        assert tuple(a[1]) == tuple(b[1]) == tuple(c[1])
+
+    def test_encode_block_csv_matches_write_csv_bytes(self, adult_csv):
+        table = read_csv(io.StringIO(adult_csv), sensitive="Income")
+        encoded = encode_block_csv(table.schema, table.codes[:50])
+        expected = _csv_text(
+            type(table)(table.schema, table.codes[:50])
+        ).split("\r\n", 1)[1]  # drop the header line
+        assert encoded.text == expected
+        assert encoded.n_rows == 50
+
+    def test_builder_errors_propagate_unmasked(self, adult_csv):
+        # A real ValueError from a strategy's chunk_publisher builder must
+        # reach the caller verbatim — only the None (no kernel) case may be
+        # rewritten into the "cannot publish out-of-core" message.
+        class BadBuilder(SPSStrategy):
+            name = "sps-bad-builder"
+
+            def chunk_publisher(self, schema, spec, resolved):
+                raise ValueError("significance must be between 0 and 1")
+
+        with pytest.raises(ValueError, match="significance must be between 0 and 1"):
+            stream_publish(
+                io.StringIO(adult_csv), sensitive="Income", strategy=BadBuilder(), rng=7
+            )
+
+    def test_uniform_row_kernel_matches_remap_plus_where(self):
+        remaps = (np.array([1, 0]), np.array([0, 2, 1]))
+        block = np.array([[0, 2], [1, 1], [0, 0]])
+        retain = np.array([True, False, True])
+        replacements = np.array([9, 9, 9])
+        kernel = UniformRowKernel(remaps=remaps, schema=None, encode=False)
+        out = kernel((block, retain, replacements))
+        assert out.tolist() == [[1, 1], [0, 9], [1, 0]]
+
+
+# --------------------------------------------------------------------- #
+# Failure cleanup: the spool / partial-output bugfix
+# --------------------------------------------------------------------- #
+
+
+class _ExplodingWorkerStrategy(SPSStrategy):
+    """Module-level (hence picklable) strategy whose worker dies mid-publish."""
+
+    name = "sps-worker-death"
+
+    def chunk_publisher(self, schema, spec, resolved):
+        inner = super().chunk_publisher(schema, spec, resolved)
+
+        def chunk_fn(chunk, rng):
+            if chunk[0].key[0] > 0:  # not the very first chunk
+                os._exit(13)  # simulate a hard worker crash (OOM-killer style)
+            return inner(chunk, rng)
+
+        return chunk_fn
+
+
+class TestFailureCleanup:
+    def test_spool_closed_when_read_fails_midway(self, tmp_path, monkeypatch):
+        # A ragged row *after* the spool exists: before the fix the spool's
+        # temp files were stranded on read-phase failures (cleanup only
+        # covered the enforce stage).
+        import repro.stream.engine as engine_module
+
+        spools = []
+        original = engine_module._RowSpool
+
+        class RecordingSpool(original):
+            def __init__(self, n_cols):
+                super().__init__(n_cols)
+                spools.append(self)
+
+        monkeypatch.setattr(engine_module, "_RowSpool", RecordingSpool)
+        rows = "City,Disease\n" + "Oslo,Flu\n" * 40 + "broken-row\n"
+        with pytest.raises(Exception):
+            stream_publish(
+                io.StringIO(rows), sensitive="Disease", strategy="uniform",
+                rng=1, chunk_rows=16,
+            )
+        assert spools, "row spool was never created"
+        assert all(s._codes.closed and s._retain.closed for s in spools)
+
+    def test_partial_output_removed_when_worker_process_dies(self, adult_csv, tmp_path):
+        out = tmp_path / "published.csv"
+        with pytest.raises(Exception) as excinfo:
+            stream_publish(
+                io.StringIO(adult_csv), sensitive="Income",
+                strategy=_ExplodingWorkerStrategy(),
+                rng=7, chunk_size=8, chunk_rows=300, workers=2,
+                parallel_backend="process", output=out,
+            )
+        # A dead worker surfaces as a broken-pool error, never a hang ...
+        assert "process" in type(excinfo.value).__name__.lower() or isinstance(
+            excinfo.value, RuntimeError
+        )
+        # ... and the partial CSV the sink had started is gone.
+        assert not out.exists()
+
+    def test_partial_output_removed_on_worker_exception(self, adult_csv, tmp_path):
+        class Exploding(SPSStrategy):
+            name = "sps-exploding"
+
+            def chunk_publisher(self, schema, spec, resolved):
+                def chunk_fn(chunk, rng):
+                    raise ValueError("strategy exploded mid-publish")
+
+                return chunk_fn
+
+        out = tmp_path / "published.csv"
+        with pytest.raises(ValueError, match="exploded"):
+            stream_publish(
+                io.StringIO(adult_csv), sensitive="Income", strategy=Exploding(),
+                rng=7, chunk_size=8, chunk_rows=300, workers=3, output=out,
+            )
+        assert not out.exists()
+
+
+# --------------------------------------------------------------------- #
+# Service integration: JobSpec.workers + HTTP field
+# --------------------------------------------------------------------- #
+
+
+class TestServiceWorkers:
+    def test_stream_job_workers_recorded_and_byte_identical(self, adult_csv, tmp_path):
+        source = tmp_path / "input.csv"
+        source.write_text(adult_csv, newline="")
+        service = AnonymizationService()
+        out1 = tmp_path / "w1.csv"
+        out4 = tmp_path / "w4.csv"
+        record1 = service.publish_stream(
+            source, "Income", "sps", seed=7, chunk_size=32, workers=1, output=out1
+        )
+        record4 = service.publish_stream(
+            source, "Income", "sps", seed=7, chunk_size=32, workers=4, output=out4
+        )
+        assert record1.spec.max_workers == 1
+        assert record4.spec.max_workers == 4
+        assert record4.spec.to_json()["max_workers"] == 4
+        assert out1.read_bytes() == out4.read_bytes()
+
+    def test_stream_job_rejects_bad_workers(self, tmp_path):
+        service = AnonymizationService()
+        from repro.service.registry import ServiceError
+
+        with pytest.raises(ServiceError, match="workers must be positive"):
+            service.publish_stream(tmp_path / "x.csv", "Income", "sps", workers=0)
+
+    def test_http_workers_field_both_job_modes(self, adult_csv, tmp_path):
+        import json as json_module
+        import threading
+        import urllib.request
+
+        from repro.service.http_api import make_server
+
+        source = tmp_path / "input.csv"
+        source.write_text(adult_csv, newline="")
+        service = AnonymizationService()
+        service.register_synthetic("smoke", "adult", n_records=500, seed=1)
+        server = make_server(service, host="127.0.0.1", port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            base = f"http://127.0.0.1:{server.server_address[1]}"
+
+            def post(payload):
+                request = urllib.request.Request(
+                    f"{base}/publish",
+                    data=json_module.dumps(payload).encode(),
+                    method="POST",
+                    headers={"Content-Type": "application/json"},
+                )
+                with urllib.request.urlopen(request) as response:
+                    return json_module.load(response)
+
+            job = post({"dataset": "smoke", "backend": "sps", "seed": 3, "workers": 2})
+            assert job["status"] == "completed"
+            assert job["spec"]["max_workers"] == 2
+            stream_job = post({
+                "stream": True, "source": str(source), "sensitive": "Income",
+                "backend": "sps", "seed": 3, "workers": 2,
+            })
+            assert stream_job["status"] == "completed"
+            assert stream_job["spec"]["max_workers"] == 2
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+
+# --------------------------------------------------------------------- #
+# Bench parallel suite + the perf-gate script
+# --------------------------------------------------------------------- #
+
+
+def _load_gate_module():
+    path = Path(__file__).parent.parent / "scripts" / "check_bench_regression.py"
+    spec = importlib.util.spec_from_file_location("check_bench_regression", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestBenchParallel:
+    def test_tiny_suite_runs_and_reports_byte_identity(self):
+        from repro.bench.runner import run_suite
+        from repro.bench.schema import validate_report
+        from repro.bench.timing import TimingSpec
+
+        report = run_suite(
+            "parallel", tiny=True, timing=TimingSpec(warmup=0, repeats=1),
+            scenario_filter=["sps"],
+        )
+        validate_report(report)
+        assert report["suite"] == "parallel"
+        assert [s["workers"] for s in report["scenarios"]] == [1, 2, 4]
+        for entry in report["scenarios"]:
+            assert entry["ops"]["byte_identical"] is True
+            assert entry["ops"]["speedup_vs_w1"] > 0
+        assert report["environment"]["cpu_count"] >= 1
+
+    def test_scenario_listing_order_is_workers_ascending(self):
+        from repro.bench.parallel import parallel_scenarios
+
+        names = [s.name for s in parallel_scenarios(tiny=True)]
+        assert names[0].endswith("/w1") and names[1].endswith("/w2") and names[2].endswith("/w4")
+        assert len(names) == 6
+
+
+class TestPerfGateScript:
+    def test_throughput_regression_detected(self):
+        gate = _load_gate_module()
+        baseline = {
+            "suite": "core",
+            "scenarios": [{"name": "s/a/c1/w1", "seconds": {"best": 1.0}}],
+        }
+        fast = {
+            "suite": "core",
+            "scenarios": [{"name": "s/a/c1/w1", "seconds": {"best": 1.2}}],
+        }
+        slow = {
+            "suite": "core",
+            "scenarios": [{"name": "s/a/c1/w1", "seconds": {"best": 2.0}}],
+        }
+        assert gate.compare_throughput(fast, baseline, tolerance=0.25)[0] == []
+        problems, _ = gate.compare_throughput(slow, baseline, tolerance=0.25)
+        assert len(problems) == 1 and "+100%" in problems[0]
+
+    def test_sub_floor_baselines_are_notes_not_failures(self):
+        gate = _load_gate_module()
+        baseline = {
+            "suite": "service",
+            "scenarios": [{"name": "tiny/w1", "seconds": {"best": 0.0008}}],
+        }
+        candidate = {
+            "suite": "service",
+            "scenarios": [{"name": "tiny/w1", "seconds": {"best": 0.003}}],
+        }
+        # +275% but under the 50ms gating floor: noted, never a failure.
+        problems, notes = gate.compare_throughput(candidate, baseline, tolerance=0.25)
+        assert problems == [] and "gating floor" in notes[0]
+
+    def test_missing_baseline_scenarios_are_notes_not_failures(self):
+        gate = _load_gate_module()
+        candidate = {
+            "suite": "core",
+            "scenarios": [{"name": "new-scenario", "seconds": {"best": 5.0}}],
+        }
+        problems, notes = gate.compare_throughput(candidate, {"scenarios": []}, 0.25)
+        assert problems == [] and len(notes) == 1
+
+    def test_identity_check_flags_worker_dependent_counts(self):
+        gate = _load_gate_module()
+        report = {
+            "suite": "service",
+            "scenarios": [
+                {"name": "sps/adult-100/c64/w1", "ops": {"published_records": 100}},
+                {"name": "sps/adult-100/c64/w4", "ops": {"published_records": 99}},
+            ],
+        }
+        problems = gate.check_identity(report)
+        assert len(problems) == 1 and "depends on the worker count" in problems[0]
+
+    def test_identity_check_flags_non_identical_bytes(self):
+        gate = _load_gate_module()
+        report = {
+            "suite": "parallel",
+            "scenarios": [{"name": "p/x/w2", "ops": {"byte_identical": False}}],
+        }
+        assert len(gate.check_identity(report)) == 1
+
+    def test_determinism_check(self):
+        gate = _load_gate_module()
+        a = {"scenarios": [{"name": "x", "ops": {"published_records": 5, "rps": 1.5}}]}
+        b = {"scenarios": [{"name": "x", "ops": {"published_records": 5, "rps": 9.9}}]}
+        assert gate.check_determinism(a, b) == []  # floats (wall-clock) ignored
+        c = {"scenarios": [{"name": "x", "ops": {"published_records": 6, "rps": 1.5}}]}
+        assert len(gate.check_determinism(a, c)) == 1
