@@ -5,6 +5,7 @@ Usage (installed console script, or ``python -m repro.bench``)::
     repro-bench run --suite core --tiny          # CI's bench-smoke matrix
     repro-bench run --suite service              # scheduler path, full sizes
     repro-bench run --suite paper --scenario figure3
+    repro-bench run --suite core --tiny --trace bench-trace.jsonl
     repro-bench --list                           # every scenario of every suite
 
 ``run`` writes the schema-versioned ``BENCH_<suite>.json`` to ``--output-dir``
@@ -15,9 +16,13 @@ Usage (installed console script, or ``python -m repro.bench``)::
 from __future__ import annotations
 
 import argparse
+import contextlib
+import logging
+import sys
 from collections.abc import Sequence
 
 from repro import __version__
+from repro.obs import Tracer, configure_cli_logging, export
 from repro.bench.paper import paper_scenario_listing
 from repro.bench.runner import DEFAULT_BENCH_SEED, default_timing, run_suite, write_report
 from repro.bench.scenarios import matrix_for
@@ -25,6 +30,8 @@ from repro.bench.timing import TimingSpec
 from repro.utils.textplot import render_listing, render_table
 
 SUITES = ("core", "service", "paper", "stream", "parallel")
+
+_log = logging.getLogger("repro.bench")
 
 
 def _listing_text(suite: str | None, tiny: bool) -> str:
@@ -145,17 +152,22 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--no-micro", action="store_true",
         help="skip the vectorization micro-benchmarks (core suite only)",
     )
+    run_parser.add_argument(
+        "--trace", metavar="PATH",
+        help="record every scenario's spans and write them as a JSONL trace",
+    )
 
     list_parser = subparsers.add_parser("list", help="list scenarios")
     list_parser.add_argument("--suite", choices=SUITES, default=None, help="restrict to one suite")
     list_parser.add_argument("--tiny", action="store_true", help="show the tiny preset matrices")
 
     args = parser.parse_args(argv)
+    configure_cli_logging()
 
     if args.list_all or args.command == "list":
         suite = getattr(args, "suite", None) if args.command == "list" else None
         tiny = getattr(args, "tiny", False)
-        print(_listing_text(suite, tiny))
+        sys.stdout.write(_listing_text(suite, tiny) + "\n")
         return 0
 
     if args.command != "run":
@@ -169,17 +181,22 @@ def main(argv: Sequence[str] | None = None) -> int:
             warmup=base.warmup if args.warmup is None else args.warmup,
             repeats=base.repeats if args.repeats is None else args.repeats,
         )
-    report = run_suite(
-        args.suite,
-        tiny=args.tiny,
-        seed=args.seed,
-        timing=timing,
-        scenario_filter=args.scenario,
-        include_micro=not args.no_micro,
-    )
+    tracer = Tracer() if args.trace else None
+    with tracer if tracer is not None else contextlib.nullcontext():
+        report = run_suite(
+            args.suite,
+            tiny=args.tiny,
+            seed=args.seed,
+            timing=timing,
+            scenario_filter=args.scenario,
+            include_micro=not args.no_micro,
+        )
     path = write_report(report, args.output_dir)
-    print(_summary_table(report))
-    print(f"\nwrote {path}")
+    if tracer is not None:
+        export.write_trace(tracer, args.trace)
+        _log.info("trace written to %s (%d spans)", args.trace, len(tracer.spans))
+    sys.stdout.write(_summary_table(report) + "\n")
+    sys.stdout.write(f"\nwrote {path}\n")
     return 0
 
 

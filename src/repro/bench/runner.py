@@ -28,15 +28,10 @@ writing) so the repo root carries a diffable perf trajectory.
 from __future__ import annotations
 
 import json
-import os
-import platform
 from collections.abc import Sequence
 from pathlib import Path
 from typing import Any
 
-import numpy as np
-
-from repro import __version__
 from repro.bench.micro import run_micro_benchmarks
 from repro.bench.paper import available_paper_scenarios, paper_scenario, smoke_config
 from repro.bench.scenarios import Scenario, matrix_for
@@ -45,6 +40,8 @@ from repro.bench.timing import TimingSpec, time_callable
 from repro.dataset.adult import generate_adult
 from repro.dataset.census import generate_census
 from repro.experiments.config import ExperimentConfig
+from repro.obs.environment import runtime_environment
+from repro.obs.trace import span
 from repro.pipeline import publish
 
 _GENERATORS = {"adult": generate_adult, "census": generate_census}
@@ -203,12 +200,14 @@ def run_suite(
         if unknown:
             raise ValueError(f"unknown paper scenario(s) {sorted(unknown)}")
         for name in names:
-            entries.append(run_paper_entry(name, tiny, timing))
+            with span(name, kind="scenario", suite=suite):
+                entries.append(run_paper_entry(name, tiny, timing))
     elif suite == "core":
         scenarios = _filter_scenarios(matrix_for("core", tiny).expand("core"), scenario_filter)
         cache = _DatasetCache(seed)
         for scenario in scenarios:
-            entries.append(run_core_scenario(scenario, cache, seed, timing))
+            with span(scenario.name, kind="scenario", suite=suite):
+                entries.append(run_core_scenario(scenario, cache, seed, timing))
         if include_micro:
             micro = run_micro_benchmarks(seed, tiny=tiny, timing=timing)
     elif suite == "stream":
@@ -228,9 +227,10 @@ def run_suite(
                     path = workdir / f"{scenario.dataset}-{scenario.rows}.csv"
                     write_csv(cache.get(scenario.dataset, scenario.rows), path)
                     csv_paths[key] = path
-                entries.append(
-                    run_stream_scenario(scenario, csv_paths[key], seed, timing, workdir)
-                )
+                with span(scenario.name, kind="scenario", suite=suite):
+                    entries.append(
+                        run_stream_scenario(scenario, csv_paths[key], seed, timing, workdir)
+                    )
     elif suite == "parallel":
         import tempfile
 
@@ -249,11 +249,12 @@ def run_suite(
                     path = workdir / f"{scenario.dataset}-{scenario.rows}.csv"
                     write_csv(cache.get(scenario.dataset, scenario.rows), path)
                     csv_paths[key] = path
-                entries.append(
-                    run_parallel_scenario(
-                        scenario, csv_paths[key], seed, timing, workdir, baselines
+                with span(scenario.name, kind="scenario", suite=suite):
+                    entries.append(
+                        run_parallel_scenario(
+                            scenario, csv_paths[key], seed, timing, workdir, baselines
+                        )
                     )
-                )
     elif suite == "service":
         from repro.service import AnonymizationService, JobStore
 
@@ -265,7 +266,8 @@ def run_suite(
         for dataset, rows in sorted({(s.dataset, s.rows) for s in scenarios}):
             service.register_synthetic(f"{dataset}-{rows}", dataset, n_records=rows, seed=seed)
         for scenario in scenarios:
-            entries.append(run_service_scenario(scenario, service, seed, timing))
+            with span(scenario.name, kind="scenario", suite=suite):
+                entries.append(run_service_scenario(scenario, service, seed, timing))
     else:
         raise ValueError(
             f"unknown suite {suite!r}; choose core, service, paper, stream or parallel"
@@ -277,15 +279,11 @@ def run_suite(
         "scale": "tiny" if tiny else "default",
         "seed": int(seed),
         "timing": timing.to_json(),
-        "environment": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "platform": platform.platform(),
-            "repro_version": __version__,
-            # Worker-scaling numbers (the parallel suite) only mean anything
-            # read against the cores the run actually had.
-            "cpu_count": os.cpu_count() or 1,
-        },
+        # The canonical per-process record from repro.obs — the same dict
+        # trace headers and /metrics report, so numbers stay comparable.
+        # Worker-scaling numbers (the parallel suite) only mean anything
+        # read against the cores the run actually had.
+        "environment": dict(runtime_environment()),
         "scenarios": entries,
     }
     if micro is not None:

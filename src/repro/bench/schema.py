@@ -129,8 +129,15 @@ def validate_report(report: Any) -> None:
 
     environment = report.get("environment")
     if _check(problems, isinstance(environment, dict), "environment must be an object"):
+        # The canonical record shape comes from repro.obs (the same dict the
+        # trace header and /metrics carry); keys are pinned there.
         for key in ("python", "numpy", "platform", "repro_version"):
             _check(problems, isinstance(environment.get(key), str), f"environment.{key} must be a string")
+        # cpu_count joined the record later; legacy committed reports may
+        # omit it, but when present it must be the integer obs records.
+        if "cpu_count" in environment:
+            _check(problems, isinstance(environment.get("cpu_count"), int),
+                   "environment.cpu_count must be an integer")
 
     scenarios = report.get("scenarios")
     if _check(problems, isinstance(scenarios, list) and scenarios, "scenarios must be a non-empty array"):

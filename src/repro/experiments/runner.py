@@ -14,6 +14,7 @@ corresponding table or figure.
 from __future__ import annotations
 
 import argparse
+import sys
 from collections.abc import Sequence
 
 from repro import __version__
@@ -98,14 +99,18 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_experiments:
-        print(render_listing(EXPERIMENT_DESCRIPTIONS, title="experiments (repro-experiments NAME ...)"))
+        sys.stdout.write(
+            render_listing(
+                EXPERIMENT_DESCRIPTIONS, title="experiments (repro-experiments NAME ...)"
+            )
+            + "\n"
+        )
         return 0
 
     names = list(EXPERIMENTS) if args.all or not args.experiments else list(args.experiments)
     config = _config_for(args.scale)
     for name in names:
-        print(run_experiment(name, config))
-        print()
+        sys.stdout.write(run_experiment(name, config) + "\n\n")
     return 0
 
 

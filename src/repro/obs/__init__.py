@@ -1,0 +1,106 @@
+"""repro.obs — structured tracing and metrics for every execution path.
+
+A zero-dependency observability layer threaded through the pipeline
+(:mod:`repro.pipeline`), the streaming engine (:mod:`repro.stream`), the
+multi-worker scheduler (:mod:`repro.parallel`) and the service
+(:mod:`repro.service`):
+
+* **Spans** (:mod:`repro.obs.trace`) — hierarchical timed regions
+  (``publish → stage → chunk``) with structured attributes.  Stage timings
+  on :class:`~repro.pipeline.report.PublishReport` and
+  :class:`~repro.stream.report.StreamReport` are derived from these spans;
+  activating a :class:`Tracer` records them without changing a single
+  published byte.
+* **Metrics** (:mod:`repro.obs.metrics`) — a process-local registry of
+  counters, gauges and histograms (rows published, chunks executed, chunk
+  seconds, RNG draws, tracemalloc peak) rendered by the service's
+  ``GET /metrics`` endpoint in Prometheus text format.
+* **Exporters** (:mod:`repro.obs.export`) — JSONL trace files (the
+  ``--trace`` flag on ``repro-stream``, ``repro-bench`` and
+  ``repro-service``), live logfmt lines, and the Prometheus renderer, each
+  with a strict validator used by the tests and CI.
+
+Quickstart::
+
+    from repro.obs import Tracer, export
+
+    with Tracer() as tracer:
+        report = repro.publish(table, strategy="sps", rng=7)
+    export.write_trace(tracer, "publish-trace.jsonl")
+"""
+
+from repro.obs import export
+from repro.obs.environment import record_build_info, runtime_environment
+from repro.obs.export import (
+    TRACE_SCHEMA_VERSION,
+    TraceSchemaError,
+    parse_prometheus,
+    render_prometheus,
+    validate_trace,
+    write_trace,
+)
+from repro.obs.metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+)
+from repro.obs.trace import Span, SpanRecord, Tracer, current_tracer, span
+
+__all__ = [
+    "REGISTRY",
+    "TRACE_SCHEMA_VERSION",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "Span",
+    "SpanRecord",
+    "TraceSchemaError",
+    "Tracer",
+    "configure_cli_logging",
+    "current_tracer",
+    "export",
+    "parse_prometheus",
+    "record_build_info",
+    "render_prometheus",
+    "runtime_environment",
+    "span",
+    "validate_trace",
+    "write_trace",
+]
+
+
+def configure_cli_logging(verbose: bool = False, quiet: bool = False) -> None:
+    """Configure the ``repro`` logger hierarchy for a CLI run.
+
+    All repro CLIs log human-facing progress through stdlib ``logging`` to
+    **stderr** (never stdout — published CSV or JSON piped to stdout must
+    stay byte-clean).  Default level INFO; ``verbose`` selects DEBUG
+    (chunk-level progress), ``quiet`` selects ERROR.  Idempotent: reuses the
+    handler it installed on earlier calls.
+    """
+    import logging
+    import sys
+
+    logger = logging.getLogger("repro")
+    handler = next(
+        (h for h in logger.handlers if getattr(h, "_repro_cli", False)), None
+    )
+    if handler is None:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter("%(name)s: %(message)s"))
+        handler._repro_cli = True  # type: ignore[attr-defined]
+        logger.addHandler(handler)
+    else:
+        # Re-bind to the *current* stderr: test harnesses (capsys) and
+        # re-invocations may have replaced (and closed) the stream since the
+        # first call — assign directly, setStream() would flush the old one.
+        handler.stream = sys.stderr
+    logger.propagate = False
+    logger.setLevel(
+        logging.ERROR if quiet else logging.DEBUG if verbose else logging.INFO
+    )

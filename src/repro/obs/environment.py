@@ -1,0 +1,45 @@
+"""The run environment, recorded once and reused everywhere.
+
+Benchmark reports, trace headers and the ``/metrics`` endpoint all need the
+same facts — interpreter, numpy, platform, core count, library version — to
+make numbers comparable across machines and PRs.  This module is the single
+source: :func:`runtime_environment` returns the canonical dict (cached after
+the first call; none of it changes within a process) and
+:func:`record_build_info` publishes it as the ``repro_build_info`` gauge.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+from functools import lru_cache
+from typing import Any
+
+import numpy as np
+
+
+@lru_cache(maxsize=1)
+def runtime_environment() -> dict[str, Any]:
+    """The canonical environment record of this process.
+
+    Keys (stable; validated by the bench report schema and the trace
+    schema): ``python``, ``numpy``, ``platform``, ``repro_version`` —
+    strings — and ``cpu_count`` — an integer.
+    """
+    from repro import __version__
+
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "repro_version": __version__,
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def record_build_info() -> None:
+    """Set the ``repro_build_info`` info-gauge from :func:`runtime_environment`."""
+    from repro.obs.metrics import BUILD_INFO
+
+    env = runtime_environment()
+    BUILD_INFO.set(1, **{key: str(value) for key, value in env.items()})

@@ -1,0 +1,325 @@
+"""Exporters and validators for traces and metrics.
+
+Three renderings of the same observability data:
+
+* **JSONL traces** — :func:`write_trace` serialises a
+  :class:`~repro.obs.trace.Tracer` as one JSON object per line: a header
+  record first (schema version, environment, epoch), then one record per
+  span.  :func:`validate_trace` is the schema's single source of truth and
+  is run by CI on every trace artifact.
+* **logfmt** — :func:`logfmt_span` renders one span as a ``key=value`` line;
+  a :class:`~repro.obs.trace.Tracer` built with ``live=stream`` emits these
+  to the stream as spans close (tail-able progress).
+* **Prometheus text exposition** — :func:`render_prometheus` renders a
+  :class:`~repro.obs.metrics.MetricsRegistry` in the ``text/plain;
+  version=0.0.4`` format the service's ``GET /metrics`` serves;
+  :func:`parse_prometheus` is the strict round-trip check used by tests and
+  CI.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from pathlib import Path
+from typing import IO, Any, Iterable, Iterator
+
+from repro.obs.environment import runtime_environment
+from repro.obs.metrics import Histogram, MetricsRegistry, REGISTRY
+from repro.obs.trace import SpanRecord, Tracer
+
+#: Version of the JSONL trace layout; bump when a field changes shape.
+TRACE_SCHEMA_VERSION = 1
+
+
+class TraceSchemaError(ValueError):
+    """Raised by :func:`validate_trace` with every problem found, one per line."""
+
+
+# ---------------------------------------------------------------------- #
+# JSONL traces
+# ---------------------------------------------------------------------- #
+def span_to_json(record: SpanRecord) -> dict[str, Any]:
+    """One span as its JSONL trace record."""
+    return {
+        "type": "span",
+        "span_id": record.span_id,
+        "parent_id": record.parent_id,
+        "name": record.name,
+        "start": record.start,
+        "duration": record.duration,
+        "attributes": dict(record.attributes),
+    }
+
+
+def trace_header(tracer: Tracer) -> dict[str, Any]:
+    """The header record written as a trace's first line."""
+    return {
+        "type": "header",
+        "trace_schema_version": TRACE_SCHEMA_VERSION,
+        "epoch_unix": tracer.epoch_unix,
+        "environment": runtime_environment(),
+    }
+
+
+def iter_trace_lines(tracer: Tracer) -> Iterator[str]:
+    """Yield the JSONL lines of a trace (header first, spans in record order)."""
+    yield json.dumps(trace_header(tracer), sort_keys=True)
+    for record in tracer.spans:
+        yield json.dumps(span_to_json(record), sort_keys=True)
+
+
+def write_trace(tracer: Tracer, destination: str | Path | IO[str]) -> None:
+    """Write the trace of ``tracer`` to a path or open text stream as JSONL."""
+    if hasattr(destination, "write"):
+        for line in iter_trace_lines(tracer):
+            destination.write(line + "\n")
+        return
+    with Path(destination).open("w", encoding="utf-8") as handle:
+        for line in iter_trace_lines(tracer):
+            handle.write(line + "\n")
+
+
+def _check(problems: list[str], condition: bool, message: str) -> bool:
+    if not condition:
+        problems.append(message)
+    return condition
+
+
+_NUMBER = (int, float)
+
+
+def validate_trace(source: str | Path | IO[str] | Iterable[dict[str, Any]]) -> int:
+    """Validate a JSONL trace; return the number of spans.
+
+    Accepts a path, an open text stream, or already-parsed record dicts.
+    Raises :class:`TraceSchemaError` listing every problem found: missing or
+    malformed header, bad field types, negative times, duplicate span ids,
+    or a ``parent_id`` that never appears as a ``span_id``.
+    """
+    if isinstance(source, (str, Path)):
+        with Path(source).open("r", encoding="utf-8") as handle:
+            return validate_trace(_parse_lines(handle))
+    if hasattr(source, "read"):
+        return validate_trace(_parse_lines(source))
+
+    problems: list[str] = []
+    records = list(source)
+    if not _check(problems, bool(records), "trace is empty"):
+        raise TraceSchemaError("\n".join(problems))
+
+    header = records[0]
+    if _check(problems, isinstance(header, dict) and header.get("type") == "header",
+              "line 1 must be the header record (type='header')"):
+        _check(
+            problems,
+            header.get("trace_schema_version") == TRACE_SCHEMA_VERSION,
+            f"trace_schema_version must be {TRACE_SCHEMA_VERSION} "
+            f"(got {header.get('trace_schema_version')!r})",
+        )
+        _check(problems, isinstance(header.get("epoch_unix"), _NUMBER),
+               "header.epoch_unix must be a number")
+        environment = header.get("environment")
+        if _check(problems, isinstance(environment, dict), "header.environment must be an object"):
+            for key in ("python", "numpy", "platform", "repro_version"):
+                _check(problems, isinstance(environment.get(key), str),
+                       f"header.environment.{key} must be a string")
+            _check(problems, isinstance(environment.get("cpu_count"), int),
+                   "header.environment.cpu_count must be an integer")
+
+    seen_ids: set[int] = set()
+    spans = records[1:]
+    for i, record in enumerate(spans):
+        where = f"spans[{i}]"
+        if not _check(problems, isinstance(record, dict), f"{where} must be an object"):
+            continue
+        _check(problems, record.get("type") == "span", f"{where}.type must be 'span'")
+        _check(problems, isinstance(record.get("name"), str) and record.get("name"),
+               f"{where}.name must be a non-empty string")
+        span_id = record.get("span_id")
+        if _check(problems, isinstance(span_id, int) and not isinstance(span_id, bool),
+                  f"{where}.span_id must be an integer"):
+            _check(problems, span_id not in seen_ids, f"duplicate span_id {span_id}")
+            seen_ids.add(span_id)
+        parent = record.get("parent_id")
+        _check(problems, parent is None or (isinstance(parent, int) and not isinstance(parent, bool)),
+               f"{where}.parent_id must be an integer or null")
+        for key in ("start", "duration"):
+            value = record.get(key)
+            _check(
+                problems,
+                isinstance(value, _NUMBER) and not isinstance(value, bool) and value >= 0,
+                f"{where}.{key} must be a non-negative number",
+            )
+        _check(problems, isinstance(record.get("attributes"), dict),
+               f"{where}.attributes must be an object")
+
+    for i, record in enumerate(spans):
+        if isinstance(record, dict):
+            parent = record.get("parent_id")
+            if isinstance(parent, int) and parent not in seen_ids:
+                problems.append(f"spans[{i}].parent_id {parent} never appears as a span_id")
+
+    if problems:
+        raise TraceSchemaError("\n".join(problems))
+    return len(spans)
+
+
+def _parse_lines(handle: IO[str]) -> list[dict[str, Any]]:
+    records: list[dict[str, Any]] = []
+    for n, line in enumerate(handle, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise TraceSchemaError(f"line {n} is not valid JSON: {exc}") from exc
+    return records
+
+
+# ---------------------------------------------------------------------- #
+# logfmt
+# ---------------------------------------------------------------------- #
+def logfmt(mapping: dict[str, Any]) -> str:
+    """Render a mapping as one logfmt line (``key=value``, quoted as needed).
+
+    >>> logfmt({"span": "enforce", "seconds": 0.25, "note": "two words"})
+    'span=enforce seconds=0.25 note="two words"'
+    """
+    parts = []
+    for key, value in mapping.items():
+        if isinstance(value, float):
+            text = format(value, ".6g")
+        elif isinstance(value, bool):
+            text = "true" if value else "false"
+        else:
+            text = str(value)
+        if any(c in text for c in ' "=') or text == "":
+            text = '"' + text.replace("\\", "\\\\").replace('"', '\\"') + '"'
+        parts.append(f"{key}={text}")
+    return " ".join(parts)
+
+
+def logfmt_span(record: SpanRecord) -> str:
+    """One span as a logfmt line (the tracer's ``live=`` stream format)."""
+    data: dict[str, Any] = {
+        "span": record.name,
+        "start": record.start,
+        "duration": record.duration,
+    }
+    data.update(record.attributes)
+    return logfmt(data)
+
+
+# ---------------------------------------------------------------------- #
+# Prometheus text exposition
+# ---------------------------------------------------------------------- #
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_text(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label(str(v))}"' for k, v in labels.items())
+    return "{" + inner + "}"
+
+
+def render_prometheus(registry: MetricsRegistry = REGISTRY) -> str:
+    """Render a registry in the Prometheus text exposition format (0.0.4).
+
+    Metrics appear in registration order; each family gets its ``# HELP``
+    and ``# TYPE`` comments.  Metrics with no samples yet are skipped for
+    counters/gauges with labels (there is nothing to say) but label-less
+    ones render as 0 so scrapes always see the full instrument set.
+    """
+    lines: list[str] = []
+    for metric in registry.metrics():
+        samples = list(metric.samples())
+        if not samples and metric.labelnames:
+            continue
+        lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, Histogram):
+            for labels, holder in samples:
+                cumulative = holder.cumulative()
+                for bound, count in zip(holder.buckets, cumulative):
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = _format_value(bound)
+                    lines.append(
+                        f"{metric.name}_bucket{_labels_text(bucket_labels)} {count}"
+                    )
+                inf_labels = dict(labels)
+                inf_labels["le"] = "+Inf"
+                lines.append(f"{metric.name}_bucket{_labels_text(inf_labels)} {holder.count}")
+                lines.append(f"{metric.name}_sum{_labels_text(labels)} {_format_value(holder.sum)}")
+                lines.append(f"{metric.name}_count{_labels_text(labels)} {holder.count}")
+            continue
+        if not samples:
+            lines.append(f"{metric.name} 0")
+            continue
+        for labels, value in samples:
+            lines.append(f"{metric.name}{_labels_text(labels)} {_format_value(value)}")
+    return "\n".join(lines) + "\n"
+
+
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r"\s+(?P<value>[+-]?(?:Inf|NaN|[0-9eE.+-]+))$"
+)
+
+
+def parse_prometheus(text: str) -> dict[str, list[tuple[str, float]]]:
+    """Strictly parse Prometheus text exposition into ``{family: samples}``.
+
+    The round-trip check behind the tests and CI's ``/metrics`` assertion:
+    every non-comment line must be a well-formed sample, every sample must
+    follow a ``# TYPE`` comment for its family, and the text must end with a
+    newline.  Returns ``{family_name: [(sample_line_name+labels, value)]}``.
+    """
+    if not text.endswith("\n"):
+        raise ValueError("exposition must end with a newline")
+    families: dict[str, list[tuple[str, float]]] = {}
+    typed: set[str] = set()
+    for n, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                raise ValueError(f"line {n}: malformed TYPE comment: {line!r}")
+            typed.add(parts[2])
+            families.setdefault(parts[2], [])
+            continue
+        if line.startswith("#"):
+            raise ValueError(f"line {n}: unknown comment: {line!r}")
+        match = _SAMPLE_LINE.match(line)
+        if not match:
+            raise ValueError(f"line {n}: malformed sample: {line!r}")
+        name = match.group("name")
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in typed:
+                family = name[: -len(suffix)]
+                break
+        if family not in typed:
+            raise ValueError(f"line {n}: sample {name!r} has no preceding TYPE comment")
+        families[family].append((name + (match.group("labels") or ""), float(match.group("value"))))
+    return families

@@ -18,15 +18,20 @@ strategies).
 from __future__ import annotations
 
 import multiprocessing
+import os
 import pickle
 import threading
+import time
 from collections import deque
 from collections.abc import Callable, Iterable, Iterator, Sequence
 from concurrent.futures import FIRST_COMPLETED, Executor, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from dataclasses import dataclass
 from typing import Any, TypeVar
 
 import numpy as np
 
+from repro.obs.metrics import CHUNK_SECONDS, CHUNKS_TOTAL
+from repro.obs.trace import Tracer, current_tracer
 from repro.parallel.ordered import OrderedEmitter
 from repro.pipeline.execution import DEFAULT_CHUNK_SIZE, chunk_items, chunk_rngs
 
@@ -56,6 +61,71 @@ def _init_worker(kernel_bytes: bytes) -> None:
 
 def _call_worker(args: tuple[Any, ...]) -> Any:
     return _WORKER_KERNEL(*args)
+
+
+@dataclass
+class _TimedResult:
+    """A chunk result plus the span data its worker timed around it."""
+
+    value: Any
+    duration: float
+    pid: int
+    thread: str
+
+
+class _TimedKernel:
+    """Wrap a chunk kernel so the *worker* times each call and reports who ran it.
+
+    Spans cannot cross a process boundary live, so the worker records its
+    own wall-clock duration and identity; the parent merges the finished
+    records into the active tracer **in chunk order** (the ordered emitter's
+    order), keeping traces deterministic modulo the timing values.  Pickles
+    iff the wrapped kernel pickles, so backend resolution is unchanged.
+    """
+
+    __slots__ = ("_fn",)
+
+    def __init__(self, fn: Callable[..., Any]) -> None:
+        self._fn = fn
+
+    def __getstate__(self) -> Callable[..., Any]:
+        return self._fn
+
+    def __setstate__(self, fn: Callable[..., Any]) -> None:
+        self._fn = fn
+
+    def __call__(self, *args: Any) -> _TimedResult:
+        start = time.perf_counter()
+        value = self._fn(*args)
+        return _TimedResult(
+            value=value,
+            duration=time.perf_counter() - start,
+            pid=os.getpid(),
+            thread=threading.current_thread().name,
+        )
+
+
+def _emit_chunk(
+    tracer: Tracer | None, item: Any, index: int, backend: str, workers: int
+) -> Any:
+    """Unwrap one (possibly timed) chunk result; record its span and metrics."""
+    CHUNKS_TOTAL.inc(backend=backend)
+    if tracer is None:
+        return item
+    tracer.record(
+        "chunk",
+        item.duration,
+        attributes={
+            "kind": "chunk",
+            "chunk_id": index,
+            "backend": backend,
+            "workers": workers,
+            "worker_pid": item.pid,
+            "worker_thread": item.thread,
+        },
+    )
+    CHUNK_SECONDS.observe(item.duration, backend=backend)
+    return item.value
 
 
 def _mp_context():
@@ -134,10 +204,15 @@ def iter_ordered_map(
     the caller on the chunk that raised; the pool is shut down (pending work
     cancelled) on any failure or early consumer exit.
     """
-    resolved, kernel_bytes = resolve_backend(backend, workers, n_tasks, fn)
+    # With a tracer active, each chunk is timed inside its worker and the
+    # finished span records are merged here in chunk order (deterministic
+    # trace structure at any worker count — only the timing values move).
+    tracer = current_tracer()
+    exec_fn: Callable[..., Any] = _TimedKernel(fn) if tracer is not None else fn
+    resolved, kernel_bytes = resolve_backend(backend, workers, n_tasks, exec_fn)
     if resolved == "serial":
-        for payload in payloads:
-            yield fn(*payload)
+        for index, payload in enumerate(payloads):
+            yield _emit_chunk(tracer, exec_fn(*payload), index, "serial", workers)
         return
 
     executor: Executor
@@ -151,15 +226,16 @@ def iter_ordered_map(
         submit = lambda args: executor.submit(_call_worker, args)  # noqa: E731
     else:
         executor = ThreadPoolExecutor(max_workers=workers)
-        submit = lambda args: executor.submit(fn, *args)  # noqa: E731
+        submit = lambda args: executor.submit(exec_fn, *args)  # noqa: E731
 
     max_inflight = 2 * workers + 2
     iterator = iter(payloads)
     try:
         futures: dict[Any, int] = {}
-        ready: deque[R] = deque()
-        emitter: OrderedEmitter[R] = OrderedEmitter(ready.append)
+        ready: deque[Any] = deque()
+        emitter: OrderedEmitter[Any] = OrderedEmitter(ready.append)
         next_submit = 0
+        emitted = 0
         exhausted = False
         while True:
             # Backpressure: in-flight plus buffered (out-of-order or not yet
@@ -182,7 +258,8 @@ def iter_ordered_map(
             for future in done:
                 emitter.push(futures.pop(future), future.result())
             while ready:
-                yield ready.popleft()
+                yield _emit_chunk(tracer, ready.popleft(), emitted, resolved, workers)
+                emitted += 1
         emitter.close()  # every submitted chunk was flushed, in order
     finally:
         executor.shutdown(wait=True, cancel_futures=True)

@@ -23,7 +23,6 @@ as ``repro.publish``.
 
 from __future__ import annotations
 
-import time
 from typing import TYPE_CHECKING, Any
 
 import numpy as np
@@ -36,6 +35,8 @@ from repro.dataset.groups import GroupIndex, personal_groups
 from repro.dataset.table import Table
 from repro.generalization.chi_square import DEFAULT_SIGNIFICANCE
 from repro.generalization.merging import GeneralizationResult, generalize_table
+from repro.obs.metrics import PUBLISH_RUNS, ROWS_PUBLISHED
+from repro.obs.trace import span
 from repro.pipeline.execution import (
     DEFAULT_CHUNK_SIZE,
     ChunkRunner,
@@ -142,92 +143,117 @@ class PublishPipeline:
     # Execution
     # ------------------------------------------------------------------ #
     def run(self, table: Table) -> PublishReport:
-        """Execute prepare → generalize → audit → enforce → report on ``table``."""
+        """Execute prepare → generalize → audit → enforce → report on ``table``.
+
+        Every stage runs inside a :func:`repro.obs.trace.span`, and the
+        ``timings`` on the returned report are those spans' durations — the
+        same numbers whether or not a tracer is active, so tracing never
+        changes the report (or a single published byte).
+        """
         strategy = self._strategy
         timings: dict[str, float] = {}
 
-        # prepare: typed parameter resolution + seed normalisation.
-        start = time.perf_counter()
-        resolved = strategy.resolve(self._params)
-        seed = coerce_seed(self._rng)
-        if self._generalization is not None and not strategy.generalizes:
-            raise ValueError(
-                f"strategy {strategy.name!r} has no generalize stage; "
-                "remove with_generalization()"
-            )
-        if strategy.generalizes and self._groups is not None and self._generalization is None:
-            # A caller-supplied group index must match the *prepared* table;
-            # without the matching generalization the raw-table index would be
-            # silently enforced against the generalised schema.
-            raise ValueError(
-                f"strategy {strategy.name!r} generalizes before grouping; "
-                "with_groups() also requires the matching with_generalization()"
-            )
-        timings["prepare"] = time.perf_counter() - start
+        with span(
+            "publish", kind="publish", path="pipeline", strategy=strategy.name
+        ) as root:
+            # prepare: typed parameter resolution + seed normalisation.
+            with span("prepare", kind="stage") as sp:
+                resolved = strategy.resolve(self._params)
+                seed = coerce_seed(self._rng)
+                if self._generalization is not None and not strategy.generalizes:
+                    raise ValueError(
+                        f"strategy {strategy.name!r} has no generalize stage; "
+                        "remove with_generalization()"
+                    )
+                if (
+                    strategy.generalizes
+                    and self._groups is not None
+                    and self._generalization is None
+                ):
+                    # A caller-supplied group index must match the *prepared*
+                    # table; without the matching generalization the raw-table
+                    # index would be silently enforced against the generalised
+                    # schema.
+                    raise ValueError(
+                        f"strategy {strategy.name!r} generalizes before grouping; "
+                        "with_groups() also requires the matching "
+                        "with_generalization()"
+                    )
+            timings["prepare"] = sp.duration
+            root.set(seed=seed, chunk_size=self._chunk_size)
 
-        # generalize: optional chi-square merging of the public attributes.
-        start = time.perf_counter()
-        generalization: GeneralizationResult | None = None
-        prepared = table
-        if strategy.generalizes:
-            generalization = self._generalization or generalize_table(
-                table, significance=resolved.get("significance", DEFAULT_SIGNIFICANCE)
-            )
-            prepared = generalization.table
-        timings["generalize"] = time.perf_counter() - start
+            # generalize: optional chi-square merging of the public attributes.
+            with span("generalize", kind="stage", ran=strategy.generalizes) as sp:
+                generalization: GeneralizationResult | None = None
+                prepared = table
+                if strategy.generalizes:
+                    generalization = self._generalization or generalize_table(
+                        table,
+                        significance=resolved.get("significance", DEFAULT_SIGNIFICANCE),
+                    )
+                    prepared = generalization.table
+            timings["generalize"] = sp.duration
 
-        spec = strategy.spec_for(prepared, resolved)
-        needs_audit = self._audit and strategy.audits and spec is not None
+            spec = strategy.spec_for(prepared, resolved)
+            needs_audit = self._audit and strategy.audits and spec is not None
 
-        # group index: reused when supplied (the service's dataset cache),
-        # skipped entirely when neither the audit nor the strategy reads it
-        # (e.g. an un-audited whole-table perturbation).
-        start = time.perf_counter()
-        cached = self._groups is not None
-        groups = self._groups
-        if groups is None and (strategy.uses_groups or needs_audit):
-            groups = personal_groups(prepared)
-        timings["group_index"] = time.perf_counter() - start
+            # group index: reused when supplied (the service's dataset cache),
+            # skipped entirely when neither the audit nor the strategy reads it
+            # (e.g. an un-audited whole-table perturbation).
+            cached = self._groups is not None
+            with span("group_index", kind="stage", cached=cached) as sp:
+                groups = self._groups
+                if groups is None and (strategy.uses_groups or needs_audit):
+                    groups = personal_groups(prepared)
+            timings["group_index"] = sp.duration
 
-        # audit: pre-publication test of the prepared table (Corollary 4).
-        start = time.perf_counter()
-        audit = None
-        if needs_audit:
-            audit = audit_table(prepared, spec, groups=groups)
-        timings["audit"] = time.perf_counter() - start
+            # audit: pre-publication test of the prepared table (Corollary 4).
+            with span("audit", kind="stage", ran=needs_audit) as sp:
+                audit = None
+                if needs_audit:
+                    audit = audit_table(prepared, spec, groups=groups)
+            timings["audit"] = sp.duration
 
-        # enforce: the strategy's own publishing algorithm, seeded chunks.
-        start = time.perf_counter()
-        outcome = strategy.enforce(
-            prepared, groups, spec, resolved, seed, self._runner, self._chunk_size
-        )
-        timings["enforce"] = time.perf_counter() - start
+            # enforce: the strategy's own publishing algorithm, seeded chunks.
+            # Chunk spans recorded by the scheduler land under this span.
+            with span("enforce", kind="stage") as sp:
+                outcome = strategy.enforce(
+                    prepared, groups, spec, resolved, seed, self._runner, self._chunk_size
+                )
+            timings["enforce"] = sp.duration
 
-        # report: assemble the unified result bundle.  Sampling stats are not
-        # copied here — PublishReport derives them from the group records.
-        metadata = dict(outcome.metadata)
-        if generalization is not None:
-            metadata["generalized_domains"] = {
-                merge.original.name: {
-                    "before": merge.original_domain_size,
-                    "after": merge.generalized_domain_size,
+            # report: assemble the unified result bundle.  Sampling stats are
+            # not copied here — PublishReport derives them from the group
+            # records.  The stage is booked as the residual of the run so the
+            # stage timings sum to the root span's wall-clock.
+            metadata = dict(outcome.metadata)
+            if generalization is not None:
+                metadata["generalized_domains"] = {
+                    merge.original.name: {
+                        "before": merge.original_domain_size,
+                        "after": merge.generalized_domain_size,
+                    }
+                    for merge in generalization.merges
                 }
-                for merge in generalization.merges
-            }
-        return PublishReport(
-            strategy=strategy.name,
-            params=resolved,
-            seed=seed,
-            published=outcome.published,
-            prepared=prepared,
-            spec=spec,
-            generalization=generalization,
-            audit=audit,
-            groups=outcome.records,
-            metadata=metadata,
-            timings=timings,
-            group_index_cached=cached,
-        )
+            timings["report"] = max(0.0, root.elapsed() - sum(timings.values()))
+            report = PublishReport(
+                strategy=strategy.name,
+                params=resolved,
+                seed=seed,
+                published=outcome.published,
+                prepared=prepared,
+                spec=spec,
+                generalization=generalization,
+                audit=audit,
+                groups=outcome.records,
+                metadata=metadata,
+                timings=timings,
+                group_index_cached=cached,
+            )
+            root.set(rows=len(report.published))
+        PUBLISH_RUNS.inc(path="pipeline", strategy=strategy.name)
+        ROWS_PUBLISHED.inc(len(report.published), strategy=strategy.name)
+        return report
 
 
 def publish(

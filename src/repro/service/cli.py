@@ -7,25 +7,36 @@ register-once/publish-many lifecycle without a running server::
 
     repro-service register demo --synthetic adult --rows 100000 --store state.json
     repro-service publish --dataset demo --backend sps --seed 7 --store state.json
+    repro-service publish --dataset demo --backend sps --trace job-trace.jsonl
     repro-service audit --dataset demo --store state.json
     repro-service serve --store state.json --port 8080
+
+Human-facing output (errors, the serve banner) goes to stderr through stdlib
+logging — ``--verbose``/``--quiet`` set the level — while command results
+stay JSON-on-stdout.  ``publish --trace PATH`` records the job's span tree
+as a JSONL trace.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
+import logging
 import sys
 from collections.abc import Sequence
 from typing import Any
 
 from repro import __version__
 from repro.dataset.loaders import write_csv
+from repro.obs import Tracer, configure_cli_logging, export
 from repro.service.backends import backend_descriptions
 from repro.service.engine import AnonymizationService
 from repro.service.http_api import serve
 from repro.service.parallel import DEFAULT_CHUNK_SIZE
 from repro.service.registry import ServiceError
+
+_log = logging.getLogger("repro.service")
 
 #: CLI flag -> backend parameter name (only flags the user passed are sent,
 #: so each backend's own defaults fill the rest).
@@ -62,6 +73,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--version", action="version", version=f"%(prog)s {__version__}"
     )
+    volume = parser.add_mutually_exclusive_group()
+    volume.add_argument(
+        "--verbose", action="store_true", help="debug-level logging on stderr"
+    )
+    volume.add_argument(
+        "--quiet", action="store_true", help="errors only on stderr"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_serve = sub.add_parser("serve", help="run the HTTP JSON API")
@@ -94,6 +112,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_publish.add_argument("--workers", type=int, default=1)
     p_publish.add_argument(
         "--output", metavar="PATH", help="also write the published table as CSV"
+    )
+    p_publish.add_argument(
+        "--trace", metavar="PATH",
+        help="record the job's spans and write them as a JSONL trace",
     )
     p_publish.add_argument("--lam", type=float)
     p_publish.add_argument("--delta", type=float)
@@ -135,10 +157,13 @@ def _collect_params(args: argparse.Namespace) -> dict[str, float]:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    configure_cli_logging(
+        verbose=getattr(args, "verbose", False), quiet=getattr(args, "quiet", False)
+    )
     try:
         return _run(args)
     except ServiceError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        _log.error("error: %s", exc)
         return 2
 
 
@@ -174,20 +199,27 @@ def _run(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "publish":
+        tracer = Tracer() if args.trace else None
         try:
-            record = service.publish(
-                dataset=args.dataset,
-                backend=args.backend,
-                params=_collect_params(args),
-                seed=args.seed,
-                chunk_size=args.chunk_size,
-                max_workers=args.workers,
-            )
+            with tracer if tracer is not None else contextlib.nullcontext():
+                record = service.publish(
+                    dataset=args.dataset,
+                    backend=args.backend,
+                    params=_collect_params(args),
+                    seed=args.seed,
+                    chunk_size=args.chunk_size,
+                    max_workers=args.workers,
+                )
         except ServiceError:
             # Persist the failed job record too, so `jobs --store` shows it.
             if args.store:
                 service.save()
             raise
+        if tracer is not None:
+            export.write_trace(tracer, args.trace)
+            _log.info(
+                "trace written to %s (%d spans)", args.trace, len(tracer.spans)
+            )
         if args.output:
             write_csv(record.published, args.output)
         if args.store:

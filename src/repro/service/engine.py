@@ -40,6 +40,24 @@ _SYNTHETIC_GENERATORS = {
 }
 
 
+def _mark_event(
+    events: list[dict[str, Any]], name: str, started: float, **fields: Any
+) -> None:
+    """Append one timeline event; consecutive updates of a phase coalesce.
+
+    A stream job's ``read``/``enforce`` phases fire once per chunk; keeping
+    only the latest update per consecutive phase makes the persisted timeline
+    deterministic for a given job shape (``started → read → group_index →
+    enforce → done → completed``) while still carrying the final counters of
+    each phase.
+    """
+    event = {"event": name, "elapsed": time.perf_counter() - started, **fields}
+    if events and events[-1]["event"] == name:
+        events[-1] = event
+    else:
+        events.append(event)
+
+
 class AnonymizationService:
     """Registry + engine + job history behind one object.
 
@@ -136,6 +154,7 @@ class AnonymizationService:
         backend_impl = get_backend(backend)
         record = JobRecord(job_id=self.jobs.new_job_id(), spec=spec, status="running")
         start = time.perf_counter()
+        _mark_event(record.events, "started", start, backend=spec.backend)
         try:
             result = backend_impl.publish(
                 entry, spec.params, spec.seed, spec.chunk_size, spec.max_workers
@@ -144,6 +163,7 @@ class AnonymizationService:
             total = time.perf_counter() - start
             record.status = "failed"
             record.error = str(exc)
+            _mark_event(record.events, "failed", start, error=str(exc))
             record.timings = JobTimings(
                 group_index_seconds=0.0,
                 publish_seconds=total,
@@ -153,6 +173,9 @@ class AnonymizationService:
             self.jobs.add(record)
             raise ServiceError(f"job {record.job_id} failed: {exc}") from exc
         total = time.perf_counter() - start
+        _mark_event(
+            record.events, "completed", start, published_records=len(result.published)
+        )
         record.status = "completed"
         record.published = result.published
         record.published_records = len(result.published)
@@ -239,14 +262,18 @@ class AnonymizationService:
             raise ServiceError(str(exc)) from None
         record = JobRecord(job_id=self.jobs.new_job_id(), spec=spec, status="running")
         self.jobs.add(record)
+        start = time.perf_counter()
+        _mark_event(record.events, "started", start, backend=spec.backend)
 
         def on_progress(event: Mapping[str, Any]) -> None:
             record.progress = dict(event)
+            data = dict(event)
+            phase = str(data.pop("phase", "progress"))
+            _mark_event(record.events, phase, start, **data)
 
         extra: dict[str, Any] = {}
         if spec.chunk_rows is not None:
             extra["chunk_rows"] = spec.chunk_rows
-        start = time.perf_counter()
         try:
             report = stream_publish(
                 source,
@@ -271,6 +298,7 @@ class AnonymizationService:
             total = time.perf_counter() - start
             record.status = "failed"
             record.error = str(exc) or type(exc).__name__
+            _mark_event(record.events, "failed", start, error=record.error)
             record.timings = JobTimings(
                 group_index_seconds=0.0,
                 publish_seconds=total,
@@ -281,6 +309,10 @@ class AnonymizationService:
                 raise ServiceError(f"job {record.job_id} failed: {exc}") from exc
             raise
         total = time.perf_counter() - start
+        _mark_event(
+            record.events, "completed", start,
+            published_records=report.published_records,
+        )
         record.status = "completed"
         record.published = report.published
         record.published_records = report.published_records

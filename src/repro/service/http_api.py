@@ -10,6 +10,7 @@ Endpoints
 GET    ``/``                      service overview (datasets, jobs, backends)
 GET    ``/health``                liveness probe (``/healthz`` is an alias)
 GET    ``/stats``                 counters: version, jobs, cache hits, backends
+GET    ``/metrics``               process metrics in Prometheus text format
 GET    ``/datasets``              list registered datasets
 POST   ``/datasets``              register a CSV body (``?name=&sensitive=``)
 GET    ``/datasets/<name>``       one dataset's detail
@@ -18,7 +19,8 @@ POST   ``/publish``               run a publish job (JSON body); pass
                                   ``sensitive`` for an out-of-core job
 GET    ``/jobs``                  list job records
 GET    ``/jobs/<id>``             one job record (stream jobs include live
-                                  ``progress`` while running)
+                                  ``progress`` while running, and every job
+                                  carries its persisted ``events`` timeline)
 GET    ``/jobs/<id>/table.csv``   download a job's published table
 GET    ``/audit``                 audit a dataset (query parameters)
 POST   ``/audit``                 audit a dataset (JSON body)
@@ -33,15 +35,20 @@ from __future__ import annotations
 import csv
 import io
 import json
+import logging
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any
 from urllib.parse import parse_qs, urlparse
 
 from repro import __version__
+from repro.obs.environment import record_build_info
+from repro.obs.export import render_prometheus
 from repro.service.engine import AnonymizationService
 from repro.service.parallel import DEFAULT_CHUNK_SIZE
 from repro.service.registry import NotFoundError, ServiceError
+
+_log = logging.getLogger("repro.service")
 
 
 def _as_int(value: Any, name: str) -> int:
@@ -180,6 +187,9 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             if parts == ["stats"]:
                 self._send_json(self.service.stats())
                 return True
+            if parts == ["metrics"]:
+                self._send_metrics()
+                return True
             if parts == ["datasets"]:
                 self._send_json(
                     [entry.to_json() for entry in self.service.datasets.entries()]
@@ -307,6 +317,18 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             )
         )
 
+    def _send_metrics(self) -> None:
+        """Render the process metrics registry as Prometheus text exposition."""
+        # Refresh the info gauge on every scrape: cheap, and it guarantees
+        # the environment labels are present even on a cold process.
+        record_build_info()
+        body = render_prometheus().encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def _send_published_csv(self, job_id: str) -> None:
         table = self.service.published_table(job_id)
         buffer = io.StringIO()
@@ -347,7 +369,7 @@ def serve(
     """Serve ``service`` until interrupted."""
     server = make_server(service, host, port, verbose=verbose)
     actual_host, actual_port = server.server_address[:2]
-    print(f"repro-service listening on http://{actual_host}:{actual_port}")
+    _log.info("repro-service listening on http://%s:%s", actual_host, actual_port)
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive path
@@ -358,4 +380,4 @@ def serve(
             # Persist datasets registered and jobs run over HTTP, so a
             # restarted server resumes with the same state.
             path = service.save()
-            print(f"state saved to {path}")
+            _log.info("state saved to %s", path)

@@ -204,6 +204,11 @@ class JobRecord:
     #: updated while the job runs, so ``GET /jobs/<id>`` shows it mid-flight,
     #: and persisted with the record.
     progress: dict[str, Any] = field(default_factory=dict)
+    #: The job's event timeline: one ``{"event", "elapsed", ...}`` dict per
+    #: phase transition, in order (consecutive updates of the same phase are
+    #: coalesced, so the sequence is deterministic for a given job shape).
+    #: Persisted with the record and served by ``GET /jobs/<id>``.
+    events: list[dict[str, Any]] = field(default_factory=list)
     published: Table | None = field(default=None, repr=False, compare=False)
 
     def to_json(self, include_table: bool = False) -> dict[str, Any]:
@@ -219,6 +224,8 @@ class JobRecord:
         }
         if self.progress:
             data["progress"] = dict(self.progress)
+        if self.events:
+            data["events"] = [dict(event) for event in self.events]
         if include_table and self.published is not None:
             data["published"] = table_to_json(self.published)
         return data
@@ -236,5 +243,6 @@ class JobRecord:
             metadata=dict(data.get("metadata", {})),
             error=data.get("error"),
             progress=dict(data.get("progress", {})),
+            events=[dict(event) for event in data.get("events", [])],
             published=table_from_json(published) if published else None,
         )

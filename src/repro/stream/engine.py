@@ -43,6 +43,14 @@ from repro.dataset.schema import Schema
 from repro.dataset.table import Table
 from repro.generalization.chi_square import DEFAULT_SIGNIFICANCE
 from repro.generalization.merging import AttributeMerge, merge_attribute_from_counts
+from repro.obs.metrics import (
+    PUBLISH_RUNS,
+    RNG_DRAWS,
+    ROWS_PUBLISHED,
+    STREAM_ROWS_PER_SECOND,
+    TRACEMALLOC_PEAK,
+)
+from repro.obs.trace import span
 from repro.parallel.kernels import (
     CsvChunkKernel,
     EncodedBlock,
@@ -372,127 +380,160 @@ def _run(
     timings: dict[str, float] = {}
     notify = progress or (lambda event: None)
 
-    # prepare: typed parameter resolution + seed normalisation.
-    start = time.perf_counter()
-    resolved = strategy.resolve(params)
-    seed = coerce_seed(rng)
-    if chunk_size <= 0:
-        raise ValueError("chunk_size must be positive")
-    timings["prepare"] = time.perf_counter() - start
+    with span(
+        "stream_publish", kind="publish", path="stream", strategy=strategy.name
+    ) as root:
+        # prepare: typed parameter resolution + seed normalisation.
+        with span("prepare", kind="stage") as sp:
+            resolved = strategy.resolve(params)
+            seed = coerce_seed(rng)
+            if chunk_size <= 0:
+                raise ValueError("chunk_size must be positive")
+        timings["prepare"] = sp.duration
+        root.set(
+            seed=seed, chunk_size=chunk_size, chunk_rows=chunk_rows, workers=workers
+        )
 
-    # Everything that owns on-disk state (the row spool, the CSV sink) lives
-    # inside this one try: whatever fails — a bad row mid-read, a strategy
-    # exception, a worker process dying mid-enforce — the spool's temp files
-    # are closed and any owned partial output is removed before the error
-    # propagates.
-    spool: _RowSpool | None = None
-    sink: Any = None
-    try:
-        # read: one bounded-memory pass over the source.
-        start = time.perf_counter()
-        reader = ChunkedReader(source, sensitive, chunk_rows=chunk_rows, delimiter=delimiter)
-        index: IncrementalGroupIndex | None = None
-        for chunk in reader.chunks():
-            if index is None:
-                index = IncrementalGroupIndex(reader.public_names or [], sensitive)
-                if strategy.streams_rows:
-                    spool = _RowSpool(len(reader.public_names or []) + 1)
-            if spool is not None:
-                spool.append(index.update_encoded(chunk))
-            else:
-                index.update(chunk)
-            notify({
-                "phase": "read",
-                "rows_read": reader.rows_read,
-                "chunks_read": reader.chunks_read,
-            })
-        assert index is not None  # reader raises on empty input
-        timings["read"] = time.perf_counter() - start
-
-        # group index: finalize schema + lexicographically ordered groups.
-        start = time.perf_counter()
-        schema, groups = index.finalize()
-        timings["group_index"] = time.perf_counter() - start
-        notify({"phase": "group_index", "n_groups": len(groups)})
-
-        # generalize: chi-square merging decided from streamed counts.
-        start = time.perf_counter()
-        merges: tuple[AttributeMerge, ...] | None = None
-        prepared_schema = schema
-        metadata = dict(strategy.metadata_for(resolved))
-        if strategy.generalizes:
-            m = schema.sensitive_domain_size
-            significance = resolved.get("significance", DEFAULT_SIGNIFICANCE)
-            merges = tuple(
-                merge_attribute_from_counts(
-                    attribute,
-                    conditional_sa_counts(groups, column, m),
-                    m,
-                    significance=significance,
+        # Everything that owns on-disk state (the row spool, the CSV sink)
+        # lives inside this one try: whatever fails — a bad row mid-read, a
+        # strategy exception, a worker process dying mid-enforce — the
+        # spool's temp files are closed and any owned partial output is
+        # removed before the error propagates.
+        spool: _RowSpool | None = None
+        sink: Any = None
+        try:
+            # read: one bounded-memory pass over the source.  Time spent
+            # writing the row spool is booked separately ("spool"), so the
+            # read timing is pure parse+index work.
+            spool_seconds = 0.0
+            with span("read", kind="stage") as sp:
+                reader = ChunkedReader(
+                    source, sensitive, chunk_rows=chunk_rows, delimiter=delimiter
                 )
-                for column, attribute in enumerate(schema.public)
-            )
-            prepared_schema = Schema(
-                public=tuple(merge.generalized for merge in merges),
-                sensitive=schema.sensitive,
-            )
-            groups = apply_code_maps(groups, [merge.code_map() for merge in merges])
-            metadata["generalized_domains"] = {
-                merge.original.name: {
-                    "before": merge.original_domain_size,
-                    "after": merge.generalized_domain_size,
-                }
-                for merge in merges
-            }
-        timings["generalize"] = time.perf_counter() - start
+                index: IncrementalGroupIndex | None = None
+                for chunk in reader.chunks():
+                    if index is None:
+                        index = IncrementalGroupIndex(reader.public_names or [], sensitive)
+                        if strategy.streams_rows:
+                            spool = _RowSpool(len(reader.public_names or []) + 1)
+                    if spool is not None:
+                        encoded = index.update_encoded(chunk)
+                        spool_start = time.perf_counter()
+                        spool.append(encoded)
+                        spool_seconds += time.perf_counter() - spool_start
+                    else:
+                        index.update(chunk)
+                    notify({
+                        "phase": "read",
+                        "rows_read": reader.rows_read,
+                        "chunks_read": reader.chunks_read,
+                    })
+                assert index is not None  # reader raises on empty input
+                sp.set(rows=reader.rows_read, chunks=reader.chunks_read)
+            timings["read"] = max(0.0, sp.duration - spool_seconds)
+            timings["spool"] = spool_seconds
 
-        spec = strategy.spec_for(_SchemaHolder(prepared_schema), resolved)
+            # group index: finalize schema + lexicographically ordered groups.
+            with span("group_index", kind="stage") as sp:
+                schema, groups = index.finalize()
+            timings["group_index"] = sp.duration
+            notify({"phase": "group_index", "n_groups": len(groups)})
 
-        # audit: Corollary 4 over the incremental groups (no table required).
-        start = time.perf_counter()
-        privacy_audit: PrivacyAudit | None = None
-        if audit and strategy.audits and spec is not None:
-            audits = tuple(audit_group(spec, group) for group in groups)
-            privacy_audit = PrivacyAudit(
-                spec=spec, groups=audits, total_records=index.n_rows
-            )
-        timings["audit"] = time.perf_counter() - start
+            # generalize: chi-square merging decided from streamed counts.
+            with span("generalize", kind="stage", ran=strategy.generalizes) as sp:
+                merges: tuple[AttributeMerge, ...] | None = None
+                prepared_schema = schema
+                metadata = dict(strategy.metadata_for(resolved))
+                if strategy.generalizes:
+                    m = schema.sensitive_domain_size
+                    significance = resolved.get("significance", DEFAULT_SIGNIFICANCE)
+                    merges = tuple(
+                        merge_attribute_from_counts(
+                            attribute,
+                            conditional_sa_counts(groups, column, m),
+                            m,
+                            significance=significance,
+                        )
+                        for column, attribute in enumerate(schema.public)
+                    )
+                    prepared_schema = Schema(
+                        public=tuple(merge.generalized for merge in merges),
+                        sensitive=schema.sensitive,
+                    )
+                    groups = apply_code_maps(groups, [merge.code_map() for merge in merges])
+                    metadata["generalized_domains"] = {
+                        merge.original.name: {
+                            "before": merge.original_domain_size,
+                            "after": merge.generalized_domain_size,
+                        }
+                        for merge in merges
+                    }
+            timings["generalize"] = sp.duration
 
-        # enforce: drive the kernel per group batch (or replay the row spool),
-        # writing published blocks straight to the sink in chunk order.
-        start = time.perf_counter()
-        if output is not None:
-            sink = _CsvSink(output, prepared_schema, overwrite=overwrite)
-        elif materialize:
-            sink = _TableSink(prepared_schema)
-        else:
-            sink = _NullSink()
-        records: list[GroupPublication] = []
-        if spool is not None:
-            _enforce_rows(
-                strategy, prepared_schema, spec, index, spool, seed,
-                workers, parallel_backend, sink, notify,
-            )
-        else:
-            _enforce_groups(
-                strategy, prepared_schema, spec, resolved, groups,
-                seed, chunk_size, workers, parallel_backend, sink, records, notify,
-            )
-        published = sink.close()
-        timings["enforce"] = time.perf_counter() - start
-    except BaseException:
-        if sink is not None:
-            sink.abort()
-        raise
-    finally:
-        if spool is not None:
-            spool.close()
-    notify({"phase": "done", "published_records": sink.records_written})
+            spec = strategy.spec_for(_SchemaHolder(prepared_schema), resolved)
 
-    peak: int | None = None
-    if track_memory:
-        peak = tracemalloc.get_traced_memory()[1]
+            # audit: Corollary 4 over the incremental groups (no table required).
+            with span("audit", kind="stage", ran=audit and strategy.audits) as sp:
+                privacy_audit: PrivacyAudit | None = None
+                if audit and strategy.audits and spec is not None:
+                    audits = tuple(audit_group(spec, group) for group in groups)
+                    privacy_audit = PrivacyAudit(
+                        spec=spec, groups=audits, total_records=index.n_rows
+                    )
+            timings["audit"] = sp.duration
 
+            # enforce: drive the kernel per group batch (or replay the row
+            # spool), writing published blocks straight to the sink in chunk
+            # order.  Chunk spans recorded by the scheduler land under this
+            # span.
+            with span("enforce", kind="stage") as sp:
+                if output is not None:
+                    sink = _CsvSink(output, prepared_schema, overwrite=overwrite)
+                elif materialize:
+                    sink = _TableSink(prepared_schema)
+                else:
+                    sink = _NullSink()
+                records: list[GroupPublication] = []
+                if spool is not None:
+                    _enforce_rows(
+                        strategy, prepared_schema, spec, index, spool, seed,
+                        workers, parallel_backend, sink, notify,
+                    )
+                else:
+                    _enforce_groups(
+                        strategy, prepared_schema, spec, resolved, groups,
+                        seed, chunk_size, workers, parallel_backend, sink, records, notify,
+                    )
+            timings["enforce"] = sp.duration
+            if sp.duration > 0.0:
+                STREAM_ROWS_PER_SECOND.set(sink.records_written / sp.duration)
+
+            # flush: close the sink — for CSV outputs this is the final
+            # buffer flush to disk, previously invisible inside enforce.
+            with span("flush", kind="stage") as sp:
+                published = sink.close()
+            timings["flush"] = sp.duration
+        except BaseException:
+            if sink is not None:
+                sink.abort()
+            raise
+        finally:
+            if spool is not None:
+                spool.close()
+        notify({"phase": "done", "published_records": sink.records_written})
+
+        peak: int | None = None
+        if track_memory:
+            peak = tracemalloc.get_traced_memory()[1]
+            TRACEMALLOC_PEAK.set(peak)
+
+        # finalize: the residual of the run (spec resolution, report
+        # assembly) so the stage timings sum to the root span's wall-clock.
+        timings["finalize"] = max(0.0, root.elapsed() - sum(timings.values()))
+        root.set(rows=index.n_rows, published_records=sink.records_written)
+
+    PUBLISH_RUNS.inc(path="stream", strategy=strategy.name)
+    ROWS_PUBLISHED.inc(sink.records_written, strategy=strategy.name)
     return StreamReport(
         strategy=strategy.name,
         params=resolved,
@@ -604,6 +645,7 @@ def _enforce_rows(
     generator = np.random.default_rng(np.random.SeedSequence(seed))
     for block, _ in spool.replay():
         spool.append_retain(generator.random(block.shape[0]) < p)
+        RNG_DRAWS.inc(block.shape[0])
     total = sum(spool.chunk_lengths)
 
     encode = workers > 1 and isinstance(sink, _CsvSink)
@@ -614,6 +656,7 @@ def _enforce_rows(
         # spool order regardless of which worker finishes first.
         for block, retain in spool.replay(with_retain=True):
             replacements = generator.integers(0, m, size=block.shape[0])
+            RNG_DRAWS.inc(block.shape[0])
             yield ((block, retain, replacements),)
 
     done = 0

@@ -1,0 +1,402 @@
+"""Unit tests for :mod:`repro.obs`: spans, metrics, exporters, CLI logging.
+
+The integration half — byte-identity under tracing, worker-count agreement,
+the service's ``/metrics`` endpoint — lives in ``tests/test_obs_integration.py``.
+"""
+
+import io
+import json
+import logging
+import sys
+
+import pytest
+
+from repro.obs import (
+    TRACE_SCHEMA_VERSION,
+    TraceSchemaError,
+    Tracer,
+    configure_cli_logging,
+    current_tracer,
+    parse_prometheus,
+    record_build_info,
+    render_prometheus,
+    runtime_environment,
+    span,
+    validate_trace,
+    write_trace,
+)
+from repro.obs.export import iter_trace_lines, logfmt, logfmt_span
+from repro.obs.metrics import BUILD_INFO, MetricError, MetricsRegistry
+
+
+# --------------------------------------------------------------------- #
+# Spans and tracer
+# --------------------------------------------------------------------- #
+
+
+class TestSpan:
+    def test_measures_without_a_tracer(self):
+        assert current_tracer() is None
+        with span("work", strategy="sps") as sp:
+            pass
+        assert sp.duration >= 0.0
+        assert sp.attributes == {"strategy": "sps"}
+
+    def test_records_nested_spans_with_parentage(self):
+        with Tracer() as tracer:
+            with span("outer"):
+                with span("inner"):
+                    pass
+        names = [record.name for record in tracer.spans]
+        assert names == ["inner", "outer"]  # completion order
+        inner, outer = tracer.spans
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        assert inner.start >= 0.0 and inner.duration >= 0.0
+
+    def test_set_merges_attributes_and_chains(self):
+        with Tracer() as tracer:
+            with span("stage", a=1) as sp:
+                assert sp.set(b=2) is sp
+        (record,) = tracer.spans
+        assert record.attributes == {"a": 1, "b": 2}
+
+    def test_exception_sets_error_attribute(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer:
+                with span("boom"):
+                    raise RuntimeError("nope")
+        (record,) = tracer.spans
+        assert record.attributes["error"] == "RuntimeError"
+
+    def test_elapsed_valid_while_open(self):
+        with span("tick") as sp:
+            first = sp.elapsed()
+            second = sp.elapsed()
+        assert 0.0 <= first <= second
+
+    def test_deactivation_stops_recording(self):
+        tracer = Tracer()
+        with tracer:
+            with span("inside"):
+                pass
+        with span("outside"):
+            pass
+        assert [record.name for record in tracer.spans] == ["inside"]
+
+
+class TestTracer:
+    def test_record_parents_under_current_span(self):
+        with Tracer() as tracer:
+            with span("enforce"):
+                chunk = tracer.record("chunk", 0.01, attributes={"chunk_id": 0})
+        enforce = next(r for r in tracer.spans if r.name == "enforce")
+        assert chunk.parent_id == enforce.span_id
+        assert chunk.duration == 0.01
+
+    def test_record_clamps_underflowing_start(self):
+        # Worker-side durations come from a different clock domain; a
+        # duration longer than the tracer's lifetime must not go negative.
+        with Tracer() as tracer:
+            record = tracer.record("chunk", 999.0)
+        assert record.start == 0.0
+
+    def test_bound_span_records_without_activation(self):
+        tracer = Tracer()
+        with tracer.span("standalone"):
+            pass
+        assert current_tracer() is None
+        assert [record.name for record in tracer.spans] == ["standalone"]
+
+    def test_live_stream_gets_logfmt_lines(self):
+        stream = io.StringIO()
+        with Tracer(live=stream):
+            with span("stage", n=2):
+                pass
+        (line,) = stream.getvalue().splitlines()
+        assert line.startswith("span=stage ")
+        assert "n=2" in line
+
+    def test_span_ids_unique_and_increasing(self):
+        with Tracer() as tracer:
+            for _ in range(5):
+                with span("s"):
+                    pass
+        ids = [record.span_id for record in tracer.spans]
+        assert ids == sorted(ids) and len(set(ids)) == 5
+
+
+# --------------------------------------------------------------------- #
+# Metrics registry
+# --------------------------------------------------------------------- #
+
+
+class TestMetrics:
+    def test_counter_increments_and_reads_back(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("jobs_total", "jobs", labelnames=("kind",))
+        assert counter.value(kind="a") == 0.0
+        counter.inc(kind="a")
+        counter.inc(2.5, kind="a")
+        assert counter.value(kind="a") == 3.5
+        assert counter.value(kind="b") == 0.0
+
+    def test_counter_rejects_decrease_and_wrong_labels(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("jobs_total", "jobs", labelnames=("kind",))
+        with pytest.raises(MetricError):
+            counter.inc(-1.0, kind="a")
+        with pytest.raises(MetricError):
+            counter.inc(other="a")
+
+    def test_gauge_set_and_inc(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth", "queue depth")
+        gauge.set(4.0)
+        gauge.inc(-1.5)
+        assert gauge.value() == 2.5
+
+    def test_histogram_buckets_cumulative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", "latency", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 100.0):
+            histogram.observe(value)
+        ((labels, holder),) = list(histogram.samples())
+        assert labels == {}
+        assert holder.cumulative() == [1, 3, 4]  # 100.0 only lands in +Inf
+        assert holder.count == 5
+        assert holder.sum == pytest.approx(106.05)
+
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        first = registry.counter("hits_total", "hits")
+        second = registry.counter("hits_total", "hits")
+        assert first is second
+
+    def test_kind_or_label_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total", "hits", labelnames=("kind",))
+        with pytest.raises(MetricError):
+            registry.gauge("hits_total", "hits", labelnames=("kind",))
+        with pytest.raises(MetricError):
+            registry.counter("hits_total", "hits", labelnames=("other",))
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricError):
+            registry.counter("bad-name", "nope")
+        with pytest.raises(MetricError):
+            registry.counter("ok_total", "nope", labelnames=("bad-label",))
+
+    def test_disable_makes_updates_noops(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits_total", "hits")
+        registry.disable()
+        counter.inc()
+        assert counter.value() == 0.0
+        registry.enable()
+        counter.inc()
+        assert counter.value() == 1.0
+
+    def test_reset_clears_samples_keeps_declarations(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits_total", "hits")
+        counter.inc(3.0)
+        registry.reset()
+        assert counter.value() == 0.0
+        assert registry.counter("hits_total", "hits") is counter
+
+
+# --------------------------------------------------------------------- #
+# JSONL traces
+# --------------------------------------------------------------------- #
+
+
+def _sample_tracer() -> Tracer:
+    with Tracer() as tracer:
+        with span("publish", strategy="sps"):
+            with span("enforce"):
+                tracer.record("chunk", 0.002, attributes={"chunk_id": 0})
+    return tracer
+
+
+class TestTraceExport:
+    def test_round_trip_through_a_file(self, tmp_path):
+        tracer = _sample_tracer()
+        path = tmp_path / "trace.jsonl"
+        write_trace(tracer, path)
+        assert validate_trace(path) == 3
+
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["type"] == "header"
+        assert header["trace_schema_version"] == TRACE_SCHEMA_VERSION
+        assert header["environment"] == runtime_environment()
+        names = [json.loads(line)["name"] for line in lines[1:]]
+        assert names == ["chunk", "enforce", "publish"]
+
+    def test_write_to_open_stream(self):
+        stream = io.StringIO()
+        write_trace(_sample_tracer(), stream)
+        stream.seek(0)
+        assert validate_trace(stream) == 3
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(TraceSchemaError, match="empty"):
+            validate_trace([])
+
+    def test_validator_lists_every_problem(self):
+        header = json.loads(next(iter_trace_lines(Tracer())))
+        bad_spans = [
+            {"type": "span", "span_id": 1, "parent_id": None, "name": "a",
+             "start": 0.0, "duration": -1.0, "attributes": {}},
+            {"type": "span", "span_id": 1, "parent_id": 99, "name": "",
+             "start": 0.0, "duration": 0.0, "attributes": {}},
+        ]
+        with pytest.raises(TraceSchemaError) as err:
+            validate_trace([header, *bad_spans])
+        message = str(err.value)
+        assert "duration must be a non-negative number" in message
+        assert "duplicate span_id 1" in message
+        assert "name must be a non-empty string" in message
+        assert "never appears as a span_id" in message
+
+    def test_wrong_schema_version_rejected(self):
+        header = json.loads(next(iter_trace_lines(Tracer())))
+        header["trace_schema_version"] = TRACE_SCHEMA_VERSION + 1
+        with pytest.raises(TraceSchemaError, match="trace_schema_version"):
+            validate_trace([header])
+
+    def test_malformed_json_line_names_the_line(self, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        path.write_text('{"type": "header"}\nnot json\n')
+        with pytest.raises(TraceSchemaError, match="line 2"):
+            validate_trace(path)
+
+
+class TestLogfmt:
+    def test_quoting_and_formatting(self):
+        line = logfmt({
+            "span": "enforce", "seconds": 0.25, "ok": True,
+            "note": "two words", "empty": "", "eq": "a=b",
+        })
+        assert line == 'span=enforce seconds=0.25 ok=true note="two words" empty="" eq="a=b"'
+
+    def test_escapes_backslash_and_quote(self):
+        assert logfmt({"v": 'say "hi" \\'}) == 'v="say \\"hi\\" \\\\"'
+
+    def test_span_line_merges_attributes(self):
+        tracer = _sample_tracer()
+        publish = next(r for r in tracer.spans if r.name == "publish")
+        line = logfmt_span(publish)
+        assert line.startswith("span=publish ")
+        assert "strategy=sps" in line
+
+
+# --------------------------------------------------------------------- #
+# Prometheus text exposition
+# --------------------------------------------------------------------- #
+
+
+class TestPrometheus:
+    def test_render_parse_round_trip(self):
+        registry = MetricsRegistry()
+        runs = registry.counter("runs_total", "runs", labelnames=("path",))
+        depth = registry.gauge("depth", "queue depth")
+        latency = registry.histogram("lat_seconds", "latency", buckets=(0.1, 1.0))
+        runs.inc(2.0, path="stream")
+        latency.observe(0.05)
+        latency.observe(0.5)
+
+        text = render_prometheus(registry)
+        families = parse_prometheus(text)
+
+        assert families["runs_total"] == [('runs_total{path="stream"}', 2.0)]
+        # A label-less metric with no samples still renders (as 0) so a
+        # scrape always sees the full instrument set.
+        assert families["depth"] == [("depth", 0.0)]
+        samples = dict(families["lat_seconds"])
+        assert samples['lat_seconds_bucket{le="0.1"}'] == 1.0
+        assert samples['lat_seconds_bucket{le="1"}'] == 2.0
+        assert samples['lat_seconds_bucket{le="+Inf"}'] == 2.0
+        assert samples["lat_seconds_count"] == 2.0
+        assert samples["lat_seconds_sum"] == pytest.approx(0.55)
+
+    def test_unsampled_labeled_family_skipped(self):
+        registry = MetricsRegistry()
+        registry.counter("never_total", "never sampled", labelnames=("kind",))
+        assert "never_total" not in render_prometheus(registry)
+
+    def test_parser_is_strict(self):
+        with pytest.raises(ValueError, match="newline"):
+            parse_prometheus("# TYPE a counter\na 1")
+        with pytest.raises(ValueError, match="no preceding TYPE"):
+            parse_prometheus("orphan 1\n")
+        with pytest.raises(ValueError, match="malformed TYPE"):
+            parse_prometheus("# TYPE a wibble\na 1\n")
+        with pytest.raises(ValueError, match="malformed sample"):
+            parse_prometheus("# TYPE a counter\na one\n")
+
+
+# --------------------------------------------------------------------- #
+# Environment record
+# --------------------------------------------------------------------- #
+
+
+class TestEnvironment:
+    def test_canonical_keys_and_types(self):
+        env = runtime_environment()
+        assert set(env) == {"python", "numpy", "platform", "repro_version", "cpu_count"}
+        for key in ("python", "numpy", "platform", "repro_version"):
+            assert isinstance(env[key], str) and env[key]
+        assert isinstance(env["cpu_count"], int) and env["cpu_count"] >= 1
+
+    def test_cached_within_the_process(self):
+        assert runtime_environment() is runtime_environment()
+
+    def test_record_build_info_publishes_the_gauge(self):
+        record_build_info()
+        labels = {key: str(value) for key, value in runtime_environment().items()}
+        assert BUILD_INFO.value(**labels) == 1.0
+
+
+# --------------------------------------------------------------------- #
+# CLI logging
+# --------------------------------------------------------------------- #
+
+
+class TestConfigureCliLogging:
+    @pytest.fixture(autouse=True)
+    def _restore_logger(self):
+        logger = logging.getLogger("repro")
+        state = (list(logger.handlers), logger.level, logger.propagate)
+        yield
+        logger.handlers, logger.level, logger.propagate = state[0], state[1], state[2]
+
+    def _cli_handlers(self):
+        logger = logging.getLogger("repro")
+        return [h for h in logger.handlers if getattr(h, "_repro_cli", False)]
+
+    def test_installs_one_stderr_handler_idempotently(self):
+        configure_cli_logging()
+        configure_cli_logging(verbose=True)
+        (handler,) = self._cli_handlers()
+        assert handler.stream is sys.stderr
+        assert logging.getLogger("repro").propagate is False
+
+    def test_level_mapping(self):
+        logger = logging.getLogger("repro")
+        configure_cli_logging()
+        assert logger.level == logging.INFO
+        configure_cli_logging(verbose=True)
+        assert logger.level == logging.DEBUG
+        configure_cli_logging(quiet=True)
+        assert logger.level == logging.ERROR
+
+    def test_rebinds_to_current_stderr(self, capsys):
+        # capsys swaps sys.stderr per test; a second configure call must
+        # follow it (without flushing the stale, possibly closed stream).
+        configure_cli_logging()
+        logging.getLogger("repro.test").info("hello from the hierarchy")
+        assert "repro.test: hello from the hierarchy" in capsys.readouterr().err

@@ -119,8 +119,10 @@ class TestPublishEntryPoint:
         assert report.published.schema.sensitive_name == "Income"
         assert report.total_seconds >= 0.0
         assert set(report.timings) == {
-            "prepare", "generalize", "group_index", "audit", "enforce"
+            "prepare", "generalize", "group_index", "audit", "enforce", "report"
         }
+        # The report stage is the residual, so the stages sum to the total.
+        assert report.total_seconds == pytest.approx(sum(report.timings.values()))
 
     def test_audit_runs_for_auditing_strategies(self, skewed_binary_table):
         report = publish(skewed_binary_table, strategy="sps", rng=1)
