@@ -34,6 +34,8 @@ setup(
     license="MIT",
     package_dir={"": "src"},
     packages=find_packages("src"),
+    # PEP 561: the package ships inline type annotations.
+    package_data={"repro": ["py.typed"]},
     python_requires=">=3.10",
     install_requires=[
         "numpy>=1.22",
@@ -51,6 +53,7 @@ setup(
             "repro-experiments=repro.experiments.runner:main",
             "repro-bench=repro.bench.cli:main",
             "repro-stream=repro.stream.cli:main",
+            "repro-lint=repro.lint.cli:main",
         ],
     },
     classifiers=[

@@ -65,7 +65,7 @@ from repro.stream import ChunkedReader, StreamReport, stream_publish
 from repro.queries.workload import WorkloadConfig, generate_workload
 from repro.queries.count_query import CountQuery, answer_on_perturbed, answer_on_raw
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "PrivacySpec",

@@ -185,7 +185,7 @@ class NaiveBayesOnReconstruction:
             if len(record) != len(schema.public):
                 raise ValueError("each record must supply a value for every public attribute")
             log_posterior = np.log(self._prior)
-            for column, (attribute, value) in enumerate(zip(schema.public, record)):
+            for column, (attribute, value) in enumerate(zip(schema.public, record, strict=True)):
                 code = attribute.encode(value)
                 log_posterior = log_posterior + np.log(self._conditionals[column][code])
             posterior = np.exp(log_posterior - log_posterior.max())
@@ -205,5 +205,5 @@ class NaiveBayesOnReconstruction:
         records = [record[:-1] for record in table.records()]
         truths = [record[-1] for record in table.records()]
         predictions = self.predict(records)
-        correct = sum(1 for p, t in zip(predictions, truths) if p == t)
+        correct = sum(1 for p, t in zip(predictions, truths, strict=True) if p == t)
         return correct / len(truths)

@@ -16,6 +16,7 @@ here as *reference baselines* so every ``repro-bench run --suite core``:
 
 from __future__ import annotations
 
+from collections.abc import Callable, Iterable
 from typing import Any
 
 import numpy as np
@@ -23,9 +24,11 @@ import numpy as np
 from repro.core.sps import _sample_counts, _stochastic_round
 from repro.dataset.adult import generate_adult
 from repro.dataset.groups import personal_groups
+from repro.dataset.table import Table
 from repro.reconstruction.iterative import iterative_bayes_frequencies
 from repro.reconstruction.mle import mle_frequencies_clipped
 from repro.bench.timing import TimingSpec, time_callable
+from repro.utils.rng import default_rng
 
 
 # --------------------------------------------------------------------- #
@@ -44,7 +47,7 @@ def _reference_sample_counts(
     return sampled
 
 
-def _reference_group_index(table) -> dict[tuple[int, ...], "PersonalGroup"]:
+def _reference_group_index(table: Table) -> dict[tuple[int, ...], "PersonalGroup"]:
     """The original ``GroupIndex._build`` loop: one bincount per group."""
     from repro.dataset.groups import PersonalGroup
 
@@ -56,7 +59,7 @@ def _reference_group_index(table) -> dict[tuple[int, ...], "PersonalGroup"]:
     boundaries = np.concatenate(([0], np.flatnonzero(change) + 1, [len(table)]))
     m = table.schema.sensitive_domain_size
     sensitive = table.sensitive_codes
-    for start, stop in zip(boundaries[:-1], boundaries[1:]):
+    for start, stop in zip(boundaries[:-1], boundaries[1:], strict=True):
         indices = order[start:stop]
         key = tuple(int(c) for c in sorted_public[start])
         counts = np.bincount(sensitive[indices], minlength=m).astype(np.int64)
@@ -64,7 +67,7 @@ def _reference_group_index(table) -> dict[tuple[int, ...], "PersonalGroup"]:
     return groups
 
 
-def _counts_of(groups) -> np.ndarray:
+def _counts_of(groups: Iterable["PersonalGroup"]) -> np.ndarray:
     return np.vstack([group.sensitive_counts for group in groups])
 
 
@@ -101,7 +104,7 @@ def run_micro_benchmarks(
     both implementations of each pair consume identical RNG streams, so their
     outputs are directly comparable (and compared, every run).
     """
-    rng = np.random.default_rng(seed)
+    rng = default_rng(seed)
     entries: list[dict[str, Any]] = []
 
     # --- SPS sampling step: per-SA-value loop vs one vectorised draw. ------ #
@@ -111,10 +114,10 @@ def run_micro_benchmarks(
     rates = rng.random(n_groups)
     draw_seed = int(rng.integers(0, 2**31))
 
-    def _sample_all(fn):
-        def run():
-            draw_rng = np.random.default_rng(draw_seed)
-            return np.vstack([fn(row, float(rate), draw_rng) for row, rate in zip(count_rows, rates)])
+    def _sample_all(fn: Callable[..., np.ndarray]) -> Callable[[], np.ndarray]:
+        def run() -> np.ndarray:
+            draw_rng = default_rng(draw_seed)
+            return np.vstack([fn(row, float(rate), draw_rng) for row, rate in zip(count_rows, rates, strict=True)])
         return run
 
     baseline, base_time = time_callable(_sample_all(_reference_sample_counts), timing)

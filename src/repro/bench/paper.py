@@ -24,7 +24,8 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 import numpy as np
 
@@ -43,6 +44,7 @@ from repro.experiments.table1 import run_table1
 from repro.experiments.table2 import TABLE2_ANSWERS, TABLE2_SCALES, run_table2
 from repro.experiments.violation_sweep import run_violation_sweep
 from repro.generalization.merging import generalize_table
+from repro.utils.rng import default_rng
 from repro.perturbation.uniform import UniformPerturbation, perturb_table
 from repro.queries.error import average_relative_error
 from repro.queries.workload import WorkloadConfig, generate_workload
@@ -139,8 +141,8 @@ def core_op_callables(config: ExperimentConfig) -> dict[str, Callable[[], Any]]:
     spec = PrivacySpec(lam=0.3, delta=0.3, retention_probability=0.5, domain_size=2)
     groups = personal_groups(table)
     operator = UniformPerturbation(0.5, 50)
-    codes = np.random.default_rng(0).integers(0, 50, size=10 * n)
-    counts = np.random.default_rng(1).integers(100, 10_000, size=50).astype(float)
+    codes = default_rng(0).integers(0, 50, size=10 * n)
+    counts = default_rng(1).integers(100, 10_000, size=50).astype(float)
     return {
         "uniform-perturbation": lambda: operator.perturb_codes(codes, 1),
         "group-indexing": lambda: personal_groups(table),
@@ -191,7 +193,7 @@ _register(
 # Table 1 and Table 2: the DP disclosure exhibits
 # --------------------------------------------------------------------- #
 
-def _check_table1(result, config) -> None:
+def _check_table1(result: Any, config: ExperimentConfig) -> None:
     _require(result.true_confidence > 0.8, "ADULT rule confidence should exceed 0.8")
     low_privacy = result.per_epsilon[0.5]
     high_privacy = result.per_epsilon[0.01]
@@ -216,7 +218,7 @@ _register(
 )
 
 
-def _check_table2(result, config) -> None:
+def _check_table2(result: Any, config: ExperimentConfig) -> None:
     for expected, (b, x) in (
         (0.000008, (10.0, 5000)),
         (0.02, (20.0, 200)),
@@ -250,7 +252,7 @@ _register(
 # Tables 4 and 5: chi-square aggregation impact
 # --------------------------------------------------------------------- #
 
-def _check_tables4_5(impacts, config) -> None:
+def _check_tables4_5(impacts: Any, config: ExperimentConfig) -> None:
     adult = impacts["ADULT"]
     census = impacts["CENSUS"]
     _require(
@@ -296,15 +298,15 @@ _register(
 # Figure 1: the s_g curves
 # --------------------------------------------------------------------- #
 
-def _check_figure1(panels, config) -> None:
+def _check_figure1(panels: Any, config: ExperimentConfig) -> None:
     for panel in panels.values():
         for retention, curve in panel.curves.items():
             _require(
-                all(a >= b for a, b in zip(curve, curve[1:])),
+                all(a >= b for a, b in zip(curve, curve[1:], strict=False)),
                 f"s_g should decrease in f (p={retention})",
             )
         _require(
-            all(low >= high for low, high in zip(panel.curves[0.3], panel.curves[0.7])),
+            all(low >= high for low, high in zip(panel.curves[0.3], panel.curves[0.7], strict=True)),
             "larger p should give smaller s_g at the same f",
         )
     _require(
@@ -334,7 +336,7 @@ _register(
 # Figures 2 and 4: violation sweeps
 # --------------------------------------------------------------------- #
 
-def _check_figure2(sweeps, config) -> None:
+def _check_figure2(sweeps: Any, config: ExperimentConfig) -> None:
     adult = sweeps["ADULT"]
     defaults = adult["p"]
     default_index = defaults.values.index(config.retention)
@@ -343,7 +345,7 @@ def _check_figure2(sweeps, config) -> None:
         "most ADULT records should sit in violating groups at the defaults",
     )
     for sweep in adult.values():
-        for vg, vr in zip(sweep.group_rates, sweep.record_rates):
+        for vg, vr in zip(sweep.group_rates, sweep.record_rates, strict=True):
             _require(vr >= vg - 1e-9, "coverage must dominate the group rate")
     _require(
         adult["lambda"].group_rates[-1] >= adult["lambda"].group_rates[0],
@@ -377,10 +379,10 @@ _register(
 )
 
 
-def _check_figure4(sweeps, config) -> None:
+def _check_figure4(sweeps: Any, config: ExperimentConfig) -> None:
     census = sweeps["CENSUS"]
     for sweep in census.values():
-        for vg, vr in zip(sweep.group_rates, sweep.record_rates):
+        for vg, vr in zip(sweep.group_rates, sweep.record_rates, strict=True):
             _require(vr >= vg - 1e-9, "coverage must dominate the group rate")
         _require(max(sweep.group_rates) < 0.6, "CENSUS group violation rate should stay moderate")
     size_sweep = census["|D|"]
@@ -424,13 +426,13 @@ def _figure3_config(config: ExperimentConfig) -> ExperimentConfig:
     )
 
 
-def _check_figure3(sweeps, config) -> None:
+def _check_figure3(sweeps: Any, config: ExperimentConfig) -> None:
     adult = sweeps["ADULT"]
     p_sweep = adult["p"]
     _require(p_sweep.up_errors[0] > p_sweep.up_errors[-1], "UP error should fall with p")
     _require(p_sweep.sps_errors[0] > p_sweep.sps_errors[-1], "SPS error should fall with p")
     for sweep in adult.values():
-        for up, sps in zip(sweep.up_errors, sweep.sps_errors):
+        for up, sps in zip(sweep.up_errors, sweep.sps_errors, strict=True):
             _require(sps >= up - 0.03, "SPS should not beat UP beyond Monte-Carlo noise")
             _require(sps <= 2.5 * up + 0.05, "SPS extra cost on ADULT should stay bounded")
 
@@ -466,10 +468,10 @@ def _figure5_config(config: ExperimentConfig) -> ExperimentConfig:
     )
 
 
-def _check_figure5(sweeps, config) -> None:
+def _check_figure5(sweeps: Any, config: ExperimentConfig) -> None:
     census = sweeps["CENSUS"]
     for sweep in census.values():
-        for up, sps in zip(sweep.up_errors, sweep.sps_errors):
+        for up, sps in zip(sweep.up_errors, sweep.sps_errors, strict=True):
             _require(sps >= up - 0.03, "SPS should not beat UP beyond Monte-Carlo noise")
             _require(sps <= 1.6 * up + 0.03, "SPS on CENSUS should track UP closely")
     size_sweep = census["|D|"]
@@ -524,7 +526,7 @@ def violation_rates_by_bound(adult_size: int, seed: int) -> dict[str, float]:
     return rates
 
 
-def _check_ablation_bounds(rates, config) -> None:
+def _check_ablation_bounds(rates: Any, config: ExperimentConfig) -> None:
     _require(
         rates["markov"] <= min(rates["chernoff"], rates["chebyshev"]) + 1e-9,
         "Markov is too loose to certify violations",
@@ -550,7 +552,9 @@ _register(
 )
 
 
-def _largest_private_retention(table, lam, delta, domain_size) -> float:
+def _largest_private_retention(
+    table: Any, lam: float, delta: float, domain_size: int
+) -> float:
     """The largest p on a coarse grid for which no personal group violates."""
     for p in np.arange(0.95, 0.009, -0.05):
         spec = PrivacySpec(
@@ -599,7 +603,7 @@ def _render_ablation_sampling(result: dict) -> str:
     )
 
 
-def _check_ablation_sampling(result, config) -> None:
+def _check_ablation_sampling(result: Any, config: ExperimentConfig) -> None:
     _require(result["reduced_p"] <= 0.2, "global privacy should require a very noisy p")
     _require(
         result["reduced_p_error"] > result["sps_error"],
@@ -620,7 +624,7 @@ _register(
 )
 
 
-def _check_criteria_comparison(comparison, config) -> None:
+def _check_criteria_comparison(comparison: Any, config: ExperimentConfig) -> None:
     by_name = {report.criterion: report for report in comparison.reports}
     _require(by_name["t-closeness"].group_failure_rate > 0, "t-closeness should flag ADULT groups")
     _require(by_name["beta-likeness"].group_failure_rate > 0, "beta-likeness should flag ADULT groups")

@@ -86,7 +86,7 @@ def run_parallel_scenario(
     chunk_rows = int(scenario.params["chunk_rows"])
     out_path = workdir / f"{scenario.strategy}-{scenario.dataset}-w{scenario.workers}-out.csv"
 
-    def once():
+    def once() -> Any:
         return stream_publish(
             csv_path,
             sensitive=sensitive,

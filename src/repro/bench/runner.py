@@ -66,7 +66,7 @@ class _DatasetCache:
         self._seed = seed
         self._tables: dict[tuple[str, int], Any] = {}
 
-    def get(self, dataset: str, rows: int):
+    def get(self, dataset: str, rows: int) -> Any:
         key = (dataset, rows)
         if key not in self._tables:
             self._tables[key] = _GENERATORS[dataset](rows, seed=self._seed)
@@ -93,7 +93,7 @@ def run_core_scenario(
     """Time one library-path scenario and return its report entry."""
     table = cache.get(scenario.dataset, scenario.rows)
 
-    def once():
+    def once() -> Any:
         return publish(
             table,
             strategy=scenario.strategy,
@@ -119,11 +119,13 @@ def run_core_scenario(
     return entry
 
 
-def run_service_scenario(scenario: Scenario, service, seed: int, timing: TimingSpec) -> dict[str, Any]:
+def run_service_scenario(
+    scenario: Scenario, service: Any, seed: int, timing: TimingSpec
+) -> dict[str, Any]:
     """Time one service-path scenario (cached group index, shared scheduler)."""
     dataset_name = f"{scenario.dataset}-{scenario.rows}"
 
-    def once():
+    def once() -> Any:
         return service.publish(
             dataset_name,
             scenario.strategy,

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import io
 import tracemalloc
+from collections.abc import Callable
 from pathlib import Path
 from typing import Any
 
@@ -67,7 +68,7 @@ def stream_scenarios(tiny: bool = False) -> list[Scenario]:
     ]
 
 
-def _tracked_peak(fn) -> tuple[Any, int]:
+def _tracked_peak(fn: Callable[[], Any]) -> tuple[Any, int]:
     """Run ``fn`` once and return (result, peak tracemalloc bytes)."""
     started = not tracemalloc.is_tracing()
     if started:
@@ -93,7 +94,7 @@ def run_stream_scenario(
     chunk_rows = int(scenario.params["chunk_rows"])
     out_path = workdir / f"{scenario.dataset}-{scenario.rows}-out.csv"
 
-    def streaming_once():
+    def streaming_once() -> Any:
         return stream_publish(
             csv_path,
             sensitive=sensitive,
@@ -104,7 +105,7 @@ def run_stream_scenario(
             output=out_path,
         )
 
-    def inmemory_once():
+    def inmemory_once() -> Any:
         table = read_csv(csv_path, sensitive=sensitive)
         report = publish(
             table, strategy=scenario.strategy, rng=seed, chunk_size=scenario.chunk_size

@@ -264,7 +264,7 @@ def _sample_background(
                 race_attr.decode(int(r)),
                 gender_attr.decode(int(g)),
             )
-            for e, o, r, g in zip(education, occupation, race, gender)
+            for e, o, r, g in zip(education, occupation, race, gender, strict=True)
         ]
     )
     # Rescale so the overall >50K rate matches the paper's 24.78 % base rate.

@@ -65,7 +65,7 @@ class PersonalGroup:
     def decoded_key(self, table: Table) -> tuple[str, ...]:
         """Return the group's NA key as human-readable strings."""
         return tuple(
-            attr.decode(code) for attr, code in zip(table.schema.public, self.key)
+            attr.decode(code) for attr, code in zip(table.schema.public, self.key, strict=True)
         )
 
 

@@ -130,7 +130,7 @@ class Schema:
         expected = len(self.public) + 1
         if len(record) != expected:
             raise SchemaError(f"record has {len(record)} fields, expected {expected}")
-        codes = [attr.encode(v) for attr, v in zip(self.public, record[:-1])]
+        codes = [attr.encode(v) for attr, v in zip(self.public, record[:-1], strict=True)]
         codes.append(self.sensitive.encode(record[-1]))
         return tuple(codes)
 
@@ -139,6 +139,6 @@ class Schema:
         expected = len(self.public) + 1
         if len(codes) != expected:
             raise SchemaError(f"record has {len(codes)} fields, expected {expected}")
-        values = [attr.decode(int(c)) for attr, c in zip(self.public, codes[:-1])]
+        values = [attr.decode(int(c)) for attr, c in zip(self.public, codes[:-1], strict=True)]
         values.append(self.sensitive.decode(int(codes[-1])))
         return tuple(values)

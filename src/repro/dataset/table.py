@@ -53,7 +53,7 @@ class Table:
             raise SchemaError("negative attribute code")
         sizes = [attr.size for attr in schema.public] + [schema.sensitive.size]
         maxima = arr.max(axis=0)
-        for column, (size, observed) in enumerate(zip(sizes, maxima)):
+        for column, (size, observed) in enumerate(zip(sizes, maxima, strict=True)):
             if observed >= size:
                 raise SchemaError(
                     f"column {column} contains code {int(observed)} outside domain of size {size}"

@@ -91,7 +91,7 @@ class DPNaiveBayesAttacker:
             if len(record) != len(schema.public):
                 raise ValueError("each record must supply a value for every public attribute")
             log_posterior = np.log(self._prior)
-            for column, (attribute, value) in enumerate(zip(schema.public, record)):
+            for column, (attribute, value) in enumerate(zip(schema.public, record, strict=True)):
                 code = attribute.encode(value)
                 log_posterior = log_posterior + np.log(self._conditionals[column][code])
             predictions.append(schema.sensitive.decode(int(np.argmax(log_posterior))))
@@ -112,7 +112,7 @@ def run_bayes_attack(table: Table, querier: PrivateCountQuerier) -> BayesAttackR
     records = table.records()
     predictions = attacker.predict([record[:-1] for record in records])
     truths = [record[-1] for record in records]
-    accuracy = sum(1 for p, t in zip(predictions, truths) if p == t) / len(truths)
+    accuracy = sum(1 for p, t in zip(predictions, truths, strict=True) if p == t) / len(truths)
     majority = float(table.sensitive_frequencies().max())
     return BayesAttackResult(
         accuracy=accuracy,

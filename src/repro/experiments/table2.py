@@ -24,7 +24,7 @@ class Table2Result:
         """Plain-text rendering shaped like the paper's Table 2."""
         headers = ["b (epsilon)"] + [f"x={x}" for x in TABLE2_ANSWERS]
         rows = []
-        for scale, epsilon in zip(TABLE2_SCALES, TABLE2_EPSILONS):
+        for scale, epsilon in zip(TABLE2_SCALES, TABLE2_EPSILONS, strict=True):
             rows.append(
                 [f"b={scale:g} (eps={epsilon:g})"] + [self.grid[scale][x] for x in TABLE2_ANSWERS]
             )

@@ -129,7 +129,7 @@ def merge_attribute_from_counts(
     unobserved = [code for code in range(attribute.size) if code not in conditional]
     # Values that never occur cannot be distinguished by the data: merge them
     # together (and, if everything is unobserved, they form one component).
-    for first, second in zip(unobserved, unobserved[1:]):
+    for first, second in zip(unobserved, unobserved[1:], strict=False):
         graph.add_edge(first, second)
     for i, code_a in enumerate(observed):
         for code_b in observed[i + 1 :]:
@@ -151,7 +151,7 @@ def merge_attribute_from_counts(
     labels = tuple(_component_label(values) for values in component_values)
     generalized = Attribute(attribute.name, labels)
     value_map: dict[str, str] = {}
-    for label, values in zip(labels, component_values):
+    for label, values in zip(labels, component_values, strict=True):
         for value in values:
             value_map[value] = label
     return AttributeMerge(

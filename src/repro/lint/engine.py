@@ -1,0 +1,188 @@
+"""The rule engine: registry, suppression handling and the lint run driver.
+
+Rules are singletons registered by code (``RPR001``…); :func:`run_lint`
+parses the target paths into a :class:`~repro.lint.project.Project`, runs
+every selected rule over every module, then applies the per-line
+``# repro-lint: ignore[RPRxxx]`` suppressions — reporting any suppression
+that suppressed nothing (:data:`~repro.lint.findings.UNUSED_SUPPRESSION_CODE`)
+or failed to parse (:data:`~repro.lint.findings.MALFORMED_SUPPRESSION_CODE`).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.findings import (
+    MALFORMED_SUPPRESSION_CODE,
+    PARSE_ERROR_CODE,
+    UNUSED_SUPPRESSION_CODE,
+    Finding,
+    Severity,
+    parse_suppressions,
+)
+from repro.lint.project import ModuleInfo, Project
+
+
+class Rule(ABC):
+    """One contract check, identified by a stable ``RPRnnn`` code."""
+
+    #: Stable rule code (``RPR001``…); suppression comments name this.
+    code: str
+    #: Short kebab-case rule name (shown in listings and JSON output).
+    name: str
+    #: Default severity of the rule's findings.
+    severity: Severity = Severity.ERROR
+    #: One-line description for ``repro-lint --list-rules`` and the docs.
+    description: str = ""
+
+    @abstractmethod
+    def check(self, module: ModuleInfo, project: Project) -> Iterable[Finding]:
+        """Yield findings for one module (the project gives cross-module views)."""
+
+    def finding(self, module: ModuleInfo, line: int, col: int, message: str) -> Finding:
+        """Build a finding of this rule at ``line:col`` of ``module``."""
+        return Finding(
+            path=str(module.path),
+            line=line,
+            col=col,
+            code=self.code,
+            severity=self.severity,
+            rule=self.name,
+            message=message,
+        )
+
+
+#: Every registered rule, keyed by code, in registration order.
+RULES: dict[str, Rule] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: instantiate and register a rule under its code."""
+    rule = cls()
+    if not getattr(rule, "code", ""):
+        raise ValueError(f"rule {cls.__name__} must declare a code")
+    if rule.code in RULES:
+        raise ValueError(f"rule code {rule.code!r} is already registered")
+    RULES[rule.code] = rule
+    return cls
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run: surviving findings plus run statistics."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for f in self.findings if f.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> int:
+        return sum(1 for f in self.findings if f.severity is Severity.WARNING)
+
+    def exit_code(self, warn_only: bool = False) -> int:
+        """``0`` clean (or warn-only), ``1`` when any error survived."""
+        if warn_only:
+            return 0
+        return 1 if self.errors else 0
+
+
+def _select_rules(select: Sequence[str] | None) -> list[Rule]:
+    if select is None:
+        return list(RULES.values())
+    unknown = [code for code in select if code not in RULES]
+    if unknown:
+        raise ValueError(
+            f"unknown rule code(s) {unknown!r}; known: {sorted(RULES)}"
+        )
+    return [RULES[code] for code in select]
+
+
+def run_lint(
+    paths: Sequence[Path | str],
+    select: Sequence[str] | None = None,
+) -> LintResult:
+    """Run the selected rules (default: all) over every ``.py`` under ``paths``."""
+    # Import for the registration side effect — the one sanctioned lazy
+    # registry mutation of this package (mirrors the strategy registry).
+    from repro.lint import rules as _rules  # noqa: F401
+
+    project = Project.from_paths(paths)
+    active = _select_rules(select)
+    result = LintResult(files_checked=len(project.modules) + len(project.parse_errors))
+
+    raw: list[Finding] = []
+    for path, message, line in project.parse_errors:
+        raw.append(
+            Finding(
+                path=str(path), line=line, col=0,
+                code=PARSE_ERROR_CODE, severity=Severity.ERROR,
+                rule="parse-error", message=f"file does not parse: {message}",
+            )
+        )
+    for module in project:
+        for rule in active:
+            raw.extend(rule.check(module, project))
+
+    result.findings = _apply_suppressions(raw, project)
+    result.suppressed = len(raw) - sum(
+        1 for f in result.findings if f.code not in
+        (UNUSED_SUPPRESSION_CODE, MALFORMED_SUPPRESSION_CODE)
+    )
+    result.findings.sort()
+    return result
+
+
+def _apply_suppressions(raw: list[Finding], project: Project) -> list[Finding]:
+    """Drop findings covered by a suppression; report unused/malformed ones."""
+    kept: list[Finding] = []
+    by_path: dict[str, list[Finding]] = {}
+    for finding in raw:
+        by_path.setdefault(finding.path, []).append(finding)
+
+    handled_paths: set[str] = set()
+    for module in project:
+        path = str(module.path)
+        handled_paths.add(path)
+        suppressions, malformed = parse_suppressions(module.source)
+        for line, reason in malformed:
+            kept.append(
+                Finding(
+                    path=path, line=line, col=0,
+                    code=MALFORMED_SUPPRESSION_CODE, severity=Severity.WARNING,
+                    rule="malformed-suppression", message=reason,
+                )
+            )
+        findings_here = by_path.get(path, [])
+        suppressed_ids: set[int] = set()
+        for suppression in suppressions:
+            matched = False
+            for finding in findings_here:
+                if finding.line == suppression.line and finding.code in suppression.codes:
+                    suppressed_ids.add(id(finding))
+                    matched = True
+            if not matched:
+                kept.append(
+                    Finding(
+                        path=path, line=suppression.line, col=0,
+                        code=UNUSED_SUPPRESSION_CODE, severity=Severity.WARNING,
+                        rule="unused-suppression",
+                        message=(
+                            "suppression matches no finding on this line "
+                            f"(codes {', '.join(suppression.codes)}); remove it"
+                        ),
+                    )
+                )
+        kept.extend(f for f in findings_here if id(f) not in suppressed_ids)
+
+    # Findings in files the project failed to parse (no suppression scan).
+    for path, findings_here in by_path.items():
+        if path not in handled_paths:
+            kept.extend(findings_here)
+    return kept

@@ -1,0 +1,132 @@
+"""Findings, severities and suppression comments of the contract linter.
+
+A :class:`Finding` is one diagnostic anchored to a ``path:line:col`` with a
+rule code (``RPR001``…); a suppression is a ``# repro-lint: ignore[RPR001]``
+comment on the offending line.  Suppressions are themselves checked: one that
+never matches a finding is reported as :data:`UNUSED_SUPPRESSION_CODE`, and a
+marker that does not parse is reported as :data:`MALFORMED_SUPPRESSION_CODE`
+— silencing the linter is a visible, reviewable act.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from collections.abc import Iterator
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any
+
+#: Reserved meta-rule code: a suppression comment that suppressed nothing.
+UNUSED_SUPPRESSION_CODE = "RPR900"
+
+#: Reserved meta-rule code: a ``repro-lint:`` marker that does not parse.
+MALFORMED_SUPPRESSION_CODE = "RPR901"
+
+#: Reserved meta-rule code: a file the analyzer could not parse.
+PARSE_ERROR_CODE = "RPR902"
+
+_CODE_RE = re.compile(r"^RPR\d{3}$")
+
+#: The strict suppression grammar, matched against a whole comment token:
+#: ``# repro-lint: ignore[RPR001]`` or ``# repro-lint: ignore[RPR001, RPR004]``.
+_SUPPRESSION_RE = re.compile(r"^#\s*repro-lint:\s*ignore\[([^\]]*)\]\s*$")
+
+#: A comment that *starts* like a marker; used to catch malformed variants.
+#: Matching real comment tokens (not raw lines) keeps prose that merely
+#: mentions the marker — docstrings, nested mentions — out of scope.
+_MARKER_RE = re.compile(r"^#\s*repro-lint:")
+
+
+class Severity(str, Enum):
+    """How hard a rule fails: ``error`` gates CI, ``warning`` informs."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic: a rule violation anchored to a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    severity: Severity
+    rule: str
+    message: str
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-ready representation (the ``--format json`` record shape)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "severity": self.severity.value,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """The one-line text rendering: ``path:line:col: CODE [sev] message``."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.code} [{self.severity.value}] {self.message}"
+        )
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``# repro-lint: ignore[...]`` comment."""
+
+    line: int
+    codes: tuple[str, ...]
+
+
+def _comment_tokens(source: str) -> Iterator[tuple[int, str]]:
+    """Yield ``(line, comment_text)`` for every real comment in ``source``.
+
+    Tokenizing (rather than scanning raw lines) keeps docstrings and string
+    literals that merely *mention* the marker out of suppression parsing.
+    """
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.string.strip()
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Unparseable files are reported separately (RPR902); no comments.
+        return
+
+
+def parse_suppressions(source: str) -> tuple[list[Suppression], list[tuple[int, str]]]:
+    """Extract suppression comments from ``source``.
+
+    Returns ``(suppressions, malformed)`` where ``malformed`` carries
+    ``(line, reason)`` pairs for markers that do not follow the strict
+    ``ignore[RPRxxx, ...]`` grammar (including unknown-looking codes).
+    """
+    suppressions: list[Suppression] = []
+    malformed: list[tuple[int, str]] = []
+    for lineno, text in _comment_tokens(source):
+        if not _MARKER_RE.match(text):
+            continue
+        match = _SUPPRESSION_RE.match(text)
+        if match is None:
+            malformed.append(
+                (lineno, "marker must be '# repro-lint: ignore[RPRxxx]' at end of line")
+            )
+            continue
+        codes = tuple(code.strip() for code in match.group(1).split(",") if code.strip())
+        if not codes:
+            malformed.append((lineno, "suppression lists no rule codes"))
+            continue
+        bad = [code for code in codes if not _CODE_RE.match(code)]
+        if bad:
+            malformed.append((lineno, f"invalid rule code(s) {bad!r} (expected RPRnnn)"))
+            continue
+        suppressions.append(Suppression(line=lineno, codes=codes))
+    return suppressions, malformed

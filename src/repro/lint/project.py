@@ -1,0 +1,311 @@
+"""The analyzer's model of the code under analysis.
+
+A :class:`Project` parses every file once and builds the cross-module tables
+the rules share: per-module import maps (local name → fully-qualified dotted
+name), a symbol table of every function/method and class (keyed by qualified
+name), and an on-demand call graph with *name-based* resolution.
+
+Resolution is deliberately static and conservative: a call is resolved only
+when its target can be read off the AST (a local ``def``, an imported name,
+an attribute walk rooted at an imported module, or ``self.method`` inside a
+class).  Dynamic dispatch that cannot be resolved is simply not followed —
+the rules that consume the graph (e.g. the kernel wall-clock ban) document
+that limit in :mod:`repro.lint.rules`.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+def module_name_for(path: Path) -> str:
+    """Derive a dotted module name from a file path.
+
+    Files under a ``repro`` package directory get their real dotted name
+    (``.../src/repro/stream/engine.py`` → ``repro.stream.engine``); anything
+    else is named by its path stem so fixture files still participate in the
+    symbol table.
+    """
+    parts = list(path.parts)
+    stem = path.stem
+    if "repro" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("repro")
+        dotted = [*parts[anchor:-1], stem]
+        if stem == "__init__":
+            dotted = dotted[:-1]
+        return ".".join(dotted)
+    return stem
+
+
+@dataclass
+class FunctionEntry:
+    """One function or method definition, keyed by its qualified name."""
+
+    qualname: str
+    module: "ModuleInfo"
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    #: Qualified name of the enclosing class, if this is a method.
+    owner_class: str | None = None
+
+
+@dataclass
+class ClassEntry:
+    """One class definition plus its statically-resolved base names."""
+
+    qualname: str
+    module: "ModuleInfo"
+    node: ast.ClassDef
+    #: Fully-qualified base names where resolvable, raw names otherwise.
+    bases: tuple[str, ...] = ()
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file and its local name bindings."""
+
+    path: Path
+    name: str
+    source: str
+    tree: ast.Module
+    #: Local binding → fully qualified dotted name.  ``import numpy as np``
+    #: yields ``np → numpy``; ``from time import perf_counter`` yields
+    #: ``perf_counter → time.perf_counter``.
+    imports: dict[str, str] = field(default_factory=dict)
+    #: Names defined at module top level (functions, classes, assignments).
+    top_level: dict[str, ast.stmt] = field(default_factory=dict)
+
+    def resolve_name(self, name: str) -> str:
+        """Fully qualify a bare name: import binding, local def, or itself."""
+        if name in self.imports:
+            return self.imports[name]
+        if name in self.top_level:
+            return f"{self.name}.{name}"
+        return name
+
+    def resolve_attribute(self, node: ast.expr) -> str | None:
+        """Resolve an expression to a dotted name where statically possible.
+
+        ``np.random.default_rng`` (with ``import numpy as np``) resolves to
+        ``numpy.random.default_rng``; unresolvable shapes return ``None``.
+        """
+        parts: list[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if isinstance(current, ast.Name):
+            parts.append(self.resolve_name(current.id))
+            return ".".join(reversed(parts))
+        return None
+
+
+def _collect_imports(tree: ast.Module, module_name: str) -> dict[str, str]:
+    imports: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    imports[alias.asname] = alias.name
+                else:
+                    # ``import a.b`` binds ``a``; resolve ``a`` to ``a``.
+                    imports[alias.name.split(".")[0]] = alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                # Relative import: climb from the module's own package.
+                package = module_name.split(".")
+                package = package[: len(package) - node.level]
+                base = ".".join([*package, base]) if base else ".".join(package)
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                imports[bound] = f"{base}.{alias.name}" if base else alias.name
+    return imports
+
+
+class Project:
+    """Every analyzed module plus the cross-module symbol tables."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self.functions: dict[str, FunctionEntry] = {}
+        self.classes: dict[str, ClassEntry] = {}
+        #: Files that failed to parse: ``(path, message, line)``.
+        self.parse_errors: list[tuple[Path, str, int]] = []
+        #: Scratch space for rules that build whole-project views once
+        #: (e.g. the kernel reachability map), keyed by rule code.
+        self.cache: dict[str, object] = {}
+        self._callees_cache: dict[str, frozenset[str]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_paths(cls, paths: Sequence[Path | str]) -> "Project":
+        """Parse every ``.py`` file under ``paths`` (files or directories)."""
+        project = cls()
+        for path in _iter_python_files(paths):
+            project.add_file(path)
+        return project
+
+    def add_file(self, path: Path) -> None:
+        """Parse and index one source file."""
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            self.parse_errors.append((path, exc.msg or "syntax error", exc.lineno or 1))
+            return
+        name = module_name_for(path)
+        info = ModuleInfo(path=path, name=name, source=source, tree=tree)
+        info.imports = _collect_imports(tree, name)
+        for node in tree.body:
+            for bound in _bound_names(node):
+                info.top_level[bound] = node
+        self.modules[name] = info
+        self._index_definitions(info)
+
+    def _index_definitions(self, info: ModuleInfo) -> None:
+        def visit(node: ast.AST, prefix: str, owner_class: str | None) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qualname = f"{prefix}.{child.name}"
+                    self.functions[qualname] = FunctionEntry(
+                        qualname=qualname, module=info, node=child,
+                        owner_class=owner_class,
+                    )
+                    visit(child, qualname, owner_class)
+                elif isinstance(child, ast.ClassDef):
+                    qualname = f"{prefix}.{child.name}"
+                    bases = tuple(
+                        info.resolve_attribute(base) or ast.dump(base)
+                        for base in child.bases
+                    )
+                    self.classes[qualname] = ClassEntry(
+                        qualname=qualname, module=info, node=child, bases=bases,
+                    )
+                    visit(child, qualname, qualname)
+
+        visit(info.tree, info.name, None)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def __iter__(self) -> Iterator[ModuleInfo]:
+        return iter(self.modules.values())
+
+    def class_mro(self, qualname: str) -> list[ClassEntry]:
+        """The class plus its statically-resolved ancestors, nearest first."""
+        seen: set[str] = set()
+        order: list[ClassEntry] = []
+        stack = [qualname]
+        while stack:
+            current = stack.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            entry = self.classes.get(current)
+            if entry is None:
+                continue
+            order.append(entry)
+            stack.extend(entry.bases)
+        return order
+
+    def resolve_call(self, call: ast.Call, entry: FunctionEntry) -> str | None:
+        """Resolve a call inside ``entry`` to a qualified name, if possible."""
+        func = call.func
+        module = entry.module
+        if isinstance(func, ast.Name):
+            # Nearest enclosing nested def wins over module scope.
+            scope = entry.qualname
+            while "." in scope:
+                candidate = f"{scope}.{func.id}"
+                if candidate in self.functions:
+                    return candidate
+                scope = scope.rsplit(".", 1)[0]
+            return module.resolve_name(func.id)
+        if isinstance(func, ast.Attribute):
+            if isinstance(func.value, ast.Name) and func.value.id == "self":
+                if entry.owner_class is not None:
+                    for ancestor in self.class_mro(entry.owner_class):
+                        candidate = f"{ancestor.qualname}.{func.attr}"
+                        if candidate in self.functions:
+                            return candidate
+                    return f"{entry.owner_class}.{func.attr}"
+                return None
+            return module.resolve_attribute(func)
+        return None
+
+    def callees(self, qualname: str) -> frozenset[str]:
+        """Qualified names of every call statically visible in a function."""
+        cached = self._callees_cache.get(qualname)
+        if cached is not None:
+            return cached
+        entry = self.functions.get(qualname)
+        if entry is None:
+            self._callees_cache[qualname] = frozenset()
+            return frozenset()
+        names: set[str] = set()
+        for node in ast.walk(entry.node):
+            if isinstance(node, ast.Call):
+                resolved = self.resolve_call(node, entry)
+                if resolved is not None:
+                    names.add(resolved)
+        result = frozenset(names)
+        self._callees_cache[qualname] = result
+        return result
+
+    def reachable_from(self, roots: Iterable[str]) -> set[str]:
+        """Project functions transitively reachable from ``roots`` (inclusive)."""
+        seen: set[str] = set()
+        stack = [root for root in roots if root in self.functions]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            for callee in self.callees(current):
+                if callee in self.functions and callee not in seen:
+                    stack.append(callee)
+        return seen
+
+
+def _bound_names(node: ast.stmt) -> Iterator[str]:
+    """Names a top-level statement binds in module scope."""
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        yield node.name
+    elif isinstance(node, ast.Assign):
+        for target in node.targets:
+            yield from _target_names(target)
+    elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+        yield node.target.id
+    elif isinstance(node, (ast.If, ast.Try)):
+        bodies = [node.body, node.orelse]
+        if isinstance(node, ast.Try):
+            bodies.append(node.finalbody)
+            for handler in node.handlers:
+                bodies.append(handler.body)
+        for body in bodies:
+            for stmt in body:
+                yield from _bound_names(stmt)
+
+
+def _target_names(target: ast.expr) -> Iterator[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _target_names(element)
+
+
+def _iter_python_files(paths: Sequence[Path | str]) -> Iterator[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path

@@ -23,7 +23,8 @@ import json
 import math
 import re
 from pathlib import Path
-from typing import IO, Any, Iterable, Iterator
+from collections.abc import Iterable, Iterator
+from typing import IO, Any
 
 from repro.obs.environment import runtime_environment
 from repro.obs.metrics import Histogram, MetricsRegistry, REGISTRY
@@ -257,7 +258,7 @@ def render_prometheus(registry: MetricsRegistry = REGISTRY) -> str:
         if isinstance(metric, Histogram):
             for labels, holder in samples:
                 cumulative = holder.cumulative()
-                for bound, count in zip(holder.buckets, cumulative):
+                for bound, count in zip(holder.buckets, cumulative, strict=True):
                     bucket_labels = dict(labels)
                     bucket_labels["le"] = _format_value(bound)
                     lines.append(

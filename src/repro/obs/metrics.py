@@ -19,7 +19,8 @@ from __future__ import annotations
 
 import re
 import threading
-from typing import Any, Iterator
+from collections.abc import Iterator
+from typing import Any
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
@@ -65,7 +66,7 @@ class Metric:
         with self._registry._lock:
             items = list(self._values.items())
         for key, value in items:
-            yield dict(zip(self.labelnames, key)), value
+            yield dict(zip(self.labelnames, key, strict=True)), value
 
     def clear(self) -> None:
         """Drop every sample (used by tests and registry reset)."""

@@ -31,6 +31,7 @@ import threading
 import time
 from contextvars import ContextVar
 from dataclasses import dataclass, field
+from types import TracebackType
 from typing import Any
 
 #: The active tracer (``None`` means tracing is off — the default).
@@ -105,7 +106,12 @@ class Span:
             self._token = _CURRENT_SPAN.set(self._span_id)
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         self.duration = time.perf_counter() - self._start_perf
         if self._tracer is not None:
             _CURRENT_SPAN.reset(self._token)
@@ -230,6 +236,11 @@ class Tracer:
         self._token = _ACTIVE_TRACER.set(self)
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         _ACTIVE_TRACER.reset(self._token)
         self._token = None

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import csv
 import io
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
@@ -96,7 +96,7 @@ class StrategyKernel:
     resolved: dict[str, Any]
     _fn: Any = field(default=None, repr=False, compare=False)
 
-    def build(self):
+    def build(self) -> Callable[[Sequence[Any], np.random.Generator], tuple[np.ndarray, Sequence[Any]]]:
         """The underlying chunk publisher, built once per process.
 
         Raises :class:`MissingChunkPublisher` when the strategy returns

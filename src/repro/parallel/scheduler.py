@@ -128,7 +128,7 @@ def _emit_chunk(
     return item.value
 
 
-def _mp_context():
+def _mp_context() -> multiprocessing.context.BaseContext:
     """Pick the start method: ``fork`` when single-threaded, else ``forkserver``.
 
     Fork keeps worker start-up in the low milliseconds — no re-import of
@@ -285,7 +285,7 @@ def iter_chunk_results(
     rngs = chunk_rngs(seed, len(chunks))
     yield from iter_ordered_map(
         chunk_fn,
-        zip(chunks, rngs),
+        zip(chunks, rngs, strict=True),
         workers=workers,
         backend=backend,
         n_tasks=len(chunks),

@@ -23,6 +23,7 @@ as ``repro.publish``.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Sequence
 from typing import TYPE_CHECKING, Any
 
 import numpy as np
@@ -117,7 +118,12 @@ class PublishPipeline:
             raise ValueError("workers must be positive")
         from repro.parallel import run_chunks
 
-        def runner(items, chunk_fn, seed, chunk_size):
+        def runner(
+            items: Sequence[Any],
+            chunk_fn: Callable[[Sequence[Any], np.random.Generator], Any],
+            seed: int,
+            chunk_size: int,
+        ) -> list[Any]:
             return run_chunks(
                 items, chunk_fn, seed, chunk_size, workers=int(workers), backend=backend
             )

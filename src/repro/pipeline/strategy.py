@@ -34,8 +34,15 @@ from repro.dataset.schema import Schema
 from repro.dataset.table import Table
 from repro.dp.mechanisms import GaussianMechanism, LaplaceMechanism
 from repro.perturbation.uniform import UniformPerturbation
-from repro.pipeline.execution import ChunkRunner
+from repro.pipeline.execution import ChunkRunner, seeded_rng
 from repro.pipeline.params import ParamSpec, resolve_params
+
+#: Signature of a group-batch publishing kernel: ``fn(chunk_of_groups, rng)``
+#: returns the published code block plus the per-group publication records.
+GroupChunkFn = Callable[
+    [Sequence[PersonalGroup], np.random.Generator],
+    tuple[np.ndarray, Sequence[GroupPublication]],
+]
 
 
 class UnknownStrategyError(ValueError):
@@ -75,6 +82,13 @@ class PublishStrategy(ABC):
     #: streaming engine drives such strategies through a row spool instead of
     #: the group list; only :class:`UniformStrategy` sets this today.
     streams_rows: ClassVar[bool] = False
+    #: Explicit opt-out from the streaming engine.  Every concrete strategy
+    #: must take a streaming stance — override :meth:`chunk_publisher`,
+    #: declare ``streams_rows = True``, or set this to ``False`` — which the
+    #: registry-hygiene lint rule (``RPR005``) enforces; silence is not a
+    #: stance.  :func:`repro.stream.engine.stream_publish` refuses strategies
+    #: that declare ``streamable = False``.
+    streamable: ClassVar[bool] = True
 
     def resolve(self, params: Mapping[str, Any]) -> dict[str, Any]:
         """Validate ``params`` against the declared specs and fill defaults."""
@@ -89,10 +103,7 @@ class PublishStrategy(ABC):
         schema: Schema,
         spec: PrivacySpec | None,
         resolved: Mapping[str, Any],
-    ) -> Callable[
-        [Sequence[PersonalGroup], np.random.Generator],
-        tuple[np.ndarray, Sequence[GroupPublication]],
-    ] | None:
+    ) -> GroupChunkFn | None:
         """The group-batch publishing kernel, or ``None`` if not streamable.
 
         When a strategy's published bytes depend only on the ordered list of
@@ -256,10 +267,16 @@ class SPSStrategy(PublishStrategy):
     summary = "Sampling-Perturbing-Scaling enforcement of (lambda, delta)-privacy"
     params = _SPS_PARAMS
 
-    def spec_for(self, table, resolved):
+    def spec_for(self, table: Table, resolved: Mapping[str, Any]) -> PrivacySpec:
         return _spec_from(table, resolved)
 
-    def chunk_publisher(self, schema, spec, resolved):
+    def chunk_publisher(
+        self,
+        schema: Schema,
+        spec: PrivacySpec | None,
+        resolved: Mapping[str, Any],
+    ) -> GroupChunkFn:
+        assert spec is not None  # spec_for always returns one for SPS
         perturbation = UniformPerturbation(spec.retention_probability, spec.domain_size)
         n_public = len(schema.public)
 
@@ -270,7 +287,17 @@ class SPSStrategy(PublishStrategy):
 
         return chunk_fn
 
-    def enforce(self, table, groups, spec, resolved, seed, runner, chunk_size):
+    def enforce(
+        self,
+        table: Table,
+        groups: GroupIndex | None,
+        spec: PrivacySpec | None,
+        resolved: Mapping[str, Any],
+        seed: int,
+        runner: ChunkRunner,
+        chunk_size: int,
+    ) -> StrategyOutcome:
+        assert groups is not None  # uses_groups strategies always get the index
         published, records = _run_chunk_publisher(
             self, table, groups, spec, resolved, seed, runner, chunk_size
         )
@@ -312,12 +339,22 @@ class UniformStrategy(PublishStrategy):
     uses_groups = False
     streams_rows = True
 
-    def spec_for(self, table, resolved):
+    def spec_for(self, table: Table, resolved: Mapping[str, Any]) -> PrivacySpec:
         return _spec_from(table, resolved)
 
-    def enforce(self, table, groups, spec, resolved, seed, runner, chunk_size):
+    def enforce(
+        self,
+        table: Table,
+        groups: GroupIndex | None,
+        spec: PrivacySpec | None,
+        resolved: Mapping[str, Any],
+        seed: int,
+        runner: ChunkRunner,
+        chunk_size: int,
+    ) -> StrategyOutcome:
+        assert spec is not None  # spec_for always returns one for uniform
         operator = UniformPerturbation(spec.retention_probability, spec.domain_size)
-        rng = np.random.default_rng(np.random.SeedSequence(seed))
+        rng = seeded_rng(seed)
         return StrategyOutcome(published=operator.perturb_table(table, rng))
 
 
@@ -332,16 +369,21 @@ class _DPHistogramStrategy(PublishStrategy):
 
     audits = False
 
-    def _mechanism(self, resolved: Mapping[str, Any]):
+    def _mechanism(self, resolved: Mapping[str, Any]) -> Any:
         raise NotImplementedError
 
-    def _mechanism_metadata(self, mechanism) -> dict[str, Any]:
+    def _mechanism_metadata(self, mechanism: Any) -> dict[str, Any]:
         raise NotImplementedError
 
     def metadata_for(self, resolved: Mapping[str, Any]) -> dict[str, Any]:
         return self._mechanism_metadata(self._mechanism(resolved))
 
-    def chunk_publisher(self, schema, spec, resolved):
+    def chunk_publisher(
+        self,
+        schema: Schema,
+        spec: PrivacySpec | None,
+        resolved: Mapping[str, Any],
+    ) -> GroupChunkFn:
         mechanism = self._mechanism(resolved)
         m = schema.sensitive_domain_size
         n_public = len(schema.public)
@@ -368,7 +410,17 @@ class _DPHistogramStrategy(PublishStrategy):
 
         return chunk_fn
 
-    def enforce(self, table, groups, spec, resolved, seed, runner, chunk_size):
+    def enforce(
+        self,
+        table: Table,
+        groups: GroupIndex | None,
+        spec: PrivacySpec | None,
+        resolved: Mapping[str, Any],
+        seed: int,
+        runner: ChunkRunner,
+        chunk_size: int,
+    ) -> StrategyOutcome:
+        assert groups is not None  # uses_groups strategies always get the index
         published, _ = _run_chunk_publisher(
             self, table, groups, spec, resolved, seed, runner, chunk_size
         )
@@ -394,10 +446,10 @@ class DPLaplaceStrategy(_DPHistogramStrategy):
         ),
     )
 
-    def _mechanism(self, resolved):
+    def _mechanism(self, resolved: Mapping[str, Any]) -> LaplaceMechanism:
         return LaplaceMechanism(resolved["epsilon"], sensitivity=resolved["sensitivity"])
 
-    def _mechanism_metadata(self, mechanism):
+    def _mechanism_metadata(self, mechanism: Any) -> dict[str, Any]:
         return {"scale": mechanism.scale, "noise_variance": mechanism.variance}
 
 
@@ -422,12 +474,12 @@ class DPGaussianStrategy(_DPHistogramStrategy):
         ),
     )
 
-    def _mechanism(self, resolved):
+    def _mechanism(self, resolved: Mapping[str, Any]) -> GaussianMechanism:
         return GaussianMechanism(
             resolved["epsilon"], resolved["dp_delta"], sensitivity=resolved["sensitivity"]
         )
 
-    def _mechanism_metadata(self, mechanism):
+    def _mechanism_metadata(self, mechanism: Any) -> dict[str, Any]:
         return {"sigma": mechanism.sigma, "noise_variance": mechanism.variance}
 
 

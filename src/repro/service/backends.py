@@ -27,9 +27,11 @@ from __future__ import annotations
 
 import threading
 from abc import ABC, abstractmethod
-from collections.abc import Mapping
+from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass, field
 from typing import Any, ClassVar
+
+import numpy as np
 
 from repro.core.testing import PrivacyAudit
 from repro.dataset.table import Table
@@ -114,7 +116,14 @@ class StrategyBackend(AnonymizerBackend):
         """The wrapped core strategy."""
         return self._strategy
 
-    def publish(self, entry, params, seed, chunk_size, max_workers):
+    def publish(
+        self,
+        entry: DatasetEntry,
+        params: Mapping[str, Any],
+        seed: int,
+        chunk_size: int,
+        max_workers: int,
+    ) -> BackendResult:
         resolved = self.resolve_params(params)
         strategy = self._strategy
         if strategy.generalizes:
@@ -125,7 +134,12 @@ class StrategyBackend(AnonymizerBackend):
             generalization = None
             index, index_seconds, cached = entry.groups()
 
-        def runner(items, chunk_fn, chunk_seed, size):
+        def runner(
+            items: Sequence[Any],
+            chunk_fn: Callable[[Sequence[Any], np.random.Generator], Any],
+            chunk_seed: int,
+            size: int,
+        ) -> list[Any]:
             return run_chunked(items, chunk_fn, chunk_seed, size, max_workers)
 
         pipeline = (

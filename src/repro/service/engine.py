@@ -12,7 +12,8 @@ from __future__ import annotations
 
 import time
 from pathlib import Path
-from typing import IO, Any, Mapping
+from collections.abc import Mapping
+from typing import IO, Any
 
 from repro import __version__
 from repro.core.criterion import PrivacySpec

@@ -84,7 +84,7 @@ class _LimitedReader(io.RawIOBase):
     def readable(self) -> bool:
         return True
 
-    def readinto(self, buffer) -> int:  # type: ignore[override]
+    def readinto(self, buffer: Any) -> int:  # type: ignore[override]
         if self._remaining <= 0:
             return 0
         view = memoryview(buffer)[: self._remaining]

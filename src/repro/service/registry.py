@@ -16,13 +16,13 @@ from __future__ import annotations
 
 import json
 import threading
-import time
 from pathlib import Path
 from typing import Any
 
 from repro.dataset.groups import GroupIndex, personal_groups
 from repro.dataset.table import Table
 from repro.generalization.merging import GeneralizationResult, generalize_table
+from repro.obs.trace import span
 from repro.service.models import JobRecord, table_from_json, table_to_json
 
 
@@ -63,9 +63,9 @@ class DatasetEntry:
             if self._groups is not None:
                 self.group_index_hits += 1
                 return self._groups, 0.0, True
-            start = time.perf_counter()
-            self._groups = personal_groups(self.table)
-            elapsed = time.perf_counter() - start
+            with span("group_index_build", kind="cache", dataset=self.name) as sp:
+                self._groups = personal_groups(self.table)
+            elapsed = sp.duration
             self.group_index_seconds = elapsed
             self.group_index_misses += 1
             return self._groups, elapsed, False
@@ -77,10 +77,12 @@ class DatasetEntry:
             if key in self._generalizations:
                 self.group_index_hits += 1
                 return self._generalizations[key], self._generalized_groups[key], 0.0, True
-            start = time.perf_counter()
-            result = generalize_table(self.table, significance=key)
-            index = personal_groups(result.table)
-            elapsed = time.perf_counter() - start
+            with span(
+                "generalize_build", kind="cache", dataset=self.name, significance=key
+            ) as sp:
+                result = generalize_table(self.table, significance=key)
+                index = personal_groups(result.table)
+            elapsed = sp.duration
             self._generalizations[key] = result
             self._generalized_groups[key] = index
             self.group_index_misses += 1

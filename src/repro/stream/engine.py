@@ -27,9 +27,8 @@ from __future__ import annotations
 
 import csv
 import tempfile
-import time
 import tracemalloc
-from collections.abc import Callable
+from collections.abc import Callable, Iterator
 from pathlib import Path
 from typing import IO, Any
 
@@ -67,6 +66,7 @@ from repro.pipeline.execution import (
     DEFAULT_CHUNK_ROWS,
     DEFAULT_CHUNK_SIZE,
     coerce_seed,
+    seeded_rng,
 )
 from repro.pipeline.strategy import PublishStrategy, get_strategy
 from repro.stream.index import (
@@ -218,7 +218,9 @@ class _RowSpool:
     def append_retain(self, retain: np.ndarray) -> None:
         self._retain.write(np.packbits(retain).tobytes())
 
-    def replay(self, with_retain: bool = False):
+    def replay(
+        self, with_retain: bool = False
+    ) -> Iterator[tuple[np.ndarray, np.ndarray | None]]:
         """Yield the spooled blocks (optionally with their retain bits) in order."""
         self._codes.seek(0)
         if with_retain:
@@ -239,6 +241,8 @@ class _RowSpool:
 
 
 def _streamable(strategy: PublishStrategy) -> bool:
+    if not strategy.streamable:
+        return False
     overrides_kernel = (
         type(strategy).chunk_publisher is not PublishStrategy.chunk_publisher
     )
@@ -332,8 +336,9 @@ def stream_publish(
     strategy = get_strategy(strategy) if isinstance(strategy, str) else strategy
     if not _streamable(strategy):
         raise ValueError(
-            f"strategy {strategy.name!r} is not streamable: it neither exposes a "
-            "group-batch chunk_publisher nor declares streams_rows; "
+            f"strategy {strategy.name!r} is not streamable: it opted out "
+            "(streamable = False) or neither exposes a group-batch "
+            "chunk_publisher nor declares streams_rows; "
             "load the table and use repro.publish instead"
         )
     if strategy.generalizes and strategy.streams_rows:
@@ -418,9 +423,9 @@ def _run(
                             spool = _RowSpool(len(reader.public_names or []) + 1)
                     if spool is not None:
                         encoded = index.update_encoded(chunk)
-                        spool_start = time.perf_counter()
-                        spool.append(encoded)
-                        spool_seconds += time.perf_counter() - spool_start
+                        with span("spool", kind="io") as spool_sp:
+                            spool.append(encoded)
+                        spool_seconds += spool_sp.duration
                     else:
                         index.update(chunk)
                     notify({
@@ -642,7 +647,7 @@ def _enforce_rows(
         raise ValueError(f"strategy {strategy.name!r} has no spec for row streaming")
     p = spec.retention_probability
     m = spec.domain_size
-    generator = np.random.default_rng(np.random.SeedSequence(seed))
+    generator = seeded_rng(seed)
     for block, _ in spool.replay():
         spool.append_retain(generator.random(block.shape[0]) < p)
         RNG_DRAWS.inc(block.shape[0])
@@ -651,7 +656,7 @@ def _enforce_rows(
     encode = workers > 1 and isinstance(sink, _CsvSink)
     kernel = UniformRowKernel(remaps=tuple(index.remaps), schema=schema, encode=encode)
 
-    def payloads():
+    def payloads() -> Iterator[tuple[tuple[np.ndarray, np.ndarray | None, np.ndarray]]]:
         # Pulled lazily by the scheduler, so the phase-two draws happen in
         # spool order regardless of which worker finishes first.
         for block, retain in spool.replay(with_retain=True):

@@ -170,7 +170,7 @@ class IncrementalGroupIndex:
         # Provisional -> final code permutation per column (sorted domains).
         remaps: list[np.ndarray] = []
         attributes: list[Attribute] = []
-        for name, book in zip(self._public_names + [self._sensitive], self._codebooks):
+        for name, book in zip(self._public_names + [self._sensitive], self._codebooks, strict=True):
             values = sorted(book)
             final = {value: code for code, value in enumerate(values)}
             remap = np.empty(len(book), dtype=np.int64)
