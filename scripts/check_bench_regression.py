@@ -8,9 +8,10 @@ Four checks, in order (CI's ``perf-gate`` job runs this on every push):
    guards the validator itself staying importable and strict).
 2. **Determinism** — the core suite is run twice; scenario names and every
    operation count must be identical (wall-clock fields are free to move).
-3. **Byte identity** — every ``stream`` and ``parallel`` scenario must
-   report ``ops.byte_identical == true``, and scenarios differing only in
-   their worker count must publish identical record/group counts.
+3. **Byte identity** — every ``stream``, ``parallel`` and ``delta``
+   scenario must report ``ops.byte_identical == true`` (``delta`` scenarios
+   additionally ``ops.audits_agree == true``), and scenarios differing only
+   in their worker count must publish identical record/group counts.
 4. **Throughput** — each scenario's best-of-repeats seconds is compared
    against the committed baseline of the same name
    (``benchmarks/baselines/BENCH_<suite>.json``); slower by more than the
@@ -25,7 +26,7 @@ Four checks, in order (CI's ``perf-gate`` job runs this on every push):
 
 Usage::
 
-    python scripts/check_bench_regression.py [--suites core service stream parallel]
+    python scripts/check_bench_regression.py [--suites core service stream parallel delta]
         [--baseline-dir benchmarks/baselines] [--output-dir bench-gate]
         [--tolerance 0.25] [--skip-throughput]
 
@@ -48,7 +49,7 @@ from repro.bench.schema import validate_report  # noqa: E402
 from repro.bench.timing import TimingSpec  # noqa: E402
 
 #: Suites the gate runs by default (``paper`` is minutes-scale, not gated).
-DEFAULT_SUITES = ("core", "service", "stream", "parallel")
+DEFAULT_SUITES = ("core", "service", "stream", "parallel", "delta")
 
 #: Default throughput tolerance: fail when best-of-repeats is this fraction
 #: slower than the committed baseline.
@@ -77,8 +78,10 @@ def check_identity(report: dict) -> list[str]:
     for entry in report.get("scenarios", []):
         name = entry.get("name", "?")
         ops = entry.get("ops", {})
-        if suite in ("stream", "parallel") and ops.get("byte_identical") is not True:
+        if suite in ("stream", "parallel", "delta") and ops.get("byte_identical") is not True:
             problems.append(f"{suite}:{name}: byte_identical is {ops.get('byte_identical')!r}")
+        if suite == "delta" and ops.get("audits_agree") is not True:
+            problems.append(f"{suite}:{name}: audits_agree is {ops.get('audits_agree')!r}")
         key = _workers_invariant_key(name)
         if key is None:
             continue

@@ -46,6 +46,10 @@ setup(
         # `pytest benchmarks/` (the paper-exhibit wrappers) needs the
         # pytest-benchmark plugin; the repro-bench CLI itself does not.
         "bench": ["pytest", "pytest-benchmark"],
+        # The full test suite; hypothesis drives the differential property
+        # harness pinning the delta engine's byte-identity contract
+        # (tests/test_delta_properties.py skips itself when absent).
+        "test": ["pytest", "hypothesis>=6"],
     },
     entry_points={
         "console_scripts": [
@@ -54,6 +58,7 @@ setup(
             "repro-bench=repro.bench.cli:main",
             "repro-stream=repro.stream.cli:main",
             "repro-lint=repro.lint.cli:main",
+            "repro-delta=repro.delta.cli:main",
         ],
     },
     classifiers=[

@@ -26,7 +26,11 @@ algorithm, together with every substrate the evaluation depends on:
   byte-identical to the in-memory path for the same seed and chunk size;
 * a shared multi-worker scheduler (:mod:`repro.parallel`) behind every
   ``workers=`` knob — process-pool chunk execution with an ordered block
-  writer, byte-identical output at any worker count.
+  writer, byte-identical output at any worker count;
+* an incremental re-publish engine (:mod:`repro.delta`, the ``repro-delta``
+  CLI) for living datasets: appended rows re-run only the kernel chunks
+  whose personal groups changed, spliced atomically into the published CSV,
+  byte-identical to a full re-publish of the combined data.
 
 Quickstart::
 
@@ -62,10 +66,17 @@ from repro.pipeline import (
 )
 from repro.reconstruction.mle import mle_frequencies, mle_frequencies_clipped, reconstruct_counts
 from repro.stream import ChunkedReader, StreamReport, stream_publish
+from repro.delta import (
+    DeltaReport,
+    DeltaState,
+    DeltaUnsupportedError,
+    delta_publish,
+    publish_base,
+)
 from repro.queries.workload import WorkloadConfig, generate_workload
 from repro.queries.count_query import CountQuery, answer_on_perturbed, answer_on_raw
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "PrivacySpec",
@@ -104,6 +115,11 @@ __all__ = [
     "ChunkedReader",
     "StreamReport",
     "stream_publish",
+    "DeltaReport",
+    "DeltaState",
+    "DeltaUnsupportedError",
+    "delta_publish",
+    "publish_base",
     "WorkloadConfig",
     "generate_workload",
     "CountQuery",

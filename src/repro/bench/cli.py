@@ -29,7 +29,7 @@ from repro.bench.scenarios import matrix_for
 from repro.bench.timing import TimingSpec
 from repro.utils.textplot import render_listing, render_table
 
-SUITES = ("core", "service", "paper", "stream", "parallel")
+SUITES = ("core", "service", "paper", "stream", "parallel", "delta")
 
 _log = logging.getLogger("repro.bench")
 
@@ -57,6 +57,23 @@ def _listing_text(suite: str | None, tiny: bool) -> str:
             ]
             blocks.append(
                 render_listing(rows, title=f"stream scenarios ({scale} scale, {len(rows)} scenarios)")
+            )
+            continue
+        if name == "delta":
+            from repro.bench.delta import delta_scenarios
+
+            scale = "tiny" if tiny else "default"
+            rows = [
+                (
+                    s.name,
+                    f"{s.strategy} on {s.dataset} ({s.rows} rows), "
+                    f"append_fraction={s.params['append_fraction']:g}, "
+                    "incremental vs full re-publish",
+                )
+                for s in delta_scenarios(tiny)
+            ]
+            blocks.append(
+                render_listing(rows, title=f"delta scenarios ({scale} scale, {len(rows)} scenarios)")
             )
             continue
         if name == "parallel":

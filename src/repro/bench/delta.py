@@ -1,0 +1,172 @@
+"""The ``delta`` benchmark suite: incremental vs full re-publish.
+
+Each scenario models one append to a living dataset: the synthetic table's
+records are sorted by group key (appends to a living dataset are naturally
+key-localized — new rows arrive for a bounded key range, not uniformly over
+every group), the last ``append_fraction`` of rows becomes the append batch,
+and the rest is published once as the base.  The timed comparison is then
+
+* **delta** — :func:`repro.delta.delta_publish` of the append batch against
+  the captured base state (only the dirty chunks' kernels re-run);
+* **full** — :func:`repro.stream.stream_publish` of base + append from
+  scratch (every row re-indexed, every chunk's kernel re-run).
+
+Per scenario the report records both timings, ``speedup_vs_full``, the
+dirty-chunk fraction, and a ``byte_identical`` verdict — the delta output
+must equal the full re-publish bit for bit at every append fraction (the
+hard invariant the differential test harness pins; the bench re-checks it
+on real paper-scale data).  As the append fraction shrinks, the dirty
+fraction and the delta time drop while the full time stays flat — the
+incremental advantage the suite exists to show.
+
+The suite writes ``BENCH_delta.json`` through the shared runner/schema
+machinery; ``docs/delta.md`` reads its numbers.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any
+
+from repro.bench.scenarios import Scenario
+from repro.bench.timing import TimingSpec, time_callable
+from repro.delta.engine import delta_publish, publish_base
+from repro.stream import stream_publish
+
+_SENSITIVE = {"adult": "Income", "census": "Occupation"}
+
+#: Groups per kernel chunk for every delta scenario.  Smaller than the other
+#: suites' 256 on purpose: the dirty-chunk resolution is one chunk, so finer
+#: chunks let a small key-localized append leave more of the output clean.
+_CHUNK_SIZE = 64
+
+
+def delta_scenarios(tiny: bool = False) -> list[Scenario]:
+    """The delta-suite scenario list: strategy × shrinking append fraction.
+
+    ``append_fraction`` and ``chunk_rows`` ride in ``params``; the order —
+    strategy-major, then fraction descending — is fixed so the emitted
+    report is diffable, like every other suite's.
+    """
+    if tiny:
+        points = [("sps", "adult", 2_000, 0.10), ("sps", "adult", 2_000, 0.01)]
+        chunk_rows = 1_000
+    else:
+        points = [
+            ("sps", "adult", 50_000, 0.10),
+            ("sps", "adult", 50_000, 0.05),
+            ("sps", "adult", 50_000, 0.01),
+            ("dp-laplace", "census", 50_000, 0.10),
+            ("dp-laplace", "census", 50_000, 0.01),
+        ]
+        chunk_rows = 5_000
+    return [
+        Scenario(
+            name=f"delta/{strategy}/{dataset}-{rows}/a{fraction * 100:g}pct",
+            suite="delta",
+            strategy=strategy,
+            dataset=dataset,
+            rows=rows,
+            chunk_size=_CHUNK_SIZE,
+            workers=1,
+            params={"append_fraction": fraction, "chunk_rows": chunk_rows},
+        )
+        for strategy, dataset, rows, fraction in points
+    ]
+
+
+def _write_rows(path: Path, header: list[str], rows: list[Any]) -> None:
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+
+
+def run_delta_scenario(
+    scenario: Scenario,
+    table: Any,
+    seed: int,
+    timing: TimingSpec,
+    workdir: Path,
+) -> dict[str, Any]:
+    """Benchmark one delta scenario against its full-re-publish twin."""
+    sensitive = _SENSITIVE[scenario.dataset]
+    fraction = float(scenario.params["append_fraction"])
+    chunk_rows = int(scenario.params["chunk_rows"])
+    header = list(table.schema.public_names) + [table.schema.sensitive_name]
+    records = sorted(table.records())
+    n_append = max(1, round(scenario.rows * fraction))
+
+    stem = f"{scenario.dataset}-{scenario.rows}-a{fraction:g}"
+    base_csv = workdir / f"{stem}-base.csv"
+    append_csv = workdir / f"{stem}-append.csv"
+    full_csv = workdir / f"{stem}-full.csv"
+    _write_rows(base_csv, header, records[:-n_append])
+    _write_rows(append_csv, header, records[-n_append:])
+    _write_rows(full_csv, header, records)
+
+    base_pub = workdir / f"{stem}-base-pub.csv"
+    base_report = publish_base(
+        base_csv,
+        sensitive=sensitive,
+        output=base_pub,
+        strategy=scenario.strategy,
+        rng=seed,
+        chunk_size=scenario.chunk_size,
+        chunk_rows=chunk_rows,
+    )
+    state = base_report.state
+    assert state is not None
+    delta_out = workdir / f"{stem}-delta-out.csv"
+    full_out = workdir / f"{stem}-full-out.csv"
+
+    # Writing to `output=` leaves the pristine base untouched, so the timed
+    # callable is idempotent across warmup + repeats.
+    def delta_once() -> Any:
+        return delta_publish(state, append_csv, output=delta_out)
+
+    def full_once() -> Any:
+        return stream_publish(
+            full_csv,
+            sensitive=sensitive,
+            strategy=scenario.strategy,
+            rng=seed,
+            chunk_size=scenario.chunk_size,
+            chunk_rows=chunk_rows,
+            output=full_out,
+        )
+
+    delta_report, delta_meas = time_callable(delta_once, timing)
+    full_report, full_meas = time_callable(full_once, timing)
+    byte_identical = delta_out.read_bytes() == full_out.read_bytes()
+    audits_agree = (delta_report.audit is None) == (full_report.audit is None) and (
+        delta_report.audit is None
+        or (
+            delta_report.audit.group_violation_rate
+            == full_report.audit.group_violation_rate
+            and delta_report.audit.is_private == full_report.audit.is_private
+        )
+    )
+
+    entry = scenario.to_json()
+    entry["ops"] = {
+        "rows": scenario.rows,
+        "rows_appended": n_append,
+        "append_fraction": fraction,
+        "published_records": delta_report.published_records,
+        "n_groups": delta_report.n_groups,
+        "groups_touched": delta_report.groups_touched,
+        "n_chunks": delta_report.n_chunks,
+        "n_chunks_dirty": delta_report.n_chunks_dirty,
+        "dirty_fraction": delta_report.dirty_fraction,
+        "mode": delta_report.mode,
+        "rows_per_second": scenario.rows / delta_meas.best,
+        "full_seconds_best": float(full_meas.best),
+        "speedup_vs_full": float(full_meas.best / delta_meas.best),
+        "byte_identical": bool(byte_identical),
+        "audits_agree": bool(audits_agree),
+    }
+    entry["seconds"] = delta_meas.to_json()
+    entry["stages"] = {stage: float(s) for stage, s in delta_report.timings.items()}
+    return entry

@@ -16,7 +16,11 @@ Three suites:
 * ``parallel`` — worker-count scaling of the shared scheduler
   (:mod:`repro.bench.parallel`): strategy × workers in {1, 2, 4}, rows/sec,
   ``speedup_vs_w1`` and a per-scenario byte-identity verdict against both
-  the sequential stream and the in-memory pipeline.
+  the sequential stream and the in-memory pipeline;
+* ``delta`` — incremental vs full re-publish over shrinking append
+  fractions (:mod:`repro.bench.delta`): ``speedup_vs_full``, the
+  dirty-chunk fraction and a per-scenario byte-identity verdict of the
+  spliced output against a from-scratch re-publish.
 
 Determinism contract: for a fixed ``(suite, tiny, seed, filter)`` the
 scenario set, every scenario's operation counts and the published bytes
@@ -257,6 +261,21 @@ def run_suite(
                             scenario, csv_paths[key], seed, timing, workdir, baselines
                         )
                     )
+    elif suite == "delta":
+        import tempfile
+
+        from repro.bench.delta import delta_scenarios, run_delta_scenario
+
+        scenarios = _filter_scenarios(delta_scenarios(tiny), scenario_filter)
+        cache = _DatasetCache(seed)
+        with tempfile.TemporaryDirectory(prefix="repro-bench-delta-") as tmp:
+            workdir = Path(tmp)
+            for scenario in scenarios:
+                table = cache.get(scenario.dataset, scenario.rows)
+                with span(scenario.name, kind="scenario", suite=suite):
+                    entries.append(
+                        run_delta_scenario(scenario, table, seed, timing, workdir)
+                    )
     elif suite == "service":
         from repro.service import AnonymizationService, JobStore
 
@@ -272,7 +291,8 @@ def run_suite(
                 entries.append(run_service_scenario(scenario, service, seed, timing))
     else:
         raise ValueError(
-            f"unknown suite {suite!r}; choose core, service, paper, stream or parallel"
+            f"unknown suite {suite!r}; choose core, service, paper, stream, "
+            "parallel or delta"
         )
 
     report: dict[str, Any] = {

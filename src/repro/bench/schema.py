@@ -2,8 +2,8 @@
 
 The benchmark runner emits one JSON document per suite at the repo root
 (``BENCH_core.json``, ``BENCH_service.json``, ``BENCH_paper.json``,
-``BENCH_stream.json``, ``BENCH_parallel.json``) so the performance
-trajectory is diffable across PRs.  The document is
+``BENCH_stream.json``, ``BENCH_parallel.json``, ``BENCH_delta.json``) so the
+performance trajectory is diffable across PRs.  The document is
 schema-versioned; :func:`validate_report` is the single source of truth for
 what a well-formed report looks like and is run by CI's bench-smoke job on
 every emitted file.
@@ -21,7 +21,7 @@ from typing import Any
 SCHEMA_VERSION = 1
 
 #: Suites a report may declare.
-SUITES = ("core", "service", "paper", "stream", "parallel")
+SUITES = ("core", "service", "paper", "stream", "parallel", "delta")
 
 _NUMBER = (int, float)
 
@@ -64,7 +64,7 @@ def _check_scenario(problems: list[str], entry: Any, where: str, suite: str) -> 
     if not _check(problems, isinstance(entry, dict), f"{where} must be an object"):
         return
     _check(problems, isinstance(entry.get("name"), str) and entry.get("name"), f"{where}.name must be a non-empty string")
-    if suite in ("core", "service", "stream", "parallel"):
+    if suite in ("core", "service", "stream", "parallel", "delta"):
         for key in ("strategy", "dataset"):
             _check(problems, isinstance(entry.get(key), str), f"{where}.{key} must be a string")
         for key in ("rows", "chunk_size", "workers"):
@@ -74,7 +74,7 @@ def _check_scenario(problems: list[str], entry: Any, where: str, suite: str) -> 
                 f"{where}.{key} must be an integer",
             )
         _check(problems, isinstance(entry.get("params"), dict), f"{where}.params must be an object")
-    if "ops" in entry or suite in ("core", "service", "stream", "parallel"):
+    if "ops" in entry or suite in ("core", "service", "stream", "parallel", "delta"):
         ops = entry.get("ops")
         if _check(problems, isinstance(ops, dict), f"{where}.ops must be an object"):
             for key, item in ops.items():

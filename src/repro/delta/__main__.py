@@ -1,0 +1,6 @@
+"""``python -m repro.delta`` — alias for the ``repro-delta`` console script."""
+
+from repro.delta.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,682 @@
+"""The incremental (delta) re-publish engine.
+
+The paper's group-wise publishing model makes appends cheap: published
+output is a pure function of the ordered personal-group list, the seed and
+the chunk size, and each kernel chunk draws from its own spawned generator
+(``SeedSequence(seed).spawn(n)[i]`` depends only on ``i``, never on ``n``).
+So when rows are appended, only the chunks whose group slice actually
+changed need their kernels re-run — every other chunk's bytes are already
+sitting in the published CSV and are copied, not recomputed.
+
+:func:`publish_base` publishes a source once and captures a
+:class:`~repro.delta.state.DeltaState`; :func:`delta_publish` merges
+appended rows into the stored counts (via an
+:class:`~repro.stream.index.IncrementalGroupIndex` over the *appended rows
+only* — the delta-determinism lint rule ``RPR007`` statically forbids
+full-table re-indexing here), diffs the merged group list against the
+stored one position-by-position, regenerates exactly the dirty chunks with
+the same pre-assigned per-chunk generators the stream/parallel engines use,
+and splices the result together atomically (temp file + ``os.replace``, so
+a failure at any point leaves the previously published file untouched).
+
+Determinism contract (pinned by ``tests/test_delta.py`` and the hypothesis
+suite in ``tests/test_delta_properties.py``): for every strategy declaring
+``delta_capable`` and any ``(seed, chunk_rows, workers, append split)``,
+``delta_publish(published_base, appended)`` is byte-identical to a full
+publish of ``base + appended`` — CSV bytes, audit and per-chunk RNG streams.
+When the append grows the **sensitive** domain, every chunk's draws change
+(the perturbation matrix dimension ``m`` changes); the engine then falls
+back to regenerating all chunks — loudly, via a warning log and
+``report.mode == "full"`` — rather than silently diverging.
+"""
+
+from __future__ import annotations
+
+import csv
+import logging
+import os
+import tempfile
+from collections.abc import Callable, Sequence
+from contextlib import closing
+from pathlib import Path
+from typing import IO, Any, cast
+
+from repro.core.testing import PrivacyAudit, audit_group
+from repro.dataset.schema import Schema, SchemaError
+from repro.delta.report import DeltaReport
+from repro.delta.state import (
+    DeltaState,
+    ValueGroups,
+    coded_groups,
+    schema_from_value_groups,
+)
+from repro.obs.metrics import (
+    DELTA_GROUPS_TOUCHED,
+    DELTA_ROWS_APPENDED,
+    PUBLISH_RUNS,
+    ROWS_PUBLISHED,
+)
+from repro.obs.trace import span
+from repro.parallel.kernels import (
+    CsvChunkKernel,
+    EncodedBlock,
+    MissingChunkPublisher,
+    StrategyKernel,
+)
+from repro.parallel.scheduler import (
+    DEFAULT_BACKEND,
+    iter_chunk_results,
+    iter_ordered_map,
+)
+from repro.pipeline.execution import (
+    DEFAULT_CHUNK_ROWS,
+    DEFAULT_CHUNK_SIZE,
+    chunk_items,
+    chunk_rngs,
+    coerce_seed,
+)
+from repro.pipeline.strategy import PublishStrategy, get_strategy
+from repro.stream.index import IncrementalGroupIndex
+from repro.stream.reader import ChunkedReader
+
+_log = logging.getLogger("repro.delta")
+
+#: Optional progress callback: small JSON-ready dicts with a ``phase`` key.
+ProgressCallback = Callable[[dict[str, Any]], None]
+
+
+class DeltaUnsupportedError(ValueError):
+    """The strategy declares no incremental re-publish support.
+
+    Raised by :func:`publish_base` (and re-checked by :func:`delta_publish`)
+    for strategies with ``delta_capable = False`` — e.g. ``uniform``, whose
+    draws walk one global row spool, or ``generalize+sps``, where one
+    appended row can re-key every group.  Use a full re-publish
+    (:func:`repro.publish` / :func:`repro.stream.stream_publish`) instead.
+    """
+
+
+class _SchemaHolder:
+    """Minimal table stand-in for ``strategy.spec_for`` (schema access only)."""
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+
+
+class _SpliceWriter:
+    """Atomic CSV writer: temp file in the target's directory + ``os.replace``.
+
+    Every byte goes to the temp file; :meth:`close` renames it over the
+    target in one atomic step, so a failure anywhere before that — a worker
+    dying mid-regeneration, a disk error mid-copy — leaves the previously
+    published file exactly as it was (:meth:`abort` removes the temp).
+    """
+
+    def __init__(self, target: Path, header: Sequence[str]) -> None:
+        self.target = target
+        fd, name = tempfile.mkstemp(
+            dir=target.parent, prefix=target.name + ".", suffix=".tmp"
+        )
+        self._temp = Path(name)
+        self._handle: IO[str] = os.fdopen(fd, "w", newline="", encoding="utf-8")
+        self._writer = csv.writer(self._handle)
+        self._writer.writerow(list(header))
+        self.records_written = 0
+
+    def write_rows(self, rows: Sequence[Sequence[str]]) -> None:
+        """Append decoded rows (the clean-chunk copy path)."""
+        self._writer.writerows(rows)
+        self.records_written += len(rows)
+
+    def write_encoded(self, encoded: EncodedBlock) -> None:
+        """Append worker-rendered CSV text (the regenerated-chunk path)."""
+        self._handle.write(encoded.text)
+        self.records_written += encoded.n_rows
+
+    def close(self) -> None:
+        """Flush and atomically move the temp file over the target."""
+        self._handle.close()
+        os.replace(self._temp, self.target)
+
+    def abort(self) -> None:
+        """Discard the temp file; the target is untouched by construction."""
+        try:
+            self._handle.close()
+        finally:
+            self._temp.unlink(missing_ok=True)
+
+
+def _require_delta_capable(strategy: PublishStrategy) -> None:
+    if not strategy.delta_capable:
+        raise DeltaUnsupportedError(
+            f"strategy {strategy.name!r} declares delta_capable = False: its "
+            "published bytes are not a per-chunk function of the group "
+            "counts, so an append cannot be spliced incrementally; re-publish "
+            "in full with repro.publish or repro.stream.stream_publish"
+        )
+
+
+def _require_output_path(output: Any) -> Path:
+    if output is None or hasattr(output, "write"):
+        raise ValueError(
+            "delta publishing requires a CSV output *path*: the splice step "
+            "re-reads the published file and atomically replaces it"
+        )
+    return Path(output)
+
+
+def _value_groups(schema: Schema, groups: Sequence[Any]) -> ValueGroups:
+    """Decode coded groups to value-keyed counts (the stored representation)."""
+    publics = [attr.values for attr in schema.public]
+    sa_values = schema.sensitive.values
+    out: list[tuple[tuple[str, ...], dict[str, int]]] = []
+    for group in groups:
+        key = tuple(publics[i][code] for i, code in enumerate(group.key))
+        counts = {
+            sa_values[j]: int(n)
+            for j, n in enumerate(group.sensitive_counts)
+            if n
+        }
+        out.append((key, counts))
+    return tuple(out)
+
+
+def _build_kernel(
+    strategy: PublishStrategy, schema: Schema, spec: Any, resolved: dict[str, Any]
+) -> CsvChunkKernel:
+    kernel = StrategyKernel(strategy, schema, spec, dict(resolved))
+    try:
+        kernel.build()  # fail fast in the parent; workers rebuild their copy
+    except MissingChunkPublisher:
+        raise DeltaUnsupportedError(
+            f"strategy {strategy.name!r} returned no chunk publisher for this "
+            "configuration; it cannot publish in chunks, so it cannot be "
+            "delta-published either"
+        ) from None
+    return CsvChunkKernel(kernel)
+
+
+def publish_base(
+    source: str | Path | IO[str],
+    *,
+    sensitive: str,
+    output: str | Path,
+    strategy: str | PublishStrategy = "sps",
+    rng: Any = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    workers: int = 1,
+    parallel_backend: str = DEFAULT_BACKEND,
+    audit: bool = True,
+    overwrite: bool = True,
+    delimiter: str = ",",
+    progress: ProgressCallback | None = None,
+    **params: Any,
+) -> DeltaReport:
+    """Publish ``source`` once and capture the state future appends need.
+
+    The published CSV is byte-identical to
+    :func:`repro.stream.stream_publish` (and hence to :func:`repro.publish`)
+    for the same ``(seed, chunk_size)``; on top of that, the returned
+    report's ``state`` records the value-keyed group counts and per-chunk
+    published row counts that make :func:`delta_publish` possible.
+
+    Raises :class:`DeltaUnsupportedError` for strategies that declare
+    ``delta_capable = False``.
+    """
+    strategy = get_strategy(strategy) if isinstance(strategy, str) else strategy
+    _require_delta_capable(strategy)
+    target = _require_output_path(output)
+    if workers <= 0:
+        raise ValueError("workers must be positive")
+    timings: dict[str, float] = {}
+    notify = progress or (lambda event: None)
+
+    with span(
+        "delta_base", kind="publish", path="delta", strategy=strategy.name
+    ) as root:
+        with span("prepare", kind="stage") as sp:
+            resolved = strategy.resolve(params)
+            seed = coerce_seed(rng)
+            if chunk_size <= 0:
+                raise ValueError("chunk_size must be positive")
+            if not overwrite and target.exists():
+                raise FileExistsError(f"output {target} exists and overwrite=False")
+        timings["prepare"] = sp.duration
+        root.set(seed=seed, chunk_size=chunk_size, chunk_rows=chunk_rows,
+                 workers=workers)
+
+        with span("read", kind="stage") as sp:
+            reader = ChunkedReader(
+                source, sensitive, chunk_rows=chunk_rows, delimiter=delimiter
+            )
+            index: IncrementalGroupIndex | None = None
+            for chunk in reader.chunks():
+                if index is None:
+                    index = IncrementalGroupIndex(reader.public_names or [], sensitive)
+                index.update(chunk)
+                notify({
+                    "phase": "read",
+                    "rows_read": reader.rows_read,
+                    "chunks_read": reader.chunks_read,
+                })
+            assert index is not None  # reader raises on empty input
+            sp.set(rows=reader.rows_read)
+        timings["read"] = sp.duration
+
+        with span("group_index", kind="stage") as sp:
+            schema, groups = index.finalize()
+        timings["group_index"] = sp.duration
+        notify({"phase": "group_index", "n_groups": len(groups)})
+
+        spec = strategy.spec_for(cast(Any, _SchemaHolder(schema)), resolved)
+
+        with span("audit", kind="stage", ran=audit and strategy.audits) as sp:
+            privacy_audit: PrivacyAudit | None = None
+            if audit and strategy.audits and spec is not None:
+                audits = tuple(audit_group(spec, cast(Any, group)) for group in groups)
+                privacy_audit = PrivacyAudit(
+                    spec=spec, groups=audits, total_records=index.n_rows
+                )
+        timings["audit"] = sp.duration
+
+        with span("enforce", kind="stage") as sp:
+            chunk_fn = _build_kernel(strategy, schema, spec, resolved)
+            writer = _SpliceWriter(
+                target, list(schema.public_names) + [schema.sensitive_name]
+            )
+            chunk_counts: list[int] = []
+            records: list[Any] = []
+            try:
+                results = iter_chunk_results(
+                    groups, chunk_fn, seed, chunk_size,
+                    workers=workers, backend=parallel_backend,
+                )
+                for encoded, chunk_records in results:
+                    writer.write_encoded(encoded)
+                    chunk_counts.append(encoded.n_rows)
+                    records.extend(chunk_records)
+                    notify({
+                        "phase": "enforce",
+                        "groups_done": min(len(chunk_counts) * chunk_size, len(groups)),
+                        "n_groups": len(groups),
+                        "published_records": writer.records_written,
+                    })
+            except BaseException:
+                writer.abort()
+                raise
+        timings["enforce"] = sp.duration
+
+        with span("flush", kind="stage") as sp:
+            writer.close()
+        timings["flush"] = sp.duration
+        notify({"phase": "done", "published_records": writer.records_written})
+
+        timings["finalize"] = max(0.0, root.elapsed() - sum(timings.values()))
+        root.set(rows=index.n_rows, published_records=writer.records_written)
+
+    PUBLISH_RUNS.inc(path="delta", strategy=strategy.name)
+    ROWS_PUBLISHED.inc(writer.records_written, strategy=strategy.name)
+    state = DeltaState(
+        strategy=strategy.name,
+        params=dict(resolved),
+        seed=seed,
+        chunk_size=int(chunk_size),
+        chunk_rows=int(chunk_rows),
+        n_rows=index.n_rows,
+        sensitive=sensitive,
+        header=tuple(reader.header or []),
+        groups=_value_groups(schema, groups),
+        chunk_row_counts=tuple(chunk_counts),
+        output=str(target),
+    )
+    return DeltaReport(
+        mode="base",
+        strategy=strategy.name,
+        params=dict(resolved),
+        seed=seed,
+        chunk_size=int(chunk_size),
+        chunk_rows=int(chunk_rows),
+        workers=int(workers),
+        n_rows=index.n_rows,
+        rows_appended=0,
+        n_groups=len(groups),
+        groups_touched=0,
+        n_chunks=len(chunk_counts),
+        n_chunks_dirty=len(chunk_counts),
+        published_records=writer.records_written,
+        schema=schema,
+        spec=spec,
+        audit=privacy_audit,
+        groups=tuple(records),
+        timings=timings,
+        output=str(target),
+        state=state,
+    )
+
+
+def _read_appended(
+    state: DeltaState,
+    appended: Any,
+    delimiter: str,
+    notify: ProgressCallback,
+) -> tuple[ValueGroups, int]:
+    """Index the appended rows (only them) and return value-keyed counts.
+
+    Raises :class:`~repro.dataset.schema.SchemaError` naming the source and
+    line for ragged rows, a missing sensitive column, an empty batch, or a
+    header that does not match the published dataset's.
+    """
+    if isinstance(appended, (str, Path)) or hasattr(appended, "read"):
+        reader = ChunkedReader(
+            cast("str | Path | IO[str]", appended), state.sensitive,
+            chunk_rows=state.chunk_rows, delimiter=delimiter,
+        )
+    else:
+        reader = ChunkedReader.from_rows(
+            cast(Sequence[Sequence[str]], appended), state.header,
+            state.sensitive, chunk_rows=state.chunk_rows,
+        )
+    index: IncrementalGroupIndex | None = None
+    for chunk in reader.chunks():
+        if index is None:
+            if list(reader.header or []) != list(state.header):
+                raise SchemaError(
+                    f"{reader.label}: appended header {reader.header} does not "
+                    f"match the published dataset's header {list(state.header)}"
+                )
+            index = IncrementalGroupIndex(state.public_names, state.sensitive)
+        index.update(chunk)
+        notify({
+            "phase": "append_read",
+            "rows_read": reader.rows_read,
+            "chunks_read": reader.chunks_read,
+        })
+    assert index is not None  # reader raises on an empty source
+    appended_schema, appended_groups = index.finalize()
+    return _value_groups(appended_schema, appended_groups), index.n_rows
+
+
+def _merge_groups(base: ValueGroups, appended: ValueGroups) -> ValueGroups:
+    """Fold appended per-group counts into the base groups; re-sort by key."""
+    merged: dict[tuple[str, ...], dict[str, int]] = {
+        key: dict(counts) for key, counts in base
+    }
+    for key, counts in appended:
+        into = merged.setdefault(key, {})
+        for value, count in counts.items():
+            into[value] = into.get(value, 0) + count
+    return tuple((key, merged[key]) for key in sorted(merged))
+
+
+def _dirty_chunks(
+    base: ValueGroups, merged: ValueGroups, chunk_size: int, n_chunks: int
+) -> set[int]:
+    """Chunk indices whose merged group slice differs from the base slice.
+
+    Position-wise comparison is exactly right for sorted group lists: a
+    count change dirties only its own chunk, while an insertion shifts every
+    later position and therefore (correctly) dirties everything after it —
+    those chunks' kernel inputs really did change.
+    """
+    dirty: set[int] = set()
+    for i in range(n_chunks):
+        lo = i * chunk_size
+        hi = min(lo + chunk_size, len(merged))
+        for p in range(lo, hi):
+            if p >= len(base) or merged[p] != base[p]:
+                dirty.add(i)
+                break
+    return dirty
+
+
+def delta_publish(
+    state: DeltaState,
+    appended: Any,
+    *,
+    output: str | Path | None = None,
+    workers: int = 1,
+    parallel_backend: str = DEFAULT_BACKEND,
+    audit: bool = True,
+    delimiter: str = ",",
+    progress: ProgressCallback | None = None,
+) -> DeltaReport:
+    """Incrementally re-publish a dataset after appending rows.
+
+    Parameters
+    ----------
+    state:
+        The :class:`DeltaState` a previous :func:`publish_base` /
+        :func:`delta_publish` produced.  Never mutated; the successor state
+        is on the returned report.
+    appended:
+        The appended rows: a CSV path (same header as the base), an open
+        text stream, or an in-memory list of rows in the base header's
+        column order (no header row).
+    output:
+        Optional new path for the spliced CSV; by default the published
+        file named by ``state.output`` is replaced atomically in place.
+    workers, parallel_backend:
+        Fan dirty-chunk regeneration out through the shared scheduler;
+        byte-identity is preserved at any worker count.
+    audit:
+        Re-audit from the merged counts (no row re-read — ``O(groups)``).
+    delimiter:
+        Field delimiter of an appended CSV source.
+    progress:
+        Optional callback receiving ``{"phase": ..., ...}`` dicts.
+
+    The published bytes, the audit and the per-chunk RNG streams are
+    identical to a full publish of ``base + appended`` with the state's
+    ``(seed, chunk_size)``.  A failure at any point leaves the previously
+    published file untouched (the splice writes a temp file and renames).
+    """
+    strategy = get_strategy(state.strategy)
+    _require_delta_capable(strategy)
+    if workers <= 0:
+        raise ValueError("workers must be positive")
+    n_chunks_base = len(state.chunk_row_counts)
+    expected = -(-len(state.groups) // state.chunk_size) if state.groups else 0
+    if n_chunks_base != expected:
+        raise ValueError(
+            f"delta state is inconsistent: {len(state.groups)} groups at "
+            f"chunk_size {state.chunk_size} imply {expected} chunks, but "
+            f"{n_chunks_base} chunk row counts are recorded"
+        )
+    timings: dict[str, float] = {}
+    notify = progress or (lambda event: None)
+
+    with span(
+        "delta_publish", kind="publish", path="delta", strategy=state.strategy
+    ) as root:
+        with span("prepare", kind="stage") as sp:
+            resolved = strategy.resolve(state.params)
+            base_path = Path(state.output)
+            target = base_path if output is None else _require_output_path(output)
+        timings["prepare"] = sp.duration
+        root.set(seed=state.seed, chunk_size=state.chunk_size, workers=workers)
+
+        with span("append_read", kind="stage") as sp:
+            appended_groups, rows_appended = _read_appended(
+                state, appended, delimiter, notify
+            )
+        timings["append_read"] = sp.duration
+
+        with span("diff", kind="stage") as sp:
+            merged = _merge_groups(state.groups, appended_groups)
+            new_schema = schema_from_value_groups(
+                state.public_names, state.sensitive, merged
+            )
+            base_schema = state.schema()
+            n_chunks_new = -(-len(merged) // state.chunk_size)
+            sa_grew = new_schema.sensitive.values != base_schema.sensitive.values
+            if sa_grew:
+                # The SA domain is the dimension of the perturbation matrix:
+                # every chunk's draws change, so regenerate everything — the
+                # loud full fallback, still byte-identical to a full publish.
+                mode = "full"
+                dirty = set(range(n_chunks_new))
+                _log.warning(
+                    "append grew the sensitive domain (%d -> %d values); "
+                    "falling back to full regeneration of all %d chunks",
+                    len(base_schema.sensitive.values),
+                    len(new_schema.sensitive.values),
+                    n_chunks_new,
+                )
+            else:
+                mode = "delta"
+                dirty = _dirty_chunks(
+                    state.groups, merged, state.chunk_size, n_chunks_new
+                )
+            sp.set(n_chunks=n_chunks_new, n_chunks_dirty=len(dirty), mode=mode)
+        timings["diff"] = sp.duration
+        notify({
+            "phase": "diff",
+            "mode": mode,
+            "n_chunks": n_chunks_new,
+            "n_chunks_dirty": len(dirty),
+        })
+
+        spec = strategy.spec_for(cast(Any, _SchemaHolder(new_schema)), resolved)
+        new_groups = coded_groups(new_schema, merged)
+
+        with span("audit", kind="stage", ran=audit and strategy.audits) as sp:
+            privacy_audit: PrivacyAudit | None = None
+            if audit and strategy.audits and spec is not None:
+                audits = tuple(
+                    audit_group(spec, cast(Any, group)) for group in new_groups
+                )
+                privacy_audit = PrivacyAudit(
+                    spec=spec,
+                    groups=audits,
+                    total_records=state.n_rows + rows_appended,
+                )
+        timings["audit"] = sp.duration
+
+        with span("splice", kind="stage") as sp:
+            chunk_fn = _build_kernel(strategy, new_schema, spec, resolved)
+            chunks = chunk_items(new_groups, state.chunk_size)
+            rngs = chunk_rngs(state.seed, n_chunks_new)
+            dirty_order = sorted(dirty)
+            regen = iter_ordered_map(
+                chunk_fn,
+                ((chunks[i], rngs[i]) for i in dirty_order),
+                workers=workers,
+                backend=parallel_backend,
+                n_tasks=len(dirty_order),
+            )
+            header_row = list(new_schema.public_names) + [new_schema.sensitive_name]
+            writer = _SpliceWriter(target, header_row)
+            new_chunk_counts: list[int] = []
+            records: list[Any] = []
+            try:
+                with closing(regen), base_path.open(
+                    newline="", encoding="utf-8"
+                ) as base_handle:
+                    base_rows = csv.reader(base_handle)
+                    base_header = next(base_rows, None)
+                    if base_header != header_row:
+                        raise ValueError(
+                            f"published base {base_path}: header {base_header} "
+                            f"does not match the delta state (expected "
+                            f"{header_row}); was the file modified outside the "
+                            "delta engine?"
+                        )
+                    for i in range(n_chunks_new):
+                        base_count = (
+                            state.chunk_row_counts[i] if i < n_chunks_base else 0
+                        )
+                        if i in dirty:
+                            for _ in range(base_count):
+                                if next(base_rows, None) is None:
+                                    raise ValueError(
+                                        f"published base {base_path} has fewer "
+                                        "rows than the delta state records; was "
+                                        "it modified outside the delta engine?"
+                                    )
+                            encoded, chunk_records = next(regen)
+                            writer.write_encoded(encoded)
+                            new_chunk_counts.append(encoded.n_rows)
+                            records.extend(chunk_records)
+                        else:
+                            rows = []
+                            for _ in range(base_count):
+                                row = next(base_rows, None)
+                                if row is None:
+                                    raise ValueError(
+                                        f"published base {base_path} has fewer "
+                                        "rows than the delta state records; was "
+                                        "it modified outside the delta engine?"
+                                    )
+                                rows.append(row)
+                            writer.write_rows(rows)
+                            new_chunk_counts.append(base_count)
+                        notify({
+                            "phase": "splice",
+                            "chunks_done": i + 1,
+                            "n_chunks": n_chunks_new,
+                            "published_records": writer.records_written,
+                        })
+                    if next(base_rows, None) is not None:
+                        raise ValueError(
+                            f"published base {base_path} has more rows than the "
+                            "delta state records; was it modified outside the "
+                            "delta engine?"
+                        )
+            except BaseException:
+                writer.abort()
+                raise
+        timings["splice"] = sp.duration
+
+        with span("flush", kind="stage") as sp:
+            writer.close()
+        timings["flush"] = sp.duration
+        notify({"phase": "done", "published_records": writer.records_written})
+
+        timings["finalize"] = max(0.0, root.elapsed() - sum(timings.values()))
+        root.set(
+            rows_appended=rows_appended,
+            n_chunks_dirty=len(dirty),
+            published_records=writer.records_written,
+        )
+
+    PUBLISH_RUNS.inc(path="delta", strategy=state.strategy)
+    ROWS_PUBLISHED.inc(writer.records_written, strategy=state.strategy)
+    DELTA_GROUPS_TOUCHED.inc(len(appended_groups), strategy=state.strategy)
+    DELTA_ROWS_APPENDED.inc(rows_appended, strategy=state.strategy)
+    new_state = DeltaState(
+        strategy=state.strategy,
+        params=dict(resolved),
+        seed=state.seed,
+        chunk_size=state.chunk_size,
+        chunk_rows=state.chunk_rows,
+        n_rows=state.n_rows + rows_appended,
+        sensitive=state.sensitive,
+        header=state.header,
+        groups=merged,
+        chunk_row_counts=tuple(new_chunk_counts),
+        output=str(target),
+    )
+    return DeltaReport(
+        mode=mode,
+        strategy=state.strategy,
+        params=dict(resolved),
+        seed=state.seed,
+        chunk_size=state.chunk_size,
+        chunk_rows=state.chunk_rows,
+        workers=int(workers),
+        n_rows=state.n_rows + rows_appended,
+        rows_appended=rows_appended,
+        n_groups=len(merged),
+        groups_touched=len(appended_groups),
+        n_chunks=n_chunks_new,
+        n_chunks_dirty=len(dirty),
+        published_records=writer.records_written,
+        schema=new_schema,
+        spec=spec,
+        audit=privacy_audit,
+        groups=tuple(records),
+        timings=timings,
+        output=str(target),
+        state=new_state,
+    )

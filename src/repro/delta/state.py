@@ -1,0 +1,195 @@
+"""Persistent state of an incrementally re-publishable dataset.
+
+A base publish (:func:`repro.delta.publish_base`) captures everything a
+later append needs, so the base source never has to be re-read:
+
+* the per-group counts, keyed by **decoded value strings** rather than
+  schema codes — appended rows can then be merged even when they introduce
+  new attribute values (which would shift every code);
+* the per-chunk published row counts — clean chunks can then be copied out
+  of the published CSV without re-running their kernels (the row count of a
+  chunk depends on the kernel's draws and is unrecoverable after the fact);
+* the ``(strategy, params, seed, chunk_size)`` tuple that pins the bytes.
+
+The state is a plain JSON document (:meth:`DeltaState.save` /
+:meth:`DeltaState.load`), so a publish made by one process can be appended
+to by another — the ``repro-delta`` CLI round-trips it through a file and
+the service keeps it in memory per dataset.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.dataset.schema import Attribute, Schema
+from repro.stream.index import StreamGroup
+
+#: Value-keyed personal groups: decoded NA key -> {SA value: count}, sorted
+#: lexicographically by key (the published group order, since schema domains
+#: are sorted).
+ValueGroups = tuple[tuple[tuple[str, ...], dict[str, int]], ...]
+
+#: Version of the serialised state document.
+STATE_VERSION = 1
+
+
+def schema_from_value_groups(
+    public_names: list[str], sensitive: str, groups: ValueGroups
+) -> Schema:
+    """The schema the stored groups imply (sorted domains, sensitive last).
+
+    Every row lives in exactly one personal group, so the observed domain of
+    a column is the set of values that column takes across the group keys —
+    the same domains :meth:`repro.stream.index.IncrementalGroupIndex.finalize`
+    infers from the rows themselves.
+    """
+    domains: list[set[str]] = [set() for _ in public_names]
+    sa_domain: set[str] = set()
+    for key, counts in groups:
+        for i, value in enumerate(key):
+            domains[i].add(value)
+        sa_domain.update(counts)
+    return Schema(
+        public=tuple(
+            Attribute(name, tuple(sorted(domain)))
+            for name, domain in zip(public_names, domains, strict=True)
+        ),
+        sensitive=Attribute(sensitive, tuple(sorted(sa_domain))),
+    )
+
+
+def coded_groups(schema: Schema, groups: ValueGroups) -> list[StreamGroup]:
+    """Translate value-keyed groups onto ``schema``'s codes, preserving order.
+
+    The stored order (sorted by decoded key) equals the coded lexicographic
+    order because the schema's domains are sorted — so the returned list is
+    exactly what the incremental index would finalize over the same rows.
+    """
+    codes = [
+        {value: code for code, value in enumerate(attr.values)}
+        for attr in schema.public
+    ]
+    sa_codes = {value: code for code, value in enumerate(schema.sensitive.values)}
+    m = len(schema.sensitive.values)
+    out: list[StreamGroup] = []
+    for key, counts in groups:
+        vector = np.zeros(m, dtype=np.int64)
+        for value, count in counts.items():
+            vector[sa_codes[value]] = count
+        out.append(
+            StreamGroup(
+                key=tuple(codes[i][value] for i, value in enumerate(key)),
+                sensitive_counts=vector,
+            )
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class DeltaState:
+    """Everything a delta re-publish needs to know about a published base.
+
+    Instances are immutable; :func:`repro.delta.delta_publish` returns the
+    successor state on its report rather than mutating the input, so a
+    failed splice can never leave the caller holding state that disagrees
+    with the (untouched) published file.
+    """
+
+    #: Registered strategy name the base was published with.
+    strategy: str
+    #: Fully resolved strategy parameters (defaults filled in).
+    params: dict[str, Any]
+    #: Root seed of the per-chunk spawn tree.
+    seed: int
+    #: Personal groups per work chunk (pins the published bytes).
+    chunk_size: int
+    #: CSV records per ingestion chunk (memory knob; does not pin bytes).
+    chunk_rows: int
+    #: Total input rows folded in so far (base plus every applied append).
+    n_rows: int
+    #: Sensitive column name.
+    sensitive: str
+    #: Source file column order (appends must match it).
+    header: tuple[str, ...]
+    #: Value-keyed per-group SA counts, sorted by key.
+    groups: ValueGroups
+    #: Published rows per kernel chunk, in chunk order.
+    chunk_row_counts: tuple[int, ...]
+    #: Path of the published CSV the splice step rewrites.
+    output: str
+
+    @property
+    def public_names(self) -> list[str]:
+        """Public column names in file order (header minus the SA column)."""
+        return [name for name in self.header if name != self.sensitive]
+
+    @property
+    def n_groups(self) -> int:
+        """Number of distinct personal groups."""
+        return len(self.groups)
+
+    def schema(self) -> Schema:
+        """The schema implied by the stored groups (sorted domains)."""
+        return schema_from_value_groups(self.public_names, self.sensitive, self.groups)
+
+    def with_output(self, output: str) -> "DeltaState":
+        """A copy of the state pointing at a different published file."""
+        return replace(self, output=output)
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-ready dict (inverse of :meth:`from_json`)."""
+        return {
+            "state_version": STATE_VERSION,
+            "strategy": self.strategy,
+            "params": dict(self.params),
+            "seed": self.seed,
+            "chunk_size": self.chunk_size,
+            "chunk_rows": self.chunk_rows,
+            "n_rows": self.n_rows,
+            "sensitive": self.sensitive,
+            "header": list(self.header),
+            "groups": [[list(key), dict(counts)] for key, counts in self.groups],
+            "chunk_row_counts": list(self.chunk_row_counts),
+            "output": self.output,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "DeltaState":
+        """Rebuild a state from :meth:`to_json` output."""
+        version = data.get("state_version")
+        if version != STATE_VERSION:
+            raise ValueError(
+                f"unsupported delta state version {version!r} (expected {STATE_VERSION})"
+            )
+        return cls(
+            strategy=str(data["strategy"]),
+            params=dict(data["params"]),
+            seed=int(data["seed"]),
+            chunk_size=int(data["chunk_size"]),
+            chunk_rows=int(data["chunk_rows"]),
+            n_rows=int(data["n_rows"]),
+            sensitive=str(data["sensitive"]),
+            header=tuple(str(name) for name in data["header"]),
+            groups=tuple(
+                (tuple(str(v) for v in key), {str(k): int(n) for k, n in counts.items()})
+                for key, counts in data["groups"]
+            ),
+            chunk_row_counts=tuple(int(n) for n in data["chunk_row_counts"]),
+            output=str(data["output"]),
+        )
+
+    def save(self, path: str | Path) -> None:
+        """Write the state as a JSON document."""
+        Path(path).write_text(
+            json.dumps(self.to_json(), indent=2) + "\n", encoding="utf-8"
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "DeltaState":
+        """Read a state written by :meth:`save`."""
+        return cls.from_json(json.loads(Path(path).read_text(encoding="utf-8")))

@@ -782,3 +782,46 @@ def _is_environ_store(module: ModuleInfo, target: ast.expr) -> bool:
         return False
     resolved = module.resolve_attribute(target.value)
     return resolved == "os.environ"
+
+
+@register_rule
+class DeltaDeterminismRule(Rule):
+    """RPR007: the delta engine must never rebuild a full-table group index.
+
+    The whole point of :mod:`repro.delta` is that an append costs work
+    proportional to the appended rows and the dirty chunks — the stored
+    value-keyed group counts replace a re-read of the base.  Calling
+    :func:`repro.dataset.groups.personal_groups` (or constructing a
+    :class:`~repro.dataset.groups.GroupIndex`) inside a delta-engine module
+    reintroduces the full-table pass the subsystem exists to avoid, and
+    worse, does so silently: the output bytes stay identical, so only the
+    wall-clock betrays the regression.  Merge appended counts into the
+    stored state and feed an :class:`~repro.stream.index.IncrementalGroupIndex`
+    the *appended rows only*.
+    """
+
+    code = "RPR007"
+    name = "delta-determinism"
+    description = (
+        "delta-engine modules must not rebuild a group index over the full "
+        "table (personal_groups/GroupIndex); index appended rows only and "
+        "merge into the stored per-group counts"
+    )
+
+    _FORBIDDEN = frozenset({"personal_groups", "GroupIndex"})
+
+    def check(self, module: ModuleInfo, project: Project) -> Iterator[Finding]:
+        if module.name != "repro.delta" and not module.name.startswith("repro.delta."):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = _resolve_call_target(module, node)
+            last = (target or "").rsplit(".", 1)[-1]
+            if last in self._FORBIDDEN:
+                yield self.finding(
+                    module, node.lineno, node.col_offset,
+                    f"delta engine calls {last}(), a full-table group-index "
+                    "rebuild; merge appended counts into the stored state "
+                    "via IncrementalGroupIndex over the appended rows only",
+                )

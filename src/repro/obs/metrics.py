@@ -282,6 +282,20 @@ STREAM_ROWS_PER_SECOND = REGISTRY.gauge(
     "Published-row throughput of the most recent streaming enforce stage.",
 )
 
+#: Personal groups receiving appended rows, per delta-publish, by strategy.
+DELTA_GROUPS_TOUCHED = REGISTRY.counter(
+    "repro_delta_groups_touched_total",
+    "Personal groups receiving appended rows across delta-publish runs.",
+    labelnames=("strategy",),
+)
+
+#: Rows appended through the incremental delta-publish path, by strategy.
+DELTA_ROWS_APPENDED = REGISTRY.counter(
+    "repro_delta_rows_appended_total",
+    "Rows appended through the incremental delta-publish path.",
+    labelnames=("strategy",),
+)
+
 #: Peak traced allocation of the most recent ``track_memory`` streaming run.
 TRACEMALLOC_PEAK = REGISTRY.gauge(
     "repro_tracemalloc_peak_bytes",

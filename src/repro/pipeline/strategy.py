@@ -89,6 +89,19 @@ class PublishStrategy(ABC):
     #: stance.  :func:`repro.stream.engine.stream_publish` refuses strategies
     #: that declare ``streamable = False``.
     streamable: ClassVar[bool] = True
+    #: Whether the strategy honours the incremental re-publish contract of
+    #: :mod:`repro.delta`: its published bytes for a chunk of groups depend
+    #: only on that chunk's (SA count vectors, spec, rng) — never on groups
+    #: outside the chunk or on global row order — so appending rows lets the
+    #: delta engine regenerate only the affected chunks and splice them into
+    #: the published CSV, byte-identical to a full re-publish.  True for the
+    #: group-kernel strategies (SPS, the DP histograms); ``uniform`` cannot
+    #: honour it (its draws walk one global row spool, so any append shifts
+    #: every later draw) and ``generalize+sps`` cannot either (one appended
+    #: row can flip a chi-square merge decision for the whole table).
+    #: :func:`repro.delta.publish_base` refuses strategies that declare
+    #: ``delta_capable = False`` loudly rather than silently diverging.
+    delta_capable: ClassVar[bool] = False
 
     def resolve(self, params: Mapping[str, Any]) -> dict[str, Any]:
         """Validate ``params`` against the declared specs and fill defaults."""
@@ -266,6 +279,9 @@ class SPSStrategy(PublishStrategy):
     name = "sps"
     summary = "Sampling-Perturbing-Scaling enforcement of (lambda, delta)-privacy"
     params = _SPS_PARAMS
+    # Per-chunk draws depend only on the chunk's count vectors and the spec,
+    # so appends re-run only the touched chunks.
+    delta_capable = True
 
     def spec_for(self, table: Table, resolved: Mapping[str, Any]) -> PrivacySpec:
         return _spec_from(table, resolved)
@@ -317,6 +333,9 @@ class GeneralizeSPSStrategy(SPSStrategy):
     name = "generalize+sps"
     summary = "chi-square NA generalisation followed by SPS enforcement"
     generalizes = True
+    # One appended row can flip a chi-square merge decision, re-keying every
+    # group — incremental splicing cannot bound the affected set.
+    delta_capable = False
     params = _SPS_PARAMS + (
         ParamSpec.floating(
             "significance", 0.05, minimum=0.0, maximum=1.0,
@@ -338,6 +357,9 @@ class UniformStrategy(PublishStrategy):
     params = _SPS_PARAMS
     uses_groups = False
     streams_rows = True
+    # Draws walk one global row spool: appending a row shifts every later
+    # draw, so there is no bounded affected set to splice.
+    delta_capable = False
 
     def spec_for(self, table: Table, resolved: Mapping[str, Any]) -> PrivacySpec:
         return _spec_from(table, resolved)
@@ -368,6 +390,9 @@ class _DPHistogramStrategy(PublishStrategy):
     """
 
     audits = False
+    # Noise is drawn per group from the chunk's generator; appends re-run
+    # only the touched chunks.
+    delta_capable = True
 
     def _mechanism(self, resolved: Mapping[str, Any]) -> Any:
         raise NotImplementedError

@@ -10,6 +10,7 @@ state to JSON.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from pathlib import Path
 from collections.abc import Mapping
@@ -18,6 +19,7 @@ from typing import IO, Any
 from repro import __version__
 from repro.core.criterion import PrivacySpec
 from repro.core.testing import audit_table
+from repro.delta.state import DeltaState
 from repro.dataset.adult import generate_adult
 from repro.dataset.census import generate_census
 from repro.dataset.loaders import read_csv
@@ -30,6 +32,7 @@ from repro.service.registry import (
     DatasetEntry,
     DatasetRegistry,
     JobStore,
+    NotFoundError,
     ServiceError,
     load_snapshot,
     save_snapshot,
@@ -76,6 +79,10 @@ class AnonymizationService:
         else:
             self.datasets = DatasetRegistry()
             self.jobs = JobStore()
+        #: Delta-publishable datasets: name -> current DeltaState.  In-memory
+        #: only (states reference server-side files); a restarted service
+        #: re-creates them via :meth:`publish_delta_base`.
+        self.deltas: dict[str, DeltaState] = {}
         self._started = time.perf_counter()
 
     @property
@@ -342,6 +349,224 @@ class AnonymizationService:
         # Re-add so the store tracks (and caps) the resident published table.
         self.jobs.add(record)
         return record
+
+    def publish_delta_base(
+        self,
+        name: str,
+        source: str | Path,
+        sensitive: str,
+        backend: str,
+        output: str | Path,
+        params: Mapping[str, Any] | None = None,
+        seed: int = 0,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        chunk_rows: int | None = None,
+        workers: int = 1,
+        replace: bool = False,
+    ) -> JobRecord:
+        """Publish a CSV source as a delta-re-publishable dataset named ``name``.
+
+        Runs :func:`repro.delta.publish_base` as a ``delta=true`` job and
+        keeps the resulting :class:`~repro.delta.state.DeltaState` in the
+        service's delta registry, so later :meth:`append_rows` calls can
+        splice appended rows into the published CSV incrementally.  Raises
+        :class:`~repro.service.registry.ServiceError` for strategies that
+        declare no delta support (``delta_capable = False``).
+        """
+        from repro.delta.engine import publish_base
+
+        if not replace and name in self.deltas:
+            raise ServiceError(
+                f"delta dataset {name!r} already exists; pass replace=true to overwrite"
+            )
+        spec = JobSpec(
+            dataset=name,
+            backend=backend,
+            params=dict(params or {}),
+            seed=int(seed),
+            chunk_size=int(chunk_size),
+            max_workers=int(workers),
+            delta=True,
+            source=str(source),
+            sensitive=str(sensitive),
+            chunk_rows=int(chunk_rows) if chunk_rows is not None else None,
+            output=str(output),
+            rows_appended=0,
+        )
+        if spec.chunk_size <= 0:
+            raise ServiceError("chunk_size must be positive")
+        if spec.chunk_rows is not None and spec.chunk_rows <= 0:
+            raise ServiceError("chunk_rows must be positive")
+        if spec.max_workers <= 0:
+            raise ServiceError("workers must be positive")
+        record = JobRecord(job_id=self.jobs.new_job_id(), spec=spec, status="running")
+        self.jobs.add(record)
+        start = time.perf_counter()
+        _mark_event(record.events, "started", start, backend=spec.backend)
+
+        def on_progress(event: Mapping[str, Any]) -> None:
+            record.progress = dict(event)
+            data = dict(event)
+            phase = str(data.pop("phase", "progress"))
+            _mark_event(record.events, phase, start, **data)
+
+        extra: dict[str, Any] = {}
+        if spec.chunk_rows is not None:
+            extra["chunk_rows"] = spec.chunk_rows
+        try:
+            report = publish_base(
+                source,
+                sensitive=str(sensitive),
+                output=output,
+                strategy=backend,
+                rng=spec.seed,
+                chunk_size=spec.chunk_size,
+                workers=spec.max_workers,
+                # Never clobber an existing server-side file: the splice path
+                # later rewrites `output` in place, but the *base* publish
+                # must not truncate an arbitrary path a client named.
+                overwrite=False,
+                progress=on_progress,
+                **extra,
+                **spec.params,
+            )
+        except BaseException as exc:
+            total = time.perf_counter() - start
+            record.status = "failed"
+            record.error = str(exc) or type(exc).__name__
+            _mark_event(record.events, "failed", start, error=record.error)
+            record.timings = JobTimings(
+                group_index_seconds=0.0,
+                publish_seconds=total,
+                total_seconds=total,
+                group_index_cached=False,
+            )
+            if isinstance(exc, (ValueError, OSError)):
+                raise ServiceError(f"job {record.job_id} failed: {exc}") from exc
+            raise
+        self._finish_delta_job(record, report, start)
+        assert report.state is not None
+        self.deltas[name] = report.state
+        return record
+
+    def append_rows(
+        self,
+        name: str,
+        rows: list[list[str]] | None = None,
+        source: str | Path | None = None,
+        workers: int = 1,
+    ) -> JobRecord:
+        """Fold appended rows into delta dataset ``name`` as a publish job.
+
+        ``rows`` is an inline batch in the base header's column order (what
+        ``POST /datasets/<name>/rows`` sends); ``source`` is a server-side
+        CSV path with the same header — exactly one must be given.  The job
+        re-runs only the kernel chunks whose personal groups changed and
+        splices them into the published CSV atomically; its record carries
+        live ``progress`` and the phase timeline (``append_read → diff →
+        splice → done``), and the delta registry advances to the successor
+        state only when the job completes.
+        """
+        from repro.delta.engine import delta_publish
+
+        state = self.deltas.get(name)
+        if state is None:
+            raise NotFoundError(
+                f"no delta dataset named {name!r}; create one with a "
+                "delta base publish first"
+            )
+        if (rows is None) == (source is None):
+            raise ServiceError("pass exactly one of rows= or source=")
+        if workers <= 0:
+            raise ServiceError("workers must be positive")
+        spec = JobSpec(
+            dataset=name,
+            backend=state.strategy,
+            params=dict(state.params),
+            seed=state.seed,
+            chunk_size=state.chunk_size,
+            max_workers=int(workers),
+            delta=True,
+            source=str(source) if source is not None else "<rows>",
+            sensitive=state.sensitive,
+            chunk_rows=state.chunk_rows,
+            output=state.output,
+            rows_appended=len(rows) if rows is not None else None,
+        )
+        record = JobRecord(job_id=self.jobs.new_job_id(), spec=spec, status="running")
+        self.jobs.add(record)
+        start = time.perf_counter()
+        _mark_event(record.events, "started", start, backend=spec.backend)
+
+        def on_progress(event: Mapping[str, Any]) -> None:
+            record.progress = dict(event)
+            data = dict(event)
+            phase = str(data.pop("phase", "progress"))
+            _mark_event(record.events, phase, start, **data)
+
+        try:
+            report = delta_publish(
+                state,
+                rows if rows is not None else source,
+                workers=int(workers),
+                progress=on_progress,
+            )
+        except BaseException as exc:
+            total = time.perf_counter() - start
+            record.status = "failed"
+            record.error = str(exc) or type(exc).__name__
+            _mark_event(record.events, "failed", start, error=record.error)
+            record.timings = JobTimings(
+                group_index_seconds=0.0,
+                publish_seconds=total,
+                total_seconds=total,
+                group_index_cached=False,
+            )
+            # The published file and the stored state are both untouched on
+            # failure (the splice writes a temp file), so the dataset stays
+            # appendable.
+            if isinstance(exc, (ValueError, OSError)):
+                raise ServiceError(f"job {record.job_id} failed: {exc}") from exc
+            raise
+        self._finish_delta_job(record, report, start)
+        assert report.state is not None
+        self.deltas[name] = report.state
+        return record
+
+    def _finish_delta_job(self, record: JobRecord, report: Any, start: float) -> None:
+        """Complete a delta job record from the engine's report."""
+        total = time.perf_counter() - start
+        if record.spec.rows_appended is None:
+            # A source-path append only knows its row count after the read.
+            record.spec = dataclasses.replace(
+                record.spec, rows_appended=report.rows_appended
+            )
+        _mark_event(
+            record.events, "completed", start,
+            published_records=report.published_records,
+        )
+        record.status = "completed"
+        record.published_records = report.published_records
+        record.metadata = {
+            "mode": report.mode,
+            "params": dict(report.params),
+            "n_rows": report.n_rows,
+            "rows_appended": report.rows_appended,
+            "n_groups": report.n_groups,
+            "groups_touched": report.groups_touched,
+            "n_chunks": report.n_chunks,
+            "n_chunks_dirty": report.n_chunks_dirty,
+            "dirty_fraction": report.dirty_fraction,
+            "output": report.output,
+        }
+        record.audit = AuditSummary.from_audit(report.audit) if report.audit else None
+        record.timings = JobTimings(
+            group_index_seconds=report.timings.get("group_index", 0.0),
+            publish_seconds=total - report.timings.get("group_index", 0.0),
+            total_seconds=total,
+            group_index_cached=False,
+        )
+        self.jobs.add(record)
 
     def job(self, job_id: str) -> JobRecord:
         """Look one job record up by id."""

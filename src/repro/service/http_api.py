@@ -16,7 +16,15 @@ POST   ``/datasets``              register a CSV body (``?name=&sensitive=``)
 GET    ``/datasets/<name>``       one dataset's detail
 POST   ``/publish``               run a publish job (JSON body); pass
                                   ``"stream": true`` with ``source`` and
-                                  ``sensitive`` for an out-of-core job
+                                  ``sensitive`` for an out-of-core job, or
+                                  ``"delta": true`` with ``name``, ``source``,
+                                  ``sensitive`` and ``output`` to create a
+                                  delta-re-publishable dataset
+POST   ``/datasets/<name>/rows``  append rows to a delta dataset: runs an
+                                  incremental delta-publish job (only the
+                                  affected kernel chunks re-run, spliced into
+                                  the published CSV atomically) with live
+                                  progress and timeline events
 GET    ``/jobs``                  list job records
 GET    ``/jobs/<id>``             one job record (stream jobs include live
                                   ``progress`` while running, and every job
@@ -217,6 +225,9 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             if parts == ["datasets"]:
                 self._handle_register(query)
                 return True
+            if len(parts) == 3 and parts[0] == "datasets" and parts[2] == "rows":
+                self._handle_append_rows(parts[1])
+                return True
             if parts == ["publish"]:
                 self._handle_publish()
                 return True
@@ -249,12 +260,62 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         entry = self.service.register_csv(name, stream, sensitive, replace=replace)
         self._send_json(entry.to_json(), status=201)
 
+    def _handle_append_rows(self, name: str) -> None:
+        body = self._read_json_body()
+        rows = body.get("rows")
+        source = body.get("source")
+        if rows is not None:
+            if not isinstance(rows, list) or not all(
+                isinstance(row, list) and all(isinstance(v, str) for v in row)
+                for row in rows
+            ):
+                raise ServiceError(
+                    "'rows' must be a list of rows (lists of strings) in the "
+                    "dataset's header column order"
+                )
+        record = self.service.append_rows(
+            name,
+            rows=rows,
+            source=str(source) if source is not None else None,
+            workers=_as_int(_workers_field(body), "workers"),
+        )
+        self._send_json(record.to_json(), status=201)
+
     def _handle_publish(self) -> None:
         body = self._read_json_body()
         backend = body.get("backend")
         params = body.get("params") or {}
         if not isinstance(params, dict):
             raise ServiceError("'params' must be a JSON object")
+        if body.get("delta"):
+            # Delta base publish: like a stream job, but the service keeps
+            # the resulting DeltaState so POST /datasets/<name>/rows can
+            # splice appends into the published CSV incrementally.
+            name = body.get("name")
+            source = body.get("source")
+            sensitive = body.get("sensitive")
+            output = body.get("output")
+            if not name or not source or not sensitive or not backend or not output:
+                raise ServiceError(
+                    "delta publish requires 'name', 'source', 'sensitive', "
+                    "'backend' and 'output' fields"
+                )
+            chunk_rows = body.get("chunk_rows")
+            record = self.service.publish_delta_base(
+                name=str(name),
+                source=str(source),
+                sensitive=str(sensitive),
+                backend=str(backend),
+                output=str(output),
+                params=params,
+                seed=_as_int(body.get("seed", 0), "seed"),
+                chunk_size=_as_int(body.get("chunk_size", DEFAULT_CHUNK_SIZE), "chunk_size"),
+                chunk_rows=_as_int(chunk_rows, "chunk_rows") if chunk_rows is not None else None,
+                workers=_as_int(_workers_field(body), "workers"),
+                replace=bool(body.get("replace", False)),
+            )
+            self._send_json(record.to_json(), status=201)
+            return
         if body.get("stream"):
             # Out-of-core job mode: publish straight from a server-side CSV
             # path in bounded-memory chunks; GET /jobs/<id> shows progress

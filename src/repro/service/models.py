@@ -105,6 +105,13 @@ class JobSpec:
     ``source`` out-of-core instead of a registered dataset; ``chunk_rows``
     bounds its ingestion memory and ``output`` names the CSV sink the
     published rows streamed to (``None`` when the table was kept in memory).
+
+    A *delta* job (``delta=True``) runs through :mod:`repro.delta`:
+    either a base publish that captures a re-publishable dataset's state, or
+    an append that splices new rows into the published CSV incrementally.
+    ``source`` then names the appended CSV (or ``"<rows>"`` for an inline
+    row batch), ``rows_appended`` counts the rows folded in, and ``output``
+    is the published CSV the splice rewrote.
     """
 
     dataset: str
@@ -118,6 +125,8 @@ class JobSpec:
     sensitive: str | None = None
     chunk_rows: int | None = None
     output: str | None = None
+    delta: bool = False
+    rows_appended: int | None = None
 
     def to_json(self) -> dict[str, Any]:
         data = {
@@ -136,6 +145,15 @@ class JobSpec:
                 chunk_rows=self.chunk_rows,
                 output=self.output,
             )
+        if self.delta:
+            data.update(
+                delta=True,
+                source=self.source,
+                sensitive=self.sensitive,
+                chunk_rows=self.chunk_rows,
+                output=self.output,
+                rows_appended=self.rows_appended,
+            )
         return data
 
     @classmethod
@@ -153,6 +171,12 @@ class JobSpec:
             sensitive=data.get("sensitive"),
             chunk_rows=int(chunk_rows) if chunk_rows is not None else None,
             output=data.get("output"),
+            delta=bool(data.get("delta", False)),
+            rows_appended=(
+                int(data["rows_appended"])
+                if data.get("rows_appended") is not None
+                else None
+            ),
         )
 
 

@@ -18,7 +18,9 @@ source and the offending line number.
 
 from __future__ import annotations
 
-from collections.abc import Iterator
+import csv
+import io
+from collections.abc import Iterator, Sequence
 from pathlib import Path
 from typing import IO
 
@@ -78,6 +80,39 @@ class ChunkedReader:
         self.rows_read = 0
         #: Chunks yielded so far in the current iteration.
         self.chunks_read = 0
+
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Sequence[Sequence[str]],
+        header: Sequence[str],
+        sensitive: str,
+        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+        label: str = "appended rows",
+    ) -> "ChunkedReader":
+        """Build a reader over in-memory rows (file column order, no header row).
+
+        The rows are rendered through the same CSV machinery a file source
+        goes through, so every validation error a file read would name —
+        ragged width, missing sensitive column, no rows at all — is raised
+        here too, prefixed with ``label`` instead of a file path (e.g.
+        ``"appended rows, line 3: row has 2 fields but the header has 3"``).
+        This is what the delta engine hands appended row batches to.
+
+        >>> reader = ChunkedReader.from_rows(
+        ...     [["Oslo", "Flu"], ["Bergen", "Cold"]], ["City", "Disease"],
+        ...     sensitive="Disease")
+        >>> [len(chunk) for chunk in reader.chunks()]
+        [2]
+        """
+        buffer = io.StringIO(newline="")
+        writer = csv.writer(buffer)
+        writer.writerow(list(header))
+        writer.writerows(rows)
+        buffer.seek(0)
+        reader = cls(buffer, sensitive, chunk_rows=chunk_rows)
+        reader.label = label
+        return reader
 
     @property
     def chunk_rows(self) -> int:

@@ -1,0 +1,803 @@
+"""The incremental re-publish engine and its byte-identity contract.
+
+The load-bearing example-based suite for :mod:`repro.delta` (the property
+harness lives in ``tests/test_delta_properties.py``): for every
+``delta_capable`` strategy and any append split, splicing the appended rows
+through :func:`repro.delta.delta_publish` must equal a full re-publish of
+``base + appended`` bit for bit — published CSV bytes, audit results and
+per-chunk RNG streams — at any ``chunk_rows`` and any worker count.  The
+fault-injection tests pin the atomicity half of the contract: a failure at
+any point of the splice leaves the previously published file untouched.
+"""
+
+import csv
+import dataclasses
+import io
+import json
+import logging
+import os
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.dataset.schema import SchemaError
+from repro.delta import (
+    DeltaState,
+    DeltaUnsupportedError,
+    delta_publish,
+    publish_base,
+)
+from repro.delta.cli import main as delta_cli_main
+from repro.obs.metrics import DELTA_GROUPS_TOUCHED, DELTA_ROWS_APPENDED
+from repro.pipeline import PublishPipeline, publish
+from repro.pipeline.strategy import (
+    SPSStrategy,
+    register_strategy,
+    unregister_strategy,
+)
+from repro.stream import ChunkedReader, stream_publish
+
+SEED = 7
+CHUNK_SIZE = 8
+CHUNK_ROWS = 400
+
+
+def _write_csv(path: Path, header, rows) -> None:
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(header))
+        writer.writerows(rows)
+
+
+@pytest.fixture(scope="module")
+def adult():
+    """(header, records) of a small adult table, file column order."""
+    table = repro.generate_adult(1200, seed=11)
+    header = list(table.schema.public_names) + [table.schema.sensitive_name]
+    return header, [list(row) for row in table.records()]
+
+
+def _split_publish(
+    tmp_path,
+    header,
+    records,
+    n_append,
+    *,
+    strategy="sps",
+    seed=SEED,
+    chunk_size=CHUNK_SIZE,
+    chunk_rows=CHUNK_ROWS,
+    workers=1,
+    sensitive="Income",
+):
+    """Publish base, delta-splice the tail, full-publish everything.
+
+    Returns ``(delta_bytes, full_bytes, delta_report, full_report)``.
+    """
+    base_csv = tmp_path / "base.csv"
+    append_csv = tmp_path / "append.csv"
+    full_csv = tmp_path / "full.csv"
+    _write_csv(base_csv, header, records[:-n_append])
+    _write_csv(append_csv, header, records[-n_append:])
+    _write_csv(full_csv, header, records)
+
+    published = tmp_path / "published.csv"
+    base_report = publish_base(
+        base_csv, sensitive=sensitive, output=published, strategy=strategy,
+        rng=seed, chunk_size=chunk_size, chunk_rows=chunk_rows,
+    )
+    assert base_report.mode == "base" and base_report.state is not None
+    delta_report = delta_publish(base_report.state, append_csv, workers=workers)
+
+    full_out = tmp_path / "full_published.csv"
+    full_report = stream_publish(
+        full_csv, sensitive=sensitive, strategy=strategy, rng=seed,
+        chunk_size=chunk_size, chunk_rows=chunk_rows, output=full_out,
+    )
+    return published.read_bytes(), full_out.read_bytes(), delta_report, full_report
+
+
+# --------------------------------------------------------------------- #
+# Byte identity: delta == full, for every capable strategy
+# --------------------------------------------------------------------- #
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("strategy", ["sps", "dp-laplace", "dp-gaussian"])
+    def test_delta_equals_full_publish(self, adult, tmp_path, strategy):
+        header, records = adult
+        delta_bytes, full_bytes, delta_report, full_report = _split_publish(
+            tmp_path, header, records, 120, strategy=strategy
+        )
+        assert delta_bytes == full_bytes
+        assert delta_report.mode == "delta"
+        assert delta_report.rows_appended == 120
+        assert delta_report.n_rows == len(records)
+        if strategy == "sps":
+            assert delta_report.audit is not None and full_report.audit is not None
+            assert (
+                delta_report.audit.group_violation_rate
+                == full_report.audit.group_violation_rate
+            )
+            assert delta_report.audit.is_private == full_report.audit.is_private
+        else:
+            # DP strategies have no per-group audit on either path.
+            assert delta_report.audit is None and full_report.audit is None
+
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_workers_never_change_bytes(self, adult, tmp_path, workers):
+        header, records = adult
+        delta_bytes, full_bytes, _, _ = _split_publish(
+            tmp_path, header, records, 90, workers=workers
+        )
+        assert delta_bytes == full_bytes
+
+    @pytest.mark.parametrize("chunk_rows", [97, 1000])
+    def test_chunk_rows_never_changes_bytes(self, adult, tmp_path, chunk_rows):
+        header, records = adult
+        delta_bytes, full_bytes, _, _ = _split_publish(
+            tmp_path, header, records, 75, chunk_rows=chunk_rows
+        )
+        assert delta_bytes == full_bytes
+
+    def test_in_memory_rows_equal_csv_append(self, adult, tmp_path):
+        header, records = adult
+        base_csv = tmp_path / "base.csv"
+        _write_csv(base_csv, header, records[:-60])
+        published = tmp_path / "published.csv"
+        report = publish_base(
+            base_csv, sensitive="Income", output=published,
+            rng=SEED, chunk_size=CHUNK_SIZE,
+        )
+        # An in-memory batch (no header row, base column order) and a CSV
+        # source of the same rows splice to the same bytes.
+        rows_out = tmp_path / "rows.csv"
+        delta_publish(report.state, records[-60:], output=rows_out)
+        append_csv = tmp_path / "append.csv"
+        _write_csv(append_csv, header, records[-60:])
+        csv_out = tmp_path / "from-csv.csv"
+        delta_publish(report.state, append_csv, output=csv_out)
+        assert rows_out.read_bytes() == csv_out.read_bytes()
+
+    def test_chained_appends_equal_one_full_publish(self, adult, tmp_path):
+        header, records = adult
+        base_csv = tmp_path / "base.csv"
+        _write_csv(base_csv, header, records[:-100])
+        published = tmp_path / "published.csv"
+        report = publish_base(
+            base_csv, sensitive="Income", output=published,
+            rng=SEED, chunk_size=CHUNK_SIZE,
+        )
+        state = report.state
+        # Two successive appends, each advancing the state in place.
+        first = delta_publish(state, records[-100:-40])
+        second = delta_publish(first.state, records[-40:])
+        assert second.state.n_rows == len(records)
+
+        full_csv = tmp_path / "full.csv"
+        _write_csv(full_csv, header, records)
+        full_out = tmp_path / "full_published.csv"
+        stream_publish(
+            full_csv, sensitive="Income", strategy="sps", rng=SEED,
+            chunk_size=CHUNK_SIZE, output=full_out,
+        )
+        assert published.read_bytes() == full_out.read_bytes()
+
+    def test_successor_state_round_trips_through_json(self, adult, tmp_path):
+        header, records = adult
+        _, _, delta_report, _ = _split_publish(tmp_path, header, records, 50)
+        state = delta_report.state
+        assert DeltaState.from_json(state.to_json()) == state
+        path = tmp_path / "state.json"
+        state.save(path)
+        assert DeltaState.load(path) == state
+
+
+# --------------------------------------------------------------------- #
+# Dirty-chunk resolution and the loud full fallback
+# --------------------------------------------------------------------- #
+
+_TINY_HEADER = ["City", "Disease"]
+
+
+def _tiny_rows(cities, diseases, repeat=4):
+    return [[c, d] for c in cities for d in diseases for _ in range(repeat)]
+
+
+class TestDirtyChunks:
+    def _base(self, tmp_path, rows, chunk_size=1):
+        base_csv = tmp_path / "base.csv"
+        _write_csv(base_csv, _TINY_HEADER, rows)
+        return publish_base(
+            base_csv, sensitive="Disease", output=tmp_path / "published.csv",
+            rng=3, chunk_size=chunk_size,
+        )
+
+    def test_key_localized_append_leaves_most_chunks_clean(self, adult, tmp_path):
+        # Appending rows for one key range must not dirty the whole output.
+        rows = _tiny_rows("abcdefgh", ["flu", "cold"])
+        report = self._base(tmp_path, rows)  # 8 groups, chunk_size=1
+        appended = [["h", "flu"], ["h", "cold"]]
+        delta = delta_publish(report.state, appended)
+        assert delta.mode == "delta"
+        assert delta.n_chunks == 8
+        assert delta.n_chunks_dirty == 1
+        assert delta.groups_touched == 1
+
+    def test_new_group_dirties_insertion_point_onward(self, tmp_path):
+        rows = _tiny_rows("aceg", ["flu", "cold"])
+        report = self._base(tmp_path, rows)  # groups a, c, e, g
+        # "b" inserts at position 1: chunks 1.. shift, chunk 0 stays clean.
+        delta = delta_publish(report.state, [["b", "flu"]])
+        assert delta.mode == "delta"
+        assert delta.n_chunks == 5
+        assert 0 < delta.n_chunks_dirty < delta.n_chunks
+
+    def test_new_sensitive_value_falls_back_to_full(self, tmp_path, caplog, monkeypatch):
+        rows = _tiny_rows("abcd", ["flu", "cold"])
+        report = self._base(tmp_path, rows)
+        # A CLI test running earlier may have left the "repro" logger
+        # non-propagating (configure_cli_logging does); caplog listens on
+        # the root logger, so restore propagation for the capture.
+        monkeypatch.setattr(logging.getLogger("repro"), "propagate", True)
+        with caplog.at_level("WARNING", logger="repro.delta"):
+            delta = delta_publish(report.state, [["a", "covid"]])
+        assert delta.mode == "full"
+        assert delta.n_chunks_dirty == delta.n_chunks
+        assert any("sensitive domain" in r.message for r in caplog.records)
+        # The fallback is loud but still byte-identical to a full publish.
+        full_csv = tmp_path / "full.csv"
+        _write_csv(full_csv, _TINY_HEADER, rows + [["a", "covid"]])
+        full_out = tmp_path / "full_published.csv"
+        stream_publish(
+            full_csv, sensitive="Disease", strategy="sps", rng=3,
+            chunk_size=1, output=full_out,
+        )
+        assert Path(report.state.output).read_bytes() == full_out.read_bytes()
+
+
+# --------------------------------------------------------------------- #
+# Stance flag and error surfaces
+# --------------------------------------------------------------------- #
+
+
+class TestStanceAndErrors:
+    @pytest.mark.parametrize("strategy", ["uniform", "generalize+sps"])
+    def test_non_capable_strategy_refused(self, tmp_path, strategy):
+        base_csv = tmp_path / "base.csv"
+        _write_csv(base_csv, _TINY_HEADER, _tiny_rows("ab", ["flu", "cold"]))
+        with pytest.raises(DeltaUnsupportedError, match="delta_capable"):
+            publish_base(
+                base_csv, sensitive="Disease", output=tmp_path / "out.csv",
+                strategy=strategy, rng=1,
+            )
+
+    def test_output_must_be_a_path(self, tmp_path):
+        with pytest.raises(ValueError, match="path"):
+            publish_base(
+                io.StringIO("City,Disease\na,flu\n"), sensitive="Disease",
+                output=io.StringIO(), rng=1,
+            )
+
+    def test_state_version_rejected(self, adult, tmp_path):
+        header, records = adult
+        base_csv = tmp_path / "base.csv"
+        _write_csv(base_csv, header, records[:200])
+        report = publish_base(
+            base_csv, sensitive="Income", output=tmp_path / "out.csv", rng=1
+        )
+        payload = report.state.to_json()
+        payload["state_version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            DeltaState.from_json(payload)
+
+    def test_inconsistent_state_rejected(self, tmp_path):
+        base_csv = tmp_path / "base.csv"
+        _write_csv(base_csv, _TINY_HEADER, _tiny_rows("abcd", ["flu", "cold"]))
+        report = publish_base(
+            base_csv, sensitive="Disease", output=tmp_path / "out.csv",
+            rng=1, chunk_size=1,
+        )
+        broken = dataclasses.replace(
+            report.state, chunk_row_counts=report.state.chunk_row_counts[:-1]
+        )
+        with pytest.raises(ValueError, match="inconsistent"):
+            delta_publish(broken, [["a", "flu"]])
+
+    def test_tampered_base_file_detected(self, tmp_path):
+        base_csv = tmp_path / "base.csv"
+        _write_csv(base_csv, _TINY_HEADER, _tiny_rows("abcd", ["flu", "cold"]))
+        report = publish_base(
+            base_csv, sensitive="Disease", output=tmp_path / "out.csv",
+            rng=1, chunk_size=1,
+        )
+        published = Path(report.state.output)
+        lines = published.read_bytes().splitlines(keepends=True)
+        published.write_bytes(b"".join(lines[:-2]))  # drop two published rows
+        with pytest.raises(ValueError, match="modified outside the delta engine"):
+            delta_publish(report.state, [["a", "flu"]])
+
+    def test_appended_header_mismatch_detected(self, tmp_path):
+        base_csv = tmp_path / "base.csv"
+        _write_csv(base_csv, _TINY_HEADER, _tiny_rows("ab", ["flu", "cold"]))
+        report = publish_base(
+            base_csv, sensitive="Disease", output=tmp_path / "out.csv", rng=1
+        )
+        wrong = tmp_path / "wrong.csv"
+        _write_csv(wrong, ["Town", "Disease"], [["a", "flu"]])
+        with pytest.raises(SchemaError, match="does not match the published"):
+            delta_publish(report.state, wrong)
+
+    def test_workers_must_be_positive(self, tmp_path):
+        base_csv = tmp_path / "base.csv"
+        _write_csv(base_csv, _TINY_HEADER, _tiny_rows("ab", ["flu", "cold"]))
+        report = publish_base(
+            base_csv, sensitive="Disease", output=tmp_path / "out.csv", rng=1
+        )
+        with pytest.raises(ValueError, match="workers"):
+            delta_publish(report.state, [["a", "flu"]], workers=0)
+
+    def test_report_summary_is_json_ready(self, tmp_path):
+        base_csv = tmp_path / "base.csv"
+        _write_csv(base_csv, _TINY_HEADER, _tiny_rows("ab", ["flu", "cold"]))
+        report = publish_base(
+            base_csv, sensitive="Disease", output=tmp_path / "out.csv", rng=1
+        )
+        delta = delta_publish(report.state, [["a", "flu"]])
+        summary = json.loads(json.dumps(delta.summary()))
+        assert summary["mode"] == "delta"
+        assert summary["rows_appended"] == 1
+        assert summary["audit"]["is_private"] in (True, False)
+
+
+# --------------------------------------------------------------------- #
+# Fault injection: every failure leaves the published base untouched
+# --------------------------------------------------------------------- #
+
+
+class _ExplodingDeltaStrategy(SPSStrategy):
+    """Module-level (hence picklable) strategy whose kernel dies on demand.
+
+    Armed through an environment variable so the *base* publish succeeds
+    and only the later delta splice explodes — fork-started workers inherit
+    the armed environment.
+    """
+
+    name = "sps-delta-exploding"
+
+    def chunk_publisher(self, schema, spec, resolved):
+        inner = super().chunk_publisher(schema, spec, resolved)
+
+        def chunk_fn(chunk, rng):
+            mode = os.environ.get("REPRO_TEST_DELTA_EXPLODE")
+            if mode == "raise":
+                raise OSError("disk full")
+            if mode == "exit":
+                os._exit(13)  # simulate a hard worker crash (OOM-killer style)
+            return inner(chunk, rng)
+
+        return chunk_fn
+
+
+@pytest.fixture()
+def exploding_strategy():
+    strategy = _ExplodingDeltaStrategy()
+    register_strategy(strategy)
+    try:
+        yield strategy
+    finally:
+        unregister_strategy(strategy.name)
+
+
+def _no_temp_leftovers(directory: Path) -> bool:
+    return not [p for p in directory.iterdir() if p.suffix == ".tmp" or ".tmp" in p.name]
+
+
+class TestFaultInjection:
+    def _exploding_base(self, tmp_path, exploding_strategy, monkeypatch):
+        base_csv = tmp_path / "base.csv"
+        _write_csv(base_csv, _TINY_HEADER, _tiny_rows("abcdefgh", ["flu", "cold"]))
+        report = publish_base(
+            base_csv, sensitive="Disease", output=tmp_path / "published.csv",
+            strategy=exploding_strategy, rng=3, chunk_size=1,
+        )
+        return report.state, Path(report.state.output).read_bytes()
+
+    def test_kernel_failure_leaves_base_intact(
+        self, tmp_path, exploding_strategy, monkeypatch
+    ):
+        state, base_bytes = self._exploding_base(
+            tmp_path, exploding_strategy, monkeypatch
+        )
+        monkeypatch.setenv("REPRO_TEST_DELTA_EXPLODE", "raise")
+        with pytest.raises(OSError, match="disk full"):
+            delta_publish(state, [["h", "flu"]])
+        assert Path(state.output).read_bytes() == base_bytes
+        assert _no_temp_leftovers(tmp_path)
+
+    def test_worker_death_leaves_base_intact(
+        self, tmp_path, exploding_strategy, monkeypatch
+    ):
+        state, base_bytes = self._exploding_base(
+            tmp_path, exploding_strategy, monkeypatch
+        )
+        monkeypatch.setenv("REPRO_TEST_DELTA_EXPLODE", "exit")
+        # Appending new trailing groups dirties several chunks, enough for a
+        # real process fan-out; the dead worker surfaces as a broken-pool
+        # error, never a hang, and the splice never reaches the rename.
+        appended = [["x", "flu"], ["y", "cold"], ["z", "flu"], ["z", "cold"]]
+        with pytest.raises(Exception) as excinfo:
+            delta_publish(state, appended, workers=2, parallel_backend="process")
+        assert "process" in type(excinfo.value).__name__.lower() or isinstance(
+            excinfo.value, RuntimeError
+        )
+        assert Path(state.output).read_bytes() == base_bytes
+        assert _no_temp_leftovers(tmp_path)
+
+    def test_sink_write_failure_mid_splice_leaves_base_intact(
+        self, tmp_path, monkeypatch
+    ):
+        base_csv = tmp_path / "base.csv"
+        _write_csv(base_csv, _TINY_HEADER, _tiny_rows("abcdefgh", ["flu", "cold"]))
+        report = publish_base(
+            base_csv, sensitive="Disease", output=tmp_path / "published.csv",
+            rng=3, chunk_size=1,
+        )
+        base_bytes = Path(report.state.output).read_bytes()
+
+        from repro.delta import engine as engine_module
+
+        def exploding_write(self, encoded):
+            raise OSError("sink write failed")
+
+        monkeypatch.setattr(
+            engine_module._SpliceWriter, "write_encoded", exploding_write
+        )
+        with pytest.raises(OSError, match="sink write failed"):
+            delta_publish(report.state, [["h", "flu"]])
+        assert Path(report.state.output).read_bytes() == base_bytes
+        assert _no_temp_leftovers(tmp_path)
+
+    def test_schema_incompatible_append_leaves_base_intact(self, tmp_path):
+        base_csv = tmp_path / "base.csv"
+        _write_csv(base_csv, _TINY_HEADER, _tiny_rows("ab", ["flu", "cold"]))
+        report = publish_base(
+            base_csv, sensitive="Disease", output=tmp_path / "published.csv",
+            rng=3,
+        )
+        base_bytes = Path(report.state.output).read_bytes()
+        with pytest.raises(SchemaError, match="appended rows, line 3"):
+            delta_publish(report.state, [["a", "flu"], ["ragged"]])
+        assert Path(report.state.output).read_bytes() == base_bytes
+        assert _no_temp_leftovers(tmp_path)
+
+
+# --------------------------------------------------------------------- #
+# ChunkedReader.from_rows — the append source (regression, satellite #3)
+# --------------------------------------------------------------------- #
+
+
+class TestFromRows:
+    def test_ragged_row_names_source_and_line(self):
+        reader = ChunkedReader.from_rows(
+            [["a", "flu"], ["ragged"]], _TINY_HEADER, sensitive="Disease"
+        )
+        with pytest.raises(SchemaError, match=r"appended rows.*line 3"):
+            list(reader.chunks())
+
+    def test_missing_sensitive_column_names_source(self):
+        reader = ChunkedReader.from_rows(
+            [["a", "b"]], ["City", "Town"], sensitive="Disease"
+        )
+        with pytest.raises(SchemaError, match="appended rows"):
+            list(reader.chunks())
+
+    def test_empty_batch_names_source(self):
+        reader = ChunkedReader.from_rows([], _TINY_HEADER, sensitive="Disease")
+        with pytest.raises(SchemaError, match="appended rows"):
+            list(reader.chunks())
+
+    def test_custom_label_used_in_errors(self):
+        reader = ChunkedReader.from_rows(
+            [["only"]], _TINY_HEADER, sensitive="Disease", label="POST body"
+        )
+        with pytest.raises(SchemaError, match="POST body"):
+            list(reader.chunks())
+
+    def test_rows_round_trip_like_a_file(self):
+        reader = ChunkedReader.from_rows(
+            [["a", "flu"], ["b", "cold"]], _TINY_HEADER,
+            sensitive="Disease", chunk_rows=1,
+        )
+        assert [len(chunk) for chunk in reader.chunks()] == [1, 1]
+        assert reader.public_names == ["City"]
+
+
+# --------------------------------------------------------------------- #
+# Front-door wiring: repro.publish(append=) and PublishPipeline.with_append
+# --------------------------------------------------------------------- #
+
+
+class TestPublishWiring:
+    @pytest.fixture()
+    def base_state(self, adult, tmp_path):
+        header, records = adult
+        base_csv = tmp_path / "base.csv"
+        _write_csv(base_csv, header, records[:-80])
+        report = publish_base(
+            base_csv, sensitive="Income", output=tmp_path / "published.csv",
+            rng=SEED, chunk_size=CHUNK_SIZE,
+        )
+        return report.state, records[-80:]
+
+    def test_publish_append_delegates(self, base_state, tmp_path):
+        state, appended = base_state
+        out = tmp_path / "delta-out.csv"
+        report = publish(append=appended, delta_state=state, output=out)
+        assert report.mode == "delta"
+        assert report.rows_appended == 80
+        assert out.exists()
+
+    def test_pipeline_with_append(self, base_state, tmp_path):
+        state, appended = base_state
+        direct = tmp_path / "direct-out.csv"
+        # Direct engine call first (separate output keeps the base pristine),
+        # then the pipeline splices in place — same successor state.
+        direct_report = delta_publish(state, appended, output=direct)
+        report = PublishPipeline("sps").with_append(appended, state).run()
+        assert report.mode == "delta"
+        assert report.state.groups == direct_report.state.groups
+
+    def test_publish_append_requires_state(self, base_state):
+        _, appended = base_state
+        with pytest.raises(ValueError, match="delta_state"):
+            publish(append=appended)
+
+    def test_publish_append_rejects_table_and_params(self, base_state):
+        state, appended = base_state
+        table = repro.generate_adult(50, seed=1)
+        with pytest.raises(ValueError):
+            publish(table, append=appended, delta_state=state)
+        with pytest.raises(ValueError, match="delta state"):
+            publish(append=appended, delta_state=state, lam=0.5)
+        with pytest.raises(ValueError, match="chunk_rows"):
+            publish(append=appended, delta_state=state, chunk_rows=10)
+
+    def test_pipeline_strategy_mismatch_rejected(self, base_state):
+        state, appended = base_state
+        with pytest.raises(ValueError, match="sps"):
+            PublishPipeline("uniform").with_append(appended, state)
+        with pytest.raises(ValueError, match="parameters"):
+            PublishPipeline("sps", lam=0.4).with_append(appended, state)
+
+    def test_pipeline_run_with_table_and_append_conflicts(self, base_state):
+        state, appended = base_state
+        pipeline = PublishPipeline("sps").with_append(appended, state)
+        with pytest.raises(ValueError):
+            pipeline.run(repro.generate_adult(50, seed=1))
+
+    def test_metrics_count_touched_groups_and_rows(self, base_state, tmp_path):
+        state, appended = base_state
+        groups_before = DELTA_GROUPS_TOUCHED.value(strategy="sps")
+        rows_before = DELTA_ROWS_APPENDED.value(strategy="sps")
+        report = delta_publish(state, appended, output=tmp_path / "m.csv")
+        assert (
+            DELTA_GROUPS_TOUCHED.value(strategy="sps") - groups_before
+            == report.groups_touched
+        )
+        assert DELTA_ROWS_APPENDED.value(strategy="sps") - rows_before == 80
+
+
+# --------------------------------------------------------------------- #
+# Service layer: delta datasets as jobs
+# --------------------------------------------------------------------- #
+
+
+class TestServiceDelta:
+    @pytest.fixture()
+    def service_base(self, tmp_path):
+        from repro.service.engine import AnonymizationService
+
+        service = AnonymizationService()
+        base_csv = tmp_path / "base.csv"
+        _write_csv(base_csv, _TINY_HEADER, _tiny_rows("abcd", ["flu", "cold"]))
+        out = tmp_path / "published.csv"
+        record = service.publish_delta_base(
+            "living", base_csv, "Disease", "sps", out, seed=3, chunk_size=2
+        )
+        return service, record, out
+
+    def test_delta_base_job_records_spec_and_state(self, service_base):
+        service, record, out = service_base
+        assert record.status == "completed"
+        assert record.spec.delta is True
+        assert record.spec.rows_appended == 0
+        assert record.metadata["mode"] == "base"
+        assert out.exists()
+        assert "living" in service.deltas
+
+    def test_append_rows_runs_incremental_job(self, service_base):
+        service, _, out = service_base
+        before = out.read_bytes()
+        n_rows = service.deltas["living"].n_rows
+        record = service.append_rows("living", rows=[["d", "flu"], ["d", "cold"]])
+        assert record.status == "completed"
+        assert record.spec.delta is True
+        assert record.spec.rows_appended == 2
+        assert record.metadata["mode"] == "delta"
+        assert record.metadata["rows_appended"] == 2
+        # The job timeline carries the delta phases, in order.
+        phases = [event["event"] for event in record.events]
+        assert phases.index("append_read") < phases.index("diff") < phases.index("splice")
+        assert phases[-1] == "completed"
+        # The published CSV advanced atomically and the state chained.
+        assert out.read_bytes() != before
+        assert service.deltas["living"].n_rows == n_rows + 2
+
+    def test_append_from_source_path_records_row_count(self, service_base, tmp_path):
+        service, _, _ = service_base
+        append_csv = tmp_path / "append.csv"
+        _write_csv(append_csv, _TINY_HEADER, [["d", "flu"], ["d", "cold"], ["e", "flu"]])
+        record = service.append_rows("living", source=append_csv)
+        assert record.status == "completed"
+        # A source append only knows its row count after the read; the spec
+        # is backfilled so HTTP clients see it, same as a rows= append.
+        assert record.spec.rows_appended == 3
+        assert record.spec.source == str(append_csv)
+        assert record.metadata["rows_appended"] == 3
+
+    def test_append_to_unknown_dataset_is_not_found(self, service_base):
+        from repro.service.registry import NotFoundError
+
+        service, _, _ = service_base
+        with pytest.raises(NotFoundError, match="nope"):
+            service.append_rows("nope", rows=[["a", "flu"]])
+
+    def test_duplicate_delta_name_requires_replace(self, service_base, tmp_path):
+        from repro.service.registry import ServiceError
+
+        service, _, _ = service_base
+        base_csv = tmp_path / "base2.csv"
+        _write_csv(base_csv, _TINY_HEADER, _tiny_rows("ab", ["flu", "cold"]))
+        with pytest.raises(ServiceError, match="already exists"):
+            service.publish_delta_base(
+                "living", base_csv, "Disease", "sps", tmp_path / "out2.csv"
+            )
+
+    def test_failed_append_marks_job_failed(self, service_base):
+        from repro.service.registry import ServiceError
+
+        service, _, out = service_base
+        before = out.read_bytes()
+        with pytest.raises(ServiceError):
+            service.append_rows("living", rows=[["ragged"]])
+        failed = [r for r in service.jobs.records() if r.status == "failed"]
+        assert failed and failed[-1].error
+        assert out.read_bytes() == before  # base survives the failed splice
+
+    def test_delta_spec_round_trips_through_json(self, service_base):
+        from repro.service.models import JobSpec
+
+        _, record, _ = service_base
+        payload = json.loads(json.dumps(record.spec.to_json()))
+        assert payload["delta"] is True
+        restored = JobSpec.from_json(payload)
+        assert restored.delta is True
+        assert restored.sensitive == "Disease"
+        assert restored.rows_appended == 0
+
+
+class TestServiceDeltaHttp:
+    @pytest.fixture()
+    def server(self, tmp_path):
+        import threading
+
+        from repro.service.engine import AnonymizationService
+        from repro.service.http_api import make_server
+
+        service = AnonymizationService()
+        server = make_server(service, host="127.0.0.1", port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            yield f"http://127.0.0.1:{server.server_address[1]}", tmp_path
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    @staticmethod
+    def _post_json(url, payload):
+        import urllib.request
+
+        request = urllib.request.Request(
+            url, data=json.dumps(payload).encode(), method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request) as response:
+            return response.status, json.load(response)
+
+    def test_delta_lifecycle_over_http(self, server):
+        import urllib.error
+
+        url, tmp_path = server
+        base_csv = tmp_path / "base.csv"
+        _write_csv(base_csv, _TINY_HEADER, _tiny_rows("abcd", ["flu", "cold"]))
+        out = tmp_path / "published.csv"
+        status, job = self._post_json(f"{url}/publish", {
+            "delta": True, "name": "living", "source": str(base_csv),
+            "sensitive": "Disease", "backend": "sps", "output": str(out),
+            "seed": 3, "chunk_size": 2,
+        })
+        assert status == 201
+        assert job["spec"]["delta"] is True
+        assert job["status"] == "completed"
+
+        status, appended = self._post_json(f"{url}/datasets/living/rows", {
+            "rows": [["d", "flu"], ["d", "cold"]],
+        })
+        assert status == 201
+        assert appended["status"] == "completed"
+        assert appended["metadata"]["mode"] == "delta"
+        assert appended["spec"]["rows_appended"] == 2
+
+        # Unknown dataset -> 404; malformed rows -> 400.
+        with pytest.raises(urllib.error.HTTPError) as not_found:
+            self._post_json(f"{url}/datasets/nope/rows", {"rows": [["a", "flu"]]})
+        assert not_found.value.code == 404
+        with pytest.raises(urllib.error.HTTPError) as bad:
+            self._post_json(f"{url}/datasets/living/rows", {"rows": "a,flu"})
+        assert bad.value.code == 400
+
+
+# --------------------------------------------------------------------- #
+# The repro-delta CLI
+# --------------------------------------------------------------------- #
+
+
+class TestCli:
+    def test_init_then_append_end_to_end(self, tmp_path, capsys):
+        base_csv = tmp_path / "base.csv"
+        _write_csv(base_csv, _TINY_HEADER, _tiny_rows("abcd", ["flu", "cold"]))
+        append_csv = tmp_path / "append.csv"
+        _write_csv(append_csv, _TINY_HEADER, [["d", "flu"], ["d", "cold"]])
+        state_path = tmp_path / "state.json"
+        out = tmp_path / "published.csv"
+
+        code = delta_cli_main([
+            "init", str(base_csv), "--sensitive", "Disease",
+            "--seed", "3", "--chunk-size", "2",
+            "--output", str(out), "--state", str(state_path),
+        ])
+        assert code == 0
+        base_summary = json.loads(capsys.readouterr().out)
+        assert base_summary["mode"] == "base"
+        assert state_path.exists() and out.exists()
+        n_rows_base = base_summary["n_rows"]
+
+        code = delta_cli_main([
+            "append", str(append_csv), "--state", str(state_path),
+        ])
+        assert code == 0
+        delta_summary = json.loads(capsys.readouterr().out)
+        assert delta_summary["mode"] == "delta"
+        assert delta_summary["rows_appended"] == 2
+        # The state file advances so the next append chains off this one.
+        saved = DeltaState.load(state_path)
+        assert saved.n_rows == n_rows_base + 2
+
+    def test_bad_inputs_exit_2(self, tmp_path, capsys):
+        state_path = tmp_path / "state.json"
+        assert delta_cli_main([
+            "init", str(tmp_path / "missing.csv"), "--sensitive", "Disease",
+            "--output", str(tmp_path / "out.csv"), "--state", str(state_path),
+        ]) == 2
+        # Unsupported strategy stance is a refusal, not a crash.
+        base_csv = tmp_path / "base.csv"
+        _write_csv(base_csv, _TINY_HEADER, _tiny_rows("ab", ["flu"]))
+        assert delta_cli_main([
+            "init", str(base_csv), "--sensitive", "Disease",
+            "--strategy", "uniform",
+            "--output", str(tmp_path / "out.csv"), "--state", str(state_path),
+        ]) == 2

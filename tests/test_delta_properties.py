@@ -1,0 +1,188 @@
+"""The differential/property harness pinning the delta byte-identity contract.
+
+For every ``delta_capable`` strategy and *any* randomized combination of
+schema, row multiset, append split, seed, ``chunk_size``, ``chunk_rows``
+and worker count, hypothesis asserts
+
+    ``full_publish(base + appended) == delta_publish(published_base, appended)``
+
+in output bytes and audit results.  The generator freely produces appends
+that add new groups, new public values and new sensitive values — so the
+loud ``mode="full"`` fallback is exercised under the same equality, not
+special-cased away.  ``tests/test_delta.py`` holds the example-based and
+fault-injection halves of the contract.
+
+Profiles: CI runs the ``ci`` profile (``derandomize=True`` so the suite is
+reproducible and the perf gate sees stable timings); locally the ``local``
+profile keeps hypothesis's randomized search but drops the per-example
+deadline (publishing runs real kernels, whose first call pays numpy warm-up).
+Select explicitly with ``HYPOTHESIS_PROFILE=ci pytest tests/test_delta_properties.py``.
+"""
+
+import csv
+import os
+import tempfile
+from pathlib import Path
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.delta import delta_publish, publish_base  # noqa: E402
+from repro.stream import stream_publish  # noqa: E402
+
+settings.register_profile("ci", derandomize=True, max_examples=25, deadline=None)
+settings.register_profile("local", max_examples=50, deadline=None)
+settings.load_profile(
+    "ci" if os.environ.get("CI") else os.environ.get("HYPOTHESIS_PROFILE", "local")
+)
+
+HEADER = ["City", "Job", "Disease"]
+CITIES = ["athens", "bergen", "cairo", "delhi"]
+JOBS = ["eng", "nurse"]
+DISEASES = ["cold", "flu", "hiv", "zika"]
+
+DELTA_CAPABLE = ["sps", "dp-laplace", "dp-gaussian"]
+
+row = st.tuples(st.sampled_from(CITIES), st.sampled_from(JOBS), st.sampled_from(DISEASES))
+
+
+def base_and_append():
+    """(base_rows, appended_rows): base covers >=2 SA values, both non-empty."""
+    # The base needs a >=2-value sensitive domain (the perturbation matrix's
+    # dimension); pin two rows, then let everything else vary — including
+    # appends whose rows introduce brand-new public or sensitive values.
+    pinned = st.just([("athens", "eng", "cold"), ("athens", "eng", "flu")])
+    base = st.tuples(pinned, st.lists(row, min_size=3, max_size=60)).map(
+        lambda pair: pair[0] + pair[1]
+    )
+    appended = st.lists(row, min_size=1, max_size=20)
+    return st.tuples(base, appended)
+
+
+def _write(path: Path, rows) -> None:
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(HEADER)
+        writer.writerows(rows)
+
+
+def _audits_equal(left, right) -> bool:
+    if (left is None) != (right is None):
+        return False
+    if left is None:
+        return True
+    return (
+        left.group_violation_rate == right.group_violation_rate
+        and left.record_violation_rate == right.record_violation_rate
+        and left.is_private == right.is_private
+    )
+
+
+@given(
+    split=base_and_append(),
+    strategy=st.sampled_from(DELTA_CAPABLE),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    chunk_size=st.integers(min_value=1, max_value=8),
+    chunk_rows=st.integers(min_value=1, max_value=64),
+    workers=st.sampled_from([1, 2]),
+    in_memory=st.booleans(),
+)
+def test_delta_publish_equals_full_publish(
+    split, strategy, seed, chunk_size, chunk_rows, workers, in_memory
+):
+    base_rows, appended_rows = split
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp_path = Path(tmp)
+        base_csv = tmp_path / "base.csv"
+        full_csv = tmp_path / "full.csv"
+        _write(base_csv, base_rows)
+        _write(full_csv, base_rows + appended_rows)
+
+        published = tmp_path / "published.csv"
+        base_report = publish_base(
+            base_csv, sensitive="Disease", output=published, strategy=strategy,
+            rng=seed, chunk_size=chunk_size, chunk_rows=chunk_rows,
+        )
+        if in_memory:
+            appended = [list(r) for r in appended_rows]
+        else:
+            appended = tmp_path / "append.csv"
+            _write(appended, appended_rows)
+        delta_report = delta_publish(base_report.state, appended, workers=workers)
+
+        full_out = tmp_path / "full_published.csv"
+        full_report = stream_publish(
+            full_csv, sensitive="Disease", strategy=strategy, rng=seed,
+            chunk_size=chunk_size, chunk_rows=chunk_rows, output=full_out,
+        )
+        assert published.read_bytes() == full_out.read_bytes()
+        assert _audits_equal(delta_report.audit, full_report.audit)
+        assert delta_report.n_rows == len(base_rows) + len(appended_rows)
+
+
+@given(
+    split=base_and_append(),
+    seed=st.integers(min_value=0, max_value=2**16),
+    chunk_size=st.integers(min_value=1, max_value=6),
+    chunk_rows_pair=st.tuples(
+        st.integers(min_value=1, max_value=64), st.integers(min_value=1, max_value=64)
+    ),
+)
+def test_chunk_rows_never_changes_delta_bytes(split, seed, chunk_size, chunk_rows_pair):
+    # chunk_rows shapes only the *read* batching; the published bytes are a
+    # pure function of (seed, chunk_size) on the delta path like everywhere.
+    base_rows, appended_rows = split
+    outputs = []
+    for chunk_rows in chunk_rows_pair:
+        with tempfile.TemporaryDirectory() as tmp:
+            tmp_path = Path(tmp)
+            base_csv = tmp_path / "base.csv"
+            _write(base_csv, base_rows)
+            published = tmp_path / "published.csv"
+            report = publish_base(
+                base_csv, sensitive="Disease", output=published,
+                rng=seed, chunk_size=chunk_size, chunk_rows=chunk_rows,
+            )
+            delta_publish(report.state, [list(r) for r in appended_rows])
+            outputs.append(published.read_bytes())
+    assert outputs[0] == outputs[1]
+
+
+@given(
+    split=base_and_append(),
+    cut=st.integers(min_value=0, max_value=100),
+    seed=st.integers(min_value=0, max_value=2**16),
+    chunk_size=st.integers(min_value=1, max_value=6),
+)
+def test_chained_appends_equal_one_full_publish(split, cut, seed, chunk_size):
+    base_rows, appended_rows = split
+    first = appended_rows[: cut % len(appended_rows)]
+    second = appended_rows[cut % len(appended_rows):]
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp_path = Path(tmp)
+        base_csv = tmp_path / "base.csv"
+        full_csv = tmp_path / "full.csv"
+        _write(base_csv, base_rows)
+        _write(full_csv, base_rows + appended_rows)
+
+        published = tmp_path / "published.csv"
+        report = publish_base(
+            base_csv, sensitive="Disease", output=published,
+            rng=seed, chunk_size=chunk_size,
+        )
+        state = report.state
+        if first:
+            state = delta_publish(state, [list(r) for r in first]).state
+        state = delta_publish(state, [list(r) for r in second]).state
+
+        full_out = tmp_path / "full_published.csv"
+        stream_publish(
+            full_csv, sensitive="Disease", strategy="sps", rng=seed,
+            chunk_size=chunk_size, output=full_out,
+        )
+        assert published.read_bytes() == full_out.read_bytes()
+        assert state.n_rows == len(base_rows) + len(appended_rows)

@@ -353,6 +353,65 @@ def test_rpr006_skips_main_guard_and_function_bodies(tmp_path):
 
 
 # --------------------------------------------------------------------- #
+# RPR007 — delta determinism
+# --------------------------------------------------------------------- #
+
+def test_rpr007_flags_full_group_index_rebuild_in_delta(tmp_path):
+    result = lint(tmp_path, {"delta/engine2.py": """\
+        from repro.dataset.groups import personal_groups
+
+        def rebuild(table):
+            return personal_groups(table)
+    """}, select=["RPR007"])
+    assert codes(result) == ["RPR007"]
+    assert "personal_groups" in result.findings[0].message
+
+
+def test_rpr007_flags_group_index_construction(tmp_path):
+    result = lint(tmp_path, {"delta/helpers.py": """\
+        from repro.dataset.groups import GroupIndex
+
+        def make(groups):
+            return GroupIndex(groups)
+    """}, select=["RPR007"])
+    assert codes(result) == ["RPR007"]
+
+
+def test_rpr007_allows_incremental_index_and_other_modules(tmp_path):
+    result = lint(tmp_path, {
+        # The sanctioned pattern: index the appended rows only.
+        "delta/engine2.py": """\
+            from repro.stream.index import IncrementalGroupIndex
+
+            def index_append(chunks, public, sensitive):
+                index = IncrementalGroupIndex(public, sensitive)
+                for chunk in chunks:
+                    index.update(chunk)
+                return index
+        """,
+        # Outside repro.delta the full-table index is fair game.
+        "pipeline/runner2.py": """\
+            from repro.dataset.groups import personal_groups
+
+            def run(table):
+                return personal_groups(table)
+        """,
+    }, select=["RPR007"])
+    assert codes(result) == []
+
+
+def test_rpr007_suppression(tmp_path):
+    result = lint(tmp_path, {"delta/engine2.py": """\
+        from repro.dataset.groups import personal_groups
+
+        def rebuild(table):
+            return personal_groups(table)  # repro-lint: ignore[RPR007]
+    """}, select=["RPR007"])
+    assert codes(result) == []
+    assert result.suppressed == 1
+
+
+# --------------------------------------------------------------------- #
 # Suppressions
 # --------------------------------------------------------------------- #
 
@@ -434,7 +493,7 @@ def test_rule_registry_covers_contract_codes():
     # Importing repro.lint.rules registers the full contract set.
     import repro.lint.rules  # noqa: F401
 
-    assert {f"RPR00{i}" for i in range(1, 7)} <= set(RULES)
+    assert {f"RPR00{i}" for i in range(1, 8)} <= set(RULES)
     for rule in RULES.values():
         assert rule.code and rule.name and rule.description
 
