@@ -72,10 +72,17 @@ class PersonalGroup:
 class GroupIndex:
     """Partition of a table into personal groups keyed by the full NA tuple."""
 
-    def __init__(self, table: Table) -> None:
+    def __init__(
+        self,
+        table: Table,
+        _prebuilt: dict[tuple[int, ...], PersonalGroup] | None = None,
+    ) -> None:
         self._table = table
         self._groups: dict[tuple[int, ...], PersonalGroup] = {}
-        self._build()
+        if _prebuilt is not None:
+            self._groups = _prebuilt
+        else:
+            self._build()
 
     def _build(self) -> None:
         table = self._table
@@ -150,6 +157,49 @@ class GroupIndex:
     def sizes(self) -> np.ndarray:
         """Array of group sizes ``|g|`` in iteration order."""
         return np.array([g.size for g in self], dtype=np.int64)
+
+    def to_parts(self) -> dict[str, list[list[int]]]:
+        """Serialise the index into plain lists (for the derived-cache store)."""
+        keys: list[list[int]] = []
+        indices: list[list[int]] = []
+        counts: list[list[int]] = []
+        for group in self:
+            keys.append([int(k) for k in group.key])
+            indices.append(group.indices.tolist())
+            counts.append(group.sensitive_counts.tolist())
+        return {"keys": keys, "indices": indices, "counts": counts}
+
+    @classmethod
+    def from_parts(cls, table: Table, parts: Mapping[str, list[list[int]]]) -> "GroupIndex":
+        """Rebuild an index from :meth:`to_parts` output, validating against ``table``.
+
+        Raises :class:`ValueError` when the parts do not cover the table
+        exactly (wrong row count, wrong key width, wrong SA domain size) —
+        the caller should fall back to a fresh :meth:`_build`.
+        """
+        m = table.schema.sensitive_domain_size
+        n_public = len(table.schema.public)
+        groups: dict[tuple[int, ...], PersonalGroup] = {}
+        total = 0
+        for key_row, idx, cnt in zip(
+            parts["keys"], parts["indices"], parts["counts"], strict=True
+        ):
+            key = tuple(int(k) for k in key_row)
+            if len(key) != n_public:
+                raise ValueError("cached group key does not match the table schema")
+            indices = np.asarray(idx, dtype=np.int64)
+            counts = np.asarray(cnt, dtype=np.int64)
+            if counts.shape != (m,):
+                raise ValueError("cached sensitive counts do not match the SA domain")
+            if indices.size and int(indices.max()) >= len(table):
+                raise ValueError("cached group indices fall outside the table")
+            total += int(indices.size)
+            groups[key] = PersonalGroup(key=key, indices=indices, sensitive_counts=counts)
+        if total != len(table):
+            raise ValueError(
+                f"cached group index covers {total} rows but the table has {len(table)}"
+            )
+        return cls(table, _prebuilt=groups)
 
     def average_group_size(self) -> float:
         """``|D| / |G|`` as reported in Tables 4 and 5."""

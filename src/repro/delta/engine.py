@@ -36,7 +36,7 @@ import csv
 import logging
 import os
 import tempfile
-from collections.abc import Callable, Sequence
+from collections.abc import Callable, Iterator, Sequence
 from contextlib import closing
 from pathlib import Path
 from typing import IO, Any, cast
@@ -367,10 +367,19 @@ def _read_appended(
     line for ragged rows, a missing sensitive column, an empty batch, or a
     header that does not match the published dataset's.
     """
-    if isinstance(appended, (str, Path)) or hasattr(appended, "read"):
+    if isinstance(appended, ChunkedReader):
+        reader = appended
+    elif isinstance(appended, (str, Path)) or hasattr(appended, "read"):
         reader = ChunkedReader(
             cast("str | Path | IO[str]", appended), state.sensitive,
             chunk_rows=state.chunk_rows, delimiter=delimiter,
+        )
+    elif hasattr(appended, "fetchone"):
+        # A DB-API cursor: rows stream straight out of the database in the
+        # published dataset's column order.
+        reader = ChunkedReader.from_cursor(
+            iter(cast("Iterator[Sequence[object]]", appended)), state.header,
+            state.sensitive, chunk_rows=state.chunk_rows,
         )
     else:
         reader = ChunkedReader.from_rows(
@@ -451,8 +460,11 @@ def delta_publish(
         is on the returned report.
     appended:
         The appended rows: a CSV path (same header as the base), an open
-        text stream, or an in-memory list of rows in the base header's
-        column order (no header row).
+        text stream, a DB-API cursor yielding rows in the base header's
+        column order (``ChunkedReader.from_cursor`` drains it with bounded
+        memory), a pre-built :class:`~repro.stream.reader.ChunkedReader`,
+        or an in-memory list of rows in the base header's column order (no
+        header row).
     output:
         Optional new path for the spliced CSV; by default the published
         file named by ``state.output`` is replaced atomically in place.

@@ -14,7 +14,9 @@ later append needs, so the base source never has to be re-read:
 The state is a plain JSON document (:meth:`DeltaState.save` /
 :meth:`DeltaState.load`), so a publish made by one process can be appended
 to by another — the ``repro-delta`` CLI round-trips it through a file and
-the service keeps it in memory per dataset.
+the service persists it per dataset through a storage connector
+(:class:`DeltaStateStore`), so a restarted service resumes appending where
+it left off.
 """
 
 from __future__ import annotations
@@ -27,6 +29,8 @@ from typing import Any
 import numpy as np
 
 from repro.dataset.schema import Attribute, Schema
+from repro.store.base import NS_DELTAS, StorageConnector
+from repro.store.memory import MemoryConnector
 from repro.stream.index import StreamGroup
 
 #: Value-keyed personal groups: decoded NA key -> {SA value: count}, sorted
@@ -193,3 +197,77 @@ class DeltaState:
     def load(cls, path: str | Path) -> "DeltaState":
         """Read a state written by :meth:`save`."""
         return cls.from_json(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+class DeltaStateStore:
+    """Versioned persistence of :class:`DeltaState` keyed by dataset name.
+
+    States live in the ``deltas`` namespace of a
+    :class:`~repro.store.base.StorageConnector`, so a restarted service
+    resumes with every delta dataset appendable.  Writers pass the version
+    they read (:meth:`entry`) back into :meth:`put` so a concurrent append
+    through a shared store surfaces as a typed
+    :class:`~repro.store.base.VersionConflictError` instead of silently
+    losing the other append's group counts.
+    """
+
+    def __init__(self, store: StorageConnector | None = None) -> None:
+        self._store = store if store is not None else MemoryConnector().open()
+
+    @property
+    def store(self) -> StorageConnector:
+        """The connector the states persist through."""
+        return self._store
+
+    def entry(self, name: str) -> tuple[DeltaState, int] | None:
+        """The state and the store version it was read at, or ``None``."""
+        stored = self._store.get(NS_DELTAS, name)
+        if stored is None:
+            return None
+        return DeltaState.from_json(stored.value), stored.version
+
+    def get(self, name: str) -> DeltaState | None:
+        """The current state of delta dataset ``name``, or ``None``."""
+        found = self.entry(name)
+        return found[0] if found is not None else None
+
+    def version(self, name: str) -> int:
+        """The store version of ``name`` (0 when it does not exist)."""
+        stored = self._store.get(NS_DELTAS, name)
+        return stored.version if stored is not None else 0
+
+    def put(
+        self, name: str, state: DeltaState, expected_version: int | None = None
+    ) -> int:
+        """Persist a state; returns the new version.
+
+        ``expected_version`` follows the connector contract: ``0`` creates
+        only, ``N`` replaces only if the stored state is still at ``N``,
+        ``None`` writes unconditionally.
+        """
+        return self._store.put(
+            NS_DELTAS, name, state.to_json(), expected_version=expected_version
+        )
+
+    def delete(self, name: str) -> bool:
+        """Remove a delta dataset's state; returns whether it existed."""
+        return self._store.delete(NS_DELTAS, name)
+
+    def names(self) -> list[str]:
+        """All delta dataset names, sorted."""
+        return self._store.keys(NS_DELTAS)
+
+    def __contains__(self, name: str) -> bool:
+        return self._store.get(NS_DELTAS, name) is not None
+
+    def __getitem__(self, name: str) -> DeltaState:
+        state = self.get(name)
+        if state is None:
+            raise KeyError(name)
+        return state
+
+    def __setitem__(self, name: str, state: DeltaState) -> None:
+        self.put(name, state)
+
+    def __len__(self) -> int:
+        return len(self.names())

@@ -296,6 +296,20 @@ DELTA_ROWS_APPENDED = REGISTRY.counter(
     labelnames=("strategy",),
 )
 
+#: Storage-connector operations (get/put/delete/...), by backend and op.
+STORE_OPS = REGISTRY.counter(
+    "repro_store_ops_total",
+    "Storage-connector operations by backend (sqlite, memory, json) and op.",
+    labelnames=("backend", "op"),
+)
+
+#: Committed storage transactions, by backend and read/write mode.
+STORE_TXNS = REGISTRY.counter(
+    "repro_store_txns_total",
+    "Committed storage transactions by backend and mode (write=true/false).",
+    labelnames=("backend", "write"),
+)
+
 #: Peak traced allocation of the most recent ``track_memory`` streaming run.
 TRACEMALLOC_PEAK = REGISTRY.gauge(
     "repro_tracemalloc_peak_bytes",

@@ -1,15 +1,16 @@
 """Command-line front end: the same verbs as the HTTP API.
 
-State persists between invocations through ``--store PATH`` (a JSON snapshot
-loaded before and saved after every mutating command), so a shell session can
-register once and publish many times — mirroring the service's
-register-once/publish-many lifecycle without a running server::
+State persists between invocations through ``--store PATH`` — a durable
+SQLite store by default, or the legacy JSON snapshot for ``*.json`` paths
+(see ``docs/storage.md``) — so a shell session can register once and publish
+many times, mirroring the service's register-once/publish-many lifecycle
+without a running server::
 
-    repro-service register demo --synthetic adult --rows 100000 --store state.json
-    repro-service publish --dataset demo --backend sps --seed 7 --store state.json
+    repro-service register demo --synthetic adult --rows 100000 --store state.db
+    repro-service publish --dataset demo --backend sps --seed 7 --store state.db
     repro-service publish --dataset demo --backend sps --trace job-trace.jsonl
-    repro-service audit --dataset demo --store state.json
-    repro-service serve --store state.json --port 8080
+    repro-service audit --dataset demo --store state.db
+    repro-service serve --store state.db --port 8080
 
 Human-facing output (errors, the serve banner) goes to stderr through stdlib
 logging — ``--verbose``/``--quiet`` set the level — while command results
@@ -61,7 +62,10 @@ def _add_store(parser: argparse.ArgumentParser) -> None:
         "--store",
         metavar="PATH",
         default=None,
-        help="JSON snapshot file; loaded at start, saved after mutating commands",
+        help=(
+            "state file: SQLite store (durable default) or legacy *.json "
+            "snapshot; every mutation persists write-through"
+        ),
     )
 
 
@@ -178,6 +182,13 @@ def _run(args: argparse.Namespace) -> int:
         serve(service, host=args.host, port=args.port, verbose=not args.quiet)
         return 0
 
+    try:
+        return _run_command(service, args)
+    finally:
+        service.close()
+
+
+def _run_command(service: AnonymizationService, args: argparse.Namespace) -> int:
     if args.command == "register":
         if args.csv:
             if not args.sensitive:

@@ -1,16 +1,23 @@
 """The anonymization service engine.
 
 :class:`AnonymizationService` is the facade shared by the HTTP front end and
-the CLI: it owns the dataset registry and job store, executes publish jobs
-through the named backend (fanning group work out over the shared
-process-pool scheduler of :mod:`repro.parallel` with per-chunk seeded
-streams), runs audits against the cached group indexes, and snapshots its
-state to JSON.
+the CLI: it owns the dataset registry, job store and delta registry, executes
+publish jobs through the named backend (fanning group work out over the
+shared process-pool scheduler of :mod:`repro.parallel` with per-chunk seeded
+streams), and runs audits against the cached group indexes.
+
+All state persists write-through over one
+:class:`~repro.store.base.StorageConnector` (:mod:`repro.store`): dataset
+tables, built group-index caches, job records with live progress, the job-id
+counter and every :class:`~repro.delta.state.DeltaState`.  Restarting on the
+same store path resumes with everything intact — including delta datasets,
+which stay appendable across a crash.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import threading
 import time
 from pathlib import Path
 from collections.abc import Mapping
@@ -19,7 +26,7 @@ from typing import IO, Any
 from repro import __version__
 from repro.core.criterion import PrivacySpec
 from repro.core.testing import audit_table
-from repro.delta.state import DeltaState
+from repro.delta.state import DeltaState, DeltaStateStore
 from repro.dataset.adult import generate_adult
 from repro.dataset.census import generate_census
 from repro.dataset.loaders import read_csv
@@ -34,8 +41,13 @@ from repro.service.registry import (
     JobStore,
     NotFoundError,
     ServiceError,
-    load_snapshot,
-    save_snapshot,
+)
+from repro.store import (
+    JsonSnapshotConnector,
+    StorageConnector,
+    VersionConflictError,
+    copy_store,
+    open_store,
 )
 
 _SYNTHETIC_GENERATORS = {
@@ -68,27 +80,53 @@ class AnonymizationService:
     Parameters
     ----------
     snapshot_path:
-        Optional JSON snapshot file.  When given and the file exists, state
-        is loaded from it at construction; :meth:`save` writes it back.
+        Optional store path.  ``*.json`` paths use the legacy JSON-snapshot
+        backend (loaded at start, rewritten on every commit); any other path
+        gets the durable SQLite backend; a legacy JSON file handed to a
+        non-JSON path migrates in place on first open.  ``None`` keeps all
+        state in memory.
+    store:
+        An already-constructed connector; overrides ``snapshot_path``-based
+        backend resolution (used by tests and embedders).
     """
 
-    def __init__(self, snapshot_path: str | Path | None = None) -> None:
+    def __init__(
+        self,
+        snapshot_path: str | Path | None = None,
+        store: StorageConnector | None = None,
+    ) -> None:
         self._snapshot_path = Path(snapshot_path) if snapshot_path else None
-        if self._snapshot_path is not None and self._snapshot_path.exists():
-            self.datasets, self.jobs = load_snapshot(self._snapshot_path)
+        if store is not None:
+            self._store = store.open()
         else:
-            self.datasets = DatasetRegistry()
-            self.jobs = JobStore()
-        #: Delta-publishable datasets: name -> current DeltaState.  In-memory
-        #: only (states reference server-side files); a restarted service
-        #: re-creates them via :meth:`publish_delta_base`.
-        self.deltas: dict[str, DeltaState] = {}
+            self._store = open_store(self._snapshot_path)
+        self.datasets = DatasetRegistry(store=self._store)
+        self.jobs = JobStore(store=self._store)
+        #: Delta-publishable datasets, persisted through the store so a
+        #: restarted service resumes appending where it left off.
+        self.deltas = DeltaStateStore(self._store)
+        self._delta_locks: dict[str, threading.Lock] = {}
+        self._delta_locks_guard = threading.Lock()
         self._started = time.perf_counter()
 
     @property
     def snapshot_path(self) -> Path | None:
-        """The configured snapshot file, or ``None`` when persistence is off."""
+        """The configured store path, or ``None`` when persistence is off."""
         return self._snapshot_path
+
+    @property
+    def store(self) -> StorageConnector:
+        """The storage connector all service state persists through."""
+        return self._store
+
+    def close(self) -> None:
+        """Release the underlying store (idempotent)."""
+        self._store.close()
+
+    def _delta_lock(self, name: str) -> threading.Lock:
+        """The per-dataset lock serialising in-process delta mutations."""
+        with self._delta_locks_guard:
+            return self._delta_locks.setdefault(name, threading.Lock())
 
     # ------------------------------------------------------------------ #
     # Dataset registration
@@ -278,6 +316,10 @@ class AnonymizationService:
             data = dict(event)
             phase = str(data.pop("phase", "progress"))
             _mark_event(record.events, phase, start, **data)
+            # Write-through: a concurrent GET /jobs/<id> served by another
+            # process sharing the store sees live progress, and a crash
+            # leaves the record honest up to the last chunk boundary.
+            self.jobs.update(record)
 
         extra: dict[str, Any] = {}
         if spec.chunk_rows is not None:
@@ -367,15 +409,46 @@ class AnonymizationService:
         """Publish a CSV source as a delta-re-publishable dataset named ``name``.
 
         Runs :func:`repro.delta.publish_base` as a ``delta=true`` job and
-        keeps the resulting :class:`~repro.delta.state.DeltaState` in the
-        service's delta registry, so later :meth:`append_rows` calls can
-        splice appended rows into the published CSV incrementally.  Raises
+        persists the resulting :class:`~repro.delta.state.DeltaState` in the
+        service's delta registry, so later :meth:`append_rows` calls — in
+        this process or after a restart on the same store — can splice
+        appended rows into the published CSV incrementally.  Raises
         :class:`~repro.service.registry.ServiceError` for strategies that
         declare no delta support (``delta_capable = False``).
         """
+        with self._delta_lock(name):
+            return self._publish_delta_base(
+                name,
+                source,
+                sensitive,
+                backend,
+                output,
+                params=params,
+                seed=seed,
+                chunk_size=chunk_size,
+                chunk_rows=chunk_rows,
+                workers=workers,
+                replace=replace,
+            )
+
+    def _publish_delta_base(
+        self,
+        name: str,
+        source: str | Path,
+        sensitive: str,
+        backend: str,
+        output: str | Path,
+        params: Mapping[str, Any] | None,
+        seed: int,
+        chunk_size: int,
+        chunk_rows: int | None,
+        workers: int,
+        replace: bool,
+    ) -> JobRecord:
         from repro.delta.engine import publish_base
 
-        if not replace and name in self.deltas:
+        state_version = self.deltas.version(name)
+        if not replace and state_version:
             raise ServiceError(
                 f"delta dataset {name!r} already exists; pass replace=true to overwrite"
             )
@@ -409,6 +482,10 @@ class AnonymizationService:
             data = dict(event)
             phase = str(data.pop("phase", "progress"))
             _mark_event(record.events, phase, start, **data)
+            # Write-through: a concurrent GET /jobs/<id> served by another
+            # process sharing the store sees live progress, and a crash
+            # leaves the record honest up to the last chunk boundary.
+            self.jobs.update(record)
 
         extra: dict[str, Any] = {}
         if spec.chunk_rows is not None:
@@ -444,10 +521,46 @@ class AnonymizationService:
             if isinstance(exc, (ValueError, OSError)):
                 raise ServiceError(f"job {record.job_id} failed: {exc}") from exc
             raise
-        self._finish_delta_job(record, report, start)
         assert report.state is not None
-        self.deltas[name] = report.state
+        # Persist the state *before* the record claims completion: a crash
+        # between the two leaves an appendable dataset and an honest
+        # "running"→"interrupted" record, never the reverse.
+        self._advance_delta_state(name, report.state, state_version, record, start)
+        self._finish_delta_job(record, report, start)
         return record
+
+    def _advance_delta_state(
+        self,
+        name: str,
+        state: DeltaState,
+        expected_version: int,
+        record: JobRecord,
+        start: float,
+    ) -> None:
+        """Persist a delta state at the version the job read, or fail the job.
+
+        A conflict means another writer (through a shared store) advanced the
+        dataset while this job ran; applying our state would silently drop
+        their group counts, so the job fails with a typed error instead.
+        """
+        try:
+            self.deltas.put(name, state, expected_version=expected_version)
+        except VersionConflictError as exc:
+            total = time.perf_counter() - start
+            record.status = "failed"
+            record.error = str(exc)
+            _mark_event(record.events, "failed", start, error=record.error)
+            record.timings = JobTimings(
+                group_index_seconds=0.0,
+                publish_seconds=total,
+                total_seconds=total,
+                group_index_cached=False,
+            )
+            self.jobs.add(record)
+            raise ServiceError(
+                f"job {record.job_id} failed: delta dataset {name!r} was modified "
+                f"concurrently ({exc}); re-read and retry the operation"
+            ) from exc
 
     def append_rows(
         self,
@@ -465,16 +578,29 @@ class AnonymizationService:
         splices them into the published CSV atomically; its record carries
         live ``progress`` and the phase timeline (``append_read → diff →
         splice → done``), and the delta registry advances to the successor
-        state only when the job completes.
+        state — at the store version this job read, so a concurrent append
+        through a shared store fails typed instead of losing updates — only
+        when the job completes.
         """
+        with self._delta_lock(name):
+            return self._append_rows(name, rows=rows, source=source, workers=workers)
+
+    def _append_rows(
+        self,
+        name: str,
+        rows: list[list[str]] | None,
+        source: str | Path | None,
+        workers: int,
+    ) -> JobRecord:
         from repro.delta.engine import delta_publish
 
-        state = self.deltas.get(name)
-        if state is None:
+        found = self.deltas.entry(name)
+        if found is None:
             raise NotFoundError(
                 f"no delta dataset named {name!r}; create one with a "
                 "delta base publish first"
             )
+        state, state_version = found
         if (rows is None) == (source is None):
             raise ServiceError("pass exactly one of rows= or source=")
         if workers <= 0:
@@ -503,6 +629,10 @@ class AnonymizationService:
             data = dict(event)
             phase = str(data.pop("phase", "progress"))
             _mark_event(record.events, phase, start, **data)
+            # Write-through: a concurrent GET /jobs/<id> served by another
+            # process sharing the store sees live progress, and a crash
+            # leaves the record honest up to the last chunk boundary.
+            self.jobs.update(record)
 
         try:
             report = delta_publish(
@@ -528,9 +658,9 @@ class AnonymizationService:
             if isinstance(exc, (ValueError, OSError)):
                 raise ServiceError(f"job {record.job_id} failed: {exc}") from exc
             raise
-        self._finish_delta_job(record, report, start)
         assert report.state is not None
-        self.deltas[name] = report.state
+        self._advance_delta_state(name, report.state, state_version, record, start)
+        self._finish_delta_job(record, report, start)
         return record
 
     def _finish_delta_job(self, record: JobRecord, report: Any, start: float) -> None:
@@ -654,6 +784,11 @@ class AnonymizationService:
             "published_records_total": sum(r.published_records for r in records),
             "group_index_hits": sum(e.group_index_hits for e in entries),
             "group_index_misses": sum(e.group_index_misses for e in entries),
+            "n_delta_datasets": len(self.deltas),
+            "store": {
+                "backend": self._store.backend,
+                "location": self._store.location,
+            },
             "backends": backend_descriptions(),
             "strategies": strategy_descriptions(),
         }
@@ -670,9 +805,31 @@ class AnonymizationService:
     # Persistence
     # ------------------------------------------------------------------ #
     def save(self, path: str | Path | None = None) -> Path:
-        """Snapshot datasets and job history to JSON; returns the path written."""
+        """Ensure all state is on disk at ``path``; returns the path written.
+
+        With no ``path``, the configured store path is used: the JSON
+        backend flushes its snapshot, the SQLite backend is already durable
+        (every mutation committed write-through), so this is a checkpoint
+        no-op.  An explicit *different* ``path`` exports a full copy of the
+        store there — documents, versions and counters — with the backend
+        chosen from the path exactly as at construction.
+        """
         target = Path(path) if path else self._snapshot_path
         if target is None:
             raise ServiceError("no snapshot path configured")
-        save_snapshot(target, self.datasets, self.jobs)
+        if self._snapshot_path is not None and target == self._snapshot_path:
+            if isinstance(self._store, JsonSnapshotConnector):
+                self._store.flush()
+            return target
+        exported = open_store(target)
+        try:
+            # An export replaces the target's contents (the pre-connector
+            # snapshot semantics), so drop any stale documents first.
+            with exported.transaction(write=True) as txn:
+                for namespace in txn.namespaces():
+                    for key in txn.keys(namespace):
+                        txn.delete(namespace, key)
+            copy_store(self._store, exported)
+        finally:
+            exported.close()
         return target

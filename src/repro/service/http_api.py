@@ -438,7 +438,9 @@ def serve(
     finally:
         server.server_close()
         if service.snapshot_path is not None:
-            # Persist datasets registered and jobs run over HTTP, so a
-            # restarted server resumes with the same state.
+            # Every mutation was persisted write-through as it happened; this
+            # is a final checkpoint (a flush for the JSON backend, a no-op
+            # for SQLite) before the store closes.
             path = service.save()
             _log.info("state saved to %s", path)
+        service.close()

@@ -1,4 +1,4 @@
-"""Dataset registry and job store (in memory, JSON snapshot persistence).
+"""Dataset registry and job store, write-through over a storage connector.
 
 A dataset is registered once and then serves many publish/audit requests.
 The dominant cost of every SPS-family request is building the
@@ -8,15 +8,25 @@ table, keyed by significance level) for all subsequent jobs; the entry tracks
 cache hits/misses and build times so ``/stats`` can prove the cache is doing
 its job.
 
+Since the :mod:`repro.store` connector landed, both registries persist
+write-through: every register, job record and built group index lands in the
+configured :class:`~repro.store.base.StorageConnector` inside the mutating
+call, not at shutdown — so a ``kill -9`` loses nothing that was committed.
+Constructed without a store they fall back to a private in-memory connector
+(the pre-connector behaviour).  Job ids come from the store's durable
+counter, so they are monotonic across restarts *and* across processes
+sharing one SQLite store; duplicate-register races surface as
+:class:`ServiceError` via the store's optimistic versioning, never as a lost
+update.
+
 Both registries are thread-safe: the HTTP front end is a
 ``ThreadingHTTPServer`` and the engine fans publish work out over threads.
 """
 
 from __future__ import annotations
 
-import json
 import threading
-from pathlib import Path
+from collections.abc import Callable
 from typing import Any
 
 from repro.dataset.groups import GroupIndex, personal_groups
@@ -24,6 +34,22 @@ from repro.dataset.table import Table
 from repro.generalization.merging import GeneralizationResult, generalize_table
 from repro.obs.trace import span
 from repro.service.models import JobRecord, table_from_json, table_to_json
+from repro.store.base import (
+    COUNTER_JOB_IDS,
+    NS_DATASET_CACHES,
+    NS_DATASETS,
+    NS_JOBS,
+    StorageConnector,
+    StoreError,
+    VersionConflictError,
+)
+from repro.store.legacy import load_snapshot, save_snapshot  # noqa: F401  (compat re-export)
+from repro.store.memory import MemoryConnector
+
+#: Group indexes over tables larger than this are rebuilt on restart rather
+#: than persisted — the serialised index is O(rows) and would dominate the
+#: store beyond this point.
+MAX_PERSISTED_INDEX_ROWS = 100_000
 
 
 class ServiceError(ValueError):
@@ -34,6 +60,11 @@ class NotFoundError(ServiceError):
     """Raised when a named dataset or job does not exist."""
 
 
+def _private_store() -> StorageConnector:
+    """The store used when a registry is constructed without one."""
+    return MemoryConnector().open()
+
+
 class DatasetEntry:
     """One registered table plus its cached derived indexes."""
 
@@ -42,11 +73,15 @@ class DatasetEntry:
         self.table = table
         self._lock = threading.Lock()
         self._groups: GroupIndex | None = None
+        self._cached_parts: dict[str, Any] | None = None
         self._generalizations: dict[float, GeneralizationResult] = {}
         self._generalized_groups: dict[float, GroupIndex] = {}
         self.group_index_seconds = 0.0
         self.group_index_hits = 0
         self.group_index_misses = 0
+        #: Called (outside the entry lock) after a group index is built, so
+        #: the owning registry can persist the cache write-through.
+        self.on_cache_built: Callable[[DatasetEntry], None] | None = None
 
     @property
     def n_records(self) -> int:
@@ -57,18 +92,34 @@ class DatasetEntry:
         """Return the personal-group index, its build time, and whether it was cached.
 
         The build time is the wall-clock cost actually paid by *this* call:
-        zero on a cache hit.
+        zero on a cache hit.  A cache restored from the store (a service
+        restart) counts as a hit — the restored parts are materialised
+        without re-sorting the table.
         """
+        notify: Callable[[DatasetEntry], None] | None = None
         with self._lock:
             if self._groups is not None:
                 self.group_index_hits += 1
                 return self._groups, 0.0, True
+            if self._cached_parts is not None:
+                parts, self._cached_parts = self._cached_parts, None
+                try:
+                    self._groups = GroupIndex.from_parts(self.table, parts)
+                except (KeyError, TypeError, ValueError):
+                    self._groups = None  # stale/corrupt cache: rebuild below
+                if self._groups is not None:
+                    self.group_index_hits += 1
+                    return self._groups, 0.0, True
             with span("group_index_build", kind="cache", dataset=self.name) as sp:
                 self._groups = personal_groups(self.table)
             elapsed = sp.duration
             self.group_index_seconds = elapsed
             self.group_index_misses += 1
-            return self._groups, elapsed, False
+            index = self._groups
+            notify = self.on_cache_built
+        if notify is not None:
+            notify(self)
+        return index, elapsed, False
 
     def generalized(self, significance: float) -> tuple[GeneralizationResult, GroupIndex, float, bool]:
         """Chi-square generalised table + its group index, cached per significance."""
@@ -88,9 +139,34 @@ class DatasetEntry:
             self.group_index_misses += 1
             return result, index, elapsed, False
 
+    def cache_payload(self) -> dict[str, Any] | None:
+        """Serialisable snapshot of the built group index, or ``None``.
+
+        Tables above :data:`MAX_PERSISTED_INDEX_ROWS` return ``None`` — the
+        serialised index is O(rows) and rebuilding is cheap relative to
+        storing it.
+        """
+        with self._lock:
+            if self._groups is None or len(self.table) > MAX_PERSISTED_INDEX_ROWS:
+                return None
+            return {
+                "group_index": self._groups.to_parts(),
+                "group_index_seconds": self.group_index_seconds,
+            }
+
+    def restore_cache(self, payload: dict[str, Any]) -> None:
+        """Adopt a persisted cache payload; materialised lazily on first use."""
+        with self._lock:
+            if self._groups is not None:
+                return
+            parts = payload.get("group_index")
+            self._cached_parts = dict(parts) if isinstance(parts, dict) else None
+            self.group_index_seconds = float(payload.get("group_index_seconds", 0.0))
+
     def to_json(self) -> dict[str, Any]:
         """Serialisable description of the entry (without the code matrix)."""
         with self._lock:
+            cached = self._groups is not None or self._cached_parts is not None
             n_groups = len(self._groups) if self._groups is not None else None
         return {
             "name": self.name,
@@ -99,7 +175,7 @@ class DatasetEntry:
             "sensitive_attribute": self.table.schema.sensitive_name,
             "sensitive_domain_size": self.table.schema.sensitive_domain_size,
             "n_groups": n_groups,
-            "group_index_cached": self._groups is not None,
+            "group_index_cached": cached,
             "group_index_seconds": self.group_index_seconds,
             "group_index_hits": self.group_index_hits,
             "group_index_misses": self.group_index_misses,
@@ -107,20 +183,73 @@ class DatasetEntry:
 
 
 class DatasetRegistry:
-    """Named registry of :class:`DatasetEntry` objects."""
+    """Named registry of :class:`DatasetEntry` objects over a connector.
 
-    def __init__(self) -> None:
+    Tables persist write-through as schema + integer code matrix; built
+    group indexes persist as derived-cache payloads (restored lazily on
+    restart); a duplicate register racing another writer on a shared store
+    loses with a typed :class:`ServiceError`, not a lost update.
+    """
+
+    def __init__(self, store: StorageConnector | None = None) -> None:
         self._lock = threading.RLock()
+        self._store = store if store is not None else _private_store()
         self._entries: dict[str, DatasetEntry] = {}
+        self._load()
+
+    @property
+    def store(self) -> StorageConnector:
+        """The connector this registry persists through."""
+        return self._store
+
+    def _load(self) -> None:
+        for name, stored in self._store.items(NS_DATASETS):
+            entry = self._adopt(name, table_from_json(stored.value))
+            cached = self._store.get(NS_DATASET_CACHES, name)
+            if cached is not None and isinstance(cached.value, dict):
+                entry.restore_cache(cached.value)
+            self._entries[name] = entry
+
+    def _adopt(self, name: str, table: Table) -> DatasetEntry:
+        entry = DatasetEntry(name, table)
+        entry.on_cache_built = self._persist_cache
+        return entry
+
+    def _persist_cache(self, entry: DatasetEntry) -> None:
+        payload = entry.cache_payload()
+        if payload is None:
+            return
+        try:
+            self._store.put(NS_DATASET_CACHES, entry.name, payload)
+        except StoreError:
+            # Cache persistence is an optimisation; a failure to store it
+            # must never fail the publish that built the index.
+            pass
 
     def register(self, name: str, table: Table, replace: bool = False) -> DatasetEntry:
-        """Register ``table`` under ``name``; rejects duplicates unless ``replace``."""
+        """Register ``table`` under ``name``; rejects duplicates unless ``replace``.
+
+        The duplicate check runs in the store, so two processes racing the
+        same name on a shared backend cannot both win.
+        """
         if not name:
             raise ServiceError("dataset name must be non-empty")
         with self._lock:
             if name in self._entries and not replace:
                 raise ServiceError(f"dataset {name!r} is already registered")
-            entry = DatasetEntry(name, table)
+            try:
+                with self._store.transaction(write=True) as txn:
+                    txn.put(
+                        NS_DATASETS,
+                        name,
+                        table_to_json(table),
+                        expected_version=None if replace else 0,
+                    )
+                    # Any persisted derived cache belongs to the old table.
+                    txn.delete(NS_DATASET_CACHES, name)
+            except VersionConflictError:
+                raise ServiceError(f"dataset {name!r} is already registered") from None
+            entry = self._adopt(name, table)
             self._entries[name] = entry
             return entry
 
@@ -140,6 +269,9 @@ class DatasetRegistry:
         with self._lock:
             if name not in self._entries:
                 raise NotFoundError(f"unknown dataset {name!r}")
+            with self._store.transaction(write=True) as txn:
+                txn.delete(NS_DATASETS, name)
+                txn.delete(NS_DATASET_CACHES, name)
             del self._entries[name]
 
     def names(self) -> list[str]:
@@ -161,41 +293,90 @@ class DatasetRegistry:
             return name in self._entries
 
 
-class JobStore:
-    """Append-only store of publish jobs with sequential ids.
+def _job_sort_key(job_id: str) -> tuple[int, str]:
+    suffix = job_id.rsplit("-", 1)[-1]
+    return (int(suffix), job_id) if suffix.isdigit() else (1 << 62, job_id)
 
-    Job *records* (spec, timings, audit) are kept forever; published
-    *tables* are memory-heavy, so only the ``max_published_tables`` most
-    recent ones stay resident — older jobs keep their full record but drop
-    the table, exactly as they would after a snapshot restore.
+
+class JobStore:
+    """Append-only store of publish jobs with sequential, durable ids.
+
+    Job *records* (spec, timings, audit, progress, events) persist
+    write-through on every :meth:`add`/:meth:`update`; published *tables*
+    are memory-heavy, so only the ``max_published_tables`` most recent ones
+    stay resident — older jobs keep their full record but drop the table,
+    exactly as they would after a restart.  Ids come from the connector's
+    durable counter (:data:`~repro.store.base.COUNTER_JOB_IDS`), so they
+    continue monotonically across restarts and across processes sharing one
+    SQLite store.  A record persisted as ``running`` when the process died
+    is reloaded as ``interrupted`` — the store never claims a crashed job
+    completed.
     """
 
     #: How many published tables a long-lived service keeps in memory.
     DEFAULT_MAX_PUBLISHED_TABLES = 16
 
-    def __init__(self, max_published_tables: int = DEFAULT_MAX_PUBLISHED_TABLES) -> None:
+    def __init__(
+        self,
+        max_published_tables: int = DEFAULT_MAX_PUBLISHED_TABLES,
+        store: StorageConnector | None = None,
+    ) -> None:
         if max_published_tables < 1:
             raise ValueError("max_published_tables must be at least 1")
         self._lock = threading.RLock()
+        self._store = store if store is not None else _private_store()
         self._jobs: dict[str, JobRecord] = {}
-        self._next_id = 1
         self._max_published_tables = max_published_tables
         self._with_tables: list[str] = []
+        self._load()
+
+    @property
+    def store(self) -> StorageConnector:
+        """The connector this job store persists through."""
+        return self._store
+
+    def _load(self) -> None:
+        loaded = sorted(self._store.items(NS_JOBS), key=lambda kv: _job_sort_key(kv[0]))
+        for job_id, stored in loaded:
+            record = JobRecord.from_json(stored.value)
+            if record.status == "running":
+                # The owning process died mid-job; completed work was
+                # persisted by the job itself, so "running" can only mean
+                # the crash interrupted it.
+                record.status = "interrupted"
+                record.error = "service restarted while the job was running"
+                self._store.put(NS_JOBS, job_id, record.to_json())
+            self._jobs[job_id] = record
 
     def new_job_id(self) -> str:
-        with self._lock:
-            job_id = f"job-{self._next_id:04d}"
-            self._next_id += 1
-            return job_id
+        """Allocate the next id from the store's durable, race-free counter."""
+        return f"job-{self._store.next_value(COUNTER_JOB_IDS):04d}"
+
+    @property
+    def last_job_number(self) -> int:
+        """The highest job number issued so far (0 when none)."""
+        return self._store.peek(COUNTER_JOB_IDS)
 
     def add(self, record: JobRecord) -> None:
+        """Insert or overwrite a record, persist it, and cap resident tables."""
         with self._lock:
+            self._store.put(NS_JOBS, record.job_id, record.to_json())
             self._jobs[record.job_id] = record
             if record.published is not None:
                 self._with_tables.append(record.job_id)
                 while len(self._with_tables) > self._max_published_tables:
                     evicted = self._with_tables.pop(0)
                     self._jobs[evicted].published = None
+
+    def update(self, record: JobRecord) -> None:
+        """Persist a record's current state (live progress, event timeline).
+
+        Unlike :meth:`add` this never touches the resident-table cap, so it
+        is safe to call from progress callbacks while a job runs.
+        """
+        with self._lock:
+            self._store.put(NS_JOBS, record.job_id, record.to_json())
+            self._jobs[record.job_id] = record
 
     def get(self, job_id: str) -> JobRecord:
         with self._lock:
@@ -212,40 +393,3 @@ class JobStore:
     def __len__(self) -> int:
         with self._lock:
             return len(self._jobs)
-
-    # ------------------------------------------------------------------ #
-    # Snapshot persistence (shared with DatasetRegistry)
-    # ------------------------------------------------------------------ #
-
-
-def save_snapshot(path: str | Path, datasets: DatasetRegistry, jobs: JobStore) -> None:
-    """Write a JSON snapshot of the registered datasets and the job history.
-
-    Dataset tables round-trip exactly (schema + code matrix); job records are
-    persisted without their published tables, which are process-local.
-    """
-    payload = {
-        "version": 1,
-        "datasets": {
-            entry.name: table_to_json(entry.table) for entry in datasets.entries()
-        },
-        "jobs": [record.to_json() for record in jobs.records()],
-        "next_job_id": jobs._next_id,
-    }
-    path = Path(path)
-    tmp = path.with_suffix(path.suffix + ".tmp")
-    tmp.write_text(json.dumps(payload))
-    tmp.replace(path)
-
-
-def load_snapshot(path: str | Path) -> tuple[DatasetRegistry, JobStore]:
-    """Rebuild a registry and job store from :func:`save_snapshot` output."""
-    payload = json.loads(Path(path).read_text())
-    datasets = DatasetRegistry()
-    for name, table_data in payload.get("datasets", {}).items():
-        datasets.register(name, table_from_json(table_data))
-    jobs = JobStore()
-    for job_data in payload.get("jobs", []):
-        jobs.add(JobRecord.from_json(job_data))
-    jobs._next_id = int(payload.get("next_job_id", len(jobs) + 1))
-    return datasets, jobs

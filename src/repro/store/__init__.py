@@ -1,0 +1,156 @@
+"""Durable pluggable storage for datasets, jobs, caches and delta states.
+
+The service and delta subsystems persist through one abstract interface —
+:class:`~repro.store.base.StorageConnector`: transactional get/put/delete/
+list per namespace, optimistic versioning, and named monotonic counters.
+Three backends implement it:
+
+========== ==================================================================
+``sqlite`` :class:`~repro.store.sqlite.SqliteConnector` — the durable
+           default: WAL mode, ``synchronous=FULL``, one connection per
+           thread, busy-timeout retry.  Survives ``kill -9`` and concurrent
+           writers (see ``docs/storage.md``).
+``memory`` :class:`~repro.store.memory.MemoryConnector` — process-local,
+           for tests and store-less services.
+``json``   :class:`~repro.store.legacy.JsonSnapshotConnector` — the legacy
+           ``--store state.json`` snapshot format, kept fully readable and
+           writable; version-1 files migrate forward on load.
+========== ==================================================================
+
+:func:`open_store` picks the backend from the path (SQLite magic bytes, JSON
+sniffing, file suffix) and handles the one-time migration of a legacy JSON
+snapshot into a SQLite store.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.store.base import (
+    COUNTER_JOB_IDS,
+    NS_DATASET_CACHES,
+    NS_DATASETS,
+    NS_DELTAS,
+    NS_JOBS,
+    StorageConnector,
+    StoreError,
+    StoreTransaction,
+    VersionConflictError,
+    VersionedValue,
+    copy_store,
+)
+from repro.store.legacy import JsonSnapshotConnector, is_json_snapshot
+from repro.store.memory import MemoryConnector
+from repro.store.sqlite import SqliteConnector, is_sqlite_file
+
+__all__ = [
+    "COUNTER_JOB_IDS",
+    "NS_DATASETS",
+    "NS_DATASET_CACHES",
+    "NS_DELTAS",
+    "NS_JOBS",
+    "JsonSnapshotConnector",
+    "MemoryConnector",
+    "SqliteConnector",
+    "StorageConnector",
+    "StoreError",
+    "StoreTransaction",
+    "VersionConflictError",
+    "VersionedValue",
+    "copy_store",
+    "migrate_json_to_sqlite",
+    "open_store",
+]
+
+
+def migrate_json_to_sqlite(
+    json_path: str | Path, sqlite_path: str | Path | None = None
+) -> SqliteConnector:
+    """Migrate a JSON snapshot into a SQLite store; returns the open store.
+
+    Documents, versions and counters are copied exactly, so optimistic
+    writers and the job-id sequence carry on seamlessly.  When
+    ``sqlite_path`` is omitted the SQLite store replaces the JSON file *at
+    the same path*: the database is built beside it first, the original is
+    kept as ``<name>.pre-store.json``, and only then does an atomic rename
+    put the database in place — a crash mid-migration never loses the
+    snapshot.
+    """
+    source_path = Path(json_path)
+    in_place = sqlite_path is None
+    target_path = Path(sqlite_path) if sqlite_path is not None else source_path
+    build_path = (
+        target_path.with_suffix(target_path.suffix + ".migrating")
+        if in_place
+        else target_path
+    )
+    source = JsonSnapshotConnector(source_path)
+    source.open()
+    try:
+        if build_path.exists():
+            build_path.unlink()
+        target = SqliteConnector(build_path)
+        target.open()
+        try:
+            copy_store(source, target)
+        finally:
+            target.close()
+    finally:
+        source.close()
+    if in_place:
+        backup = source_path.with_suffix(source_path.suffix + ".pre-store.json")
+        os.replace(source_path, backup)
+        os.replace(build_path, target_path)
+    migrated = SqliteConnector(target_path)
+    migrated.open()
+    return migrated
+
+
+def open_store(
+    path: str | Path | None = None, backend: str | None = None
+) -> StorageConnector:
+    """Open a storage connector for ``path``; returns it already opened.
+
+    Backend resolution, in order:
+
+    * ``path is None`` — a fresh in-memory store.
+    * ``backend`` given — that backend, explicitly (``"sqlite"`` on an
+      existing JSON snapshot migrates it in place first).
+    * existing file — sniffed: SQLite magic bytes → SQLite; JSON object →
+      the JSON connector for ``*.json`` paths (full backwards
+      compatibility), or a transparent in-place migration to SQLite for any
+      other suffix (a legacy snapshot handed to a database path).
+    * new file — ``*.json`` paths get the JSON snapshot backend, everything
+      else the durable SQLite default.
+    """
+    if path is None:
+        if backend not in (None, "memory"):
+            raise StoreError(f"backend {backend!r} requires a path")
+        return MemoryConnector().open()
+    target = Path(path)
+    if backend == "memory":
+        return MemoryConnector().open()
+    if backend == "json":
+        return JsonSnapshotConnector(target).open()
+    if backend == "sqlite":
+        if is_json_snapshot(target):
+            return migrate_json_to_sqlite(target)
+        return SqliteConnector(target).open()
+    if backend is not None:
+        raise StoreError(
+            f"unknown store backend {backend!r}; choose sqlite, json or memory"
+        )
+    if target.exists():
+        if is_sqlite_file(target):
+            return SqliteConnector(target).open()
+        if is_json_snapshot(target):
+            if target.suffix == ".json":
+                return JsonSnapshotConnector(target).open()
+            return migrate_json_to_sqlite(target)
+        raise StoreError(
+            f"{target} is neither a SQLite store nor a JSON snapshot"
+        )
+    if target.suffix == ".json":
+        return JsonSnapshotConnector(target).open()
+    return SqliteConnector(target).open()

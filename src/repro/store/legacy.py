@@ -1,0 +1,229 @@
+"""Legacy JSON-snapshot adapter: reads old ``--store`` files, migrates forward.
+
+Before :mod:`repro.store` existed, the service persisted everything as one
+JSON document (``{"version": 1, "datasets": ..., "jobs": ...,
+"next_job_id": ...}``) written by ``save_snapshot``.  This module keeps
+those files working:
+
+* :class:`JsonSnapshotConnector` is a full
+  :class:`~repro.store.base.StorageConnector` whose backing file is a JSON
+  snapshot.  Opening a **legacy** (version-1) file migrates its payload into
+  the namespaced layout in memory; every committed write transaction
+  rewrites the file atomically (tmp file + ``os.replace``) in the new
+  namespaced format, so the first mutation migrates the file forward on
+  disk too.
+* :func:`save_snapshot` / :func:`load_snapshot` are the legacy module-level
+  entry points, kept for backwards compatibility.  Nothing outside this
+  module may call them — the ``repro-lint`` contract rule **RPR008**
+  enforces that every other caller goes through a connector.
+
+Durability here is inherited from the atomic-rename pattern only: a crash
+can lose at most the *latest* uncommitted rewrite, never corrupt the file.
+For real transactional durability use the SQLite backend
+(:func:`repro.store.open_store` migrates a JSON file to it on request).
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from pathlib import Path
+from collections.abc import Iterator
+from typing import TYPE_CHECKING, Any
+
+from repro.store.base import (
+    COUNTER_JOB_IDS,
+    NS_DATASETS,
+    NS_JOBS,
+    StorageConnector,
+    StoreError,
+    StoreTransaction,
+)
+from repro.store.memory import MemoryConnector
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.service.registry import DatasetRegistry, JobStore
+
+#: Format version of the namespaced snapshot document this module writes.
+SNAPSHOT_VERSION = 2
+
+
+def parse_snapshot(
+    payload: dict[str, Any],
+) -> tuple[dict[str, dict[str, tuple[int, Any]]], dict[str, int]]:
+    """Normalise a snapshot document into ``(namespaces, counters)``.
+
+    Accepts both the namespaced version-2 layout and the legacy version-1
+    layout (datasets/jobs/next_job_id at the top level), migrating the
+    latter forward: datasets become the ``datasets`` namespace keyed by
+    name, job records the ``jobs`` namespace keyed by job id, and
+    ``next_job_id`` seeds the job-id counter.
+    """
+    if not isinstance(payload, dict):
+        raise StoreError("snapshot must be a JSON object")
+    if payload.get("store_version") == SNAPSHOT_VERSION:
+        namespaces: dict[str, dict[str, tuple[int, Any]]] = {}
+        for namespace, entries in payload.get("namespaces", {}).items():
+            bucket: dict[str, tuple[int, Any]] = {}
+            for key, stored in entries.items():
+                bucket[str(key)] = (int(stored["version"]), stored["value"])
+            namespaces[str(namespace)] = bucket
+        counters = {
+            str(name): int(value)
+            for name, value in payload.get("counters", {}).items()
+        }
+        return namespaces, counters
+    version = payload.get("version", payload.get("store_version"))
+    if version != 1:
+        raise StoreError(f"unsupported snapshot version {version!r}")
+    datasets = {
+        str(name): (1, table_data)
+        for name, table_data in payload.get("datasets", {}).items()
+    }
+    jobs: dict[str, tuple[int, Any]] = {}
+    for job_data in payload.get("jobs", []):
+        jobs[str(job_data["job_id"])] = (1, job_data)
+    counters = {}
+    next_job_id = payload.get("next_job_id")
+    if next_job_id is not None:
+        counters[COUNTER_JOB_IDS] = max(0, int(next_job_id) - 1)
+    return (
+        {name: bucket for name, bucket in ((NS_DATASETS, datasets), (NS_JOBS, jobs)) if bucket},
+        counters,
+    )
+
+
+class JsonSnapshotConnector(StorageConnector):
+    """A :class:`StorageConnector` whose backing file is a JSON snapshot.
+
+    State lives in an in-memory connector; every committed write
+    transaction rewrites the snapshot atomically.  Legacy version-1 files
+    load transparently and are rewritten in the namespaced layout on the
+    first mutation.
+    """
+
+    backend = "json"
+
+    def __init__(self, path: str | Path) -> None:
+        super().__init__()
+        self._path = Path(path)
+        self._memory = MemoryConnector()
+        # The inner transactions label metrics with this adapter's backend.
+        self._memory.backend = self.backend
+
+    @property
+    def location(self) -> str:
+        """Path of the snapshot file."""
+        return str(self._path)
+
+    def _open_backend(self) -> None:
+        self._memory.open()
+        if not self._path.exists():
+            return
+        try:
+            payload = json.loads(self._path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StoreError(f"cannot read snapshot {self._path}: {exc}") from exc
+        namespaces, counters = parse_snapshot(payload)
+        with self._memory.transaction(write=True) as txn:
+            for namespace, bucket in namespaces.items():
+                for key, (version, value) in bucket.items():
+                    txn.restore(namespace, key, value, version)
+            for name, value in counters.items():
+                txn.set_counter(name, value)
+
+    def _close_backend(self) -> None:
+        self._memory.close()
+
+    @contextmanager
+    def _transact(self, write: bool) -> Iterator[StoreTransaction]:
+        # Hold the memory lock across commit *and* flush so two writers
+        # cannot interleave a stale rewrite between each other.
+        with self._memory._lock:
+            with self._memory._transact(write) as txn:
+                yield txn
+            if write:
+                self._flush()
+
+    def _flush(self) -> None:
+        payload: dict[str, Any] = {"store_version": SNAPSHOT_VERSION, "namespaces": {}}
+        data = self._memory._data
+        for namespace in sorted(data):
+            payload["namespaces"][namespace] = {
+                key: {"version": version, "value": json.loads(text)}
+                for key, (version, text) in sorted(data[namespace].items())
+            }
+        if self._memory._counters:
+            payload["counters"] = dict(sorted(self._memory._counters.items()))
+        tmp = self._path.with_suffix(self._path.suffix + ".tmp")
+        tmp.write_text(json.dumps(payload), encoding="utf-8")
+        tmp.replace(self._path)
+
+    def flush(self) -> Path:
+        """Force a rewrite of the snapshot file; returns its path."""
+        self._check_open()
+        with self._memory._lock:
+            self._flush()
+        return self._path
+
+
+def is_json_snapshot(path: str | Path) -> bool:
+    """Whether ``path`` exists and plausibly holds a JSON snapshot."""
+    target = Path(path)
+    if not target.is_file():
+        return False
+    try:
+        with target.open("rb") as handle:
+            head = handle.read(64).lstrip()
+    except OSError:
+        return False
+    return head.startswith(b"{")
+
+
+# --------------------------------------------------------------------- #
+# Legacy module-level snapshot API (compat only; see RPR008)
+# --------------------------------------------------------------------- #
+
+def save_snapshot(
+    path: str | Path, datasets: "DatasetRegistry", jobs: "JobStore"
+) -> None:
+    """Write a snapshot of the registries (legacy entry point).
+
+    Kept for backwards compatibility with the pre-connector API; writes the
+    namespaced format.  New code opens a connector instead
+    (:func:`repro.store.open_store`) — RPR008 flags any caller outside this
+    module.
+    """
+    from repro.service.models import table_to_json
+
+    connector = JsonSnapshotConnector(path)
+    connector.open()
+    try:
+        with connector.transaction(write=True) as txn:
+            for entry in datasets.entries():
+                txn.put(NS_DATASETS, entry.name, table_to_json(entry.table))
+            for record in jobs.records():
+                txn.put(NS_JOBS, record.job_id, record.to_json())
+            txn.set_counter(COUNTER_JOB_IDS, jobs.last_job_number)
+    finally:
+        connector.close()
+
+
+def load_snapshot(path: str | Path) -> tuple["DatasetRegistry", "JobStore"]:
+    """Rebuild detached in-memory registries from a snapshot (legacy entry point).
+
+    The returned registries are backed by a private
+    :class:`~repro.store.memory.MemoryConnector` — mutations do **not**
+    rewrite the file, exactly as with the pre-connector API.
+    """
+    from repro.service.registry import DatasetRegistry, JobStore
+    from repro.store.base import copy_store
+
+    source = JsonSnapshotConnector(path)
+    source.open()
+    detached = MemoryConnector().open()
+    try:
+        copy_store(source, detached)
+    finally:
+        source.close()
+    return DatasetRegistry(store=detached), JobStore(store=detached)

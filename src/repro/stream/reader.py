@@ -114,6 +114,35 @@ class ChunkedReader:
         reader.label = label
         return reader
 
+    @classmethod
+    def from_cursor(
+        cls,
+        cursor: Iterator[Sequence[object]],
+        header: Sequence[str],
+        sensitive: str,
+        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+        label: str = "database cursor",
+    ) -> "ChunkedReader":
+        """Build a reader over a DB-API cursor (or any row iterator).
+
+        ``cursor`` yields value tuples in ``header`` order — exactly what
+        ``SELECT`` over the source columns produces — and is drained
+        incrementally: only ``chunk_rows`` rows are rendered to CSV text at
+        a time, so a table larger than memory streams through at bounded
+        cost.  Values are stringified with ``str()``; the same header and
+        width validation as a file source applies, labelled with ``label``.
+        Like a file-like source, a cursor is consumed exactly once.
+
+        >>> rows = iter([("Oslo", "Flu"), ("Bergen", "Cold"), ("Oslo", "Flu")])
+        >>> reader = ChunkedReader.from_cursor(
+        ...     rows, ["City", "Disease"], sensitive="Disease", chunk_rows=2)
+        >>> [len(chunk) for chunk in reader.chunks()]
+        [2, 1]
+        """
+        reader = cls(_CursorStream(cursor, list(header)), sensitive, chunk_rows=chunk_rows)
+        reader.label = label
+        return reader
+
     @property
     def chunk_rows(self) -> int:
         """The configured maximum records per chunk."""
@@ -165,3 +194,37 @@ class ChunkedReader:
             self.rows_read += len(chunk)
             self.chunks_read += 1
             yield chunk
+
+
+class _CursorStream:
+    """Lazy text-stream view of a row cursor, rendered as CSV lines.
+
+    Satisfies just enough of the text-file protocol for
+    :class:`ChunkedReader` (``read`` marks it as an open stream, iteration
+    feeds :func:`csv.reader`): each row is rendered on demand, so draining a
+    million-row cursor never holds more than one line of CSV text.
+    """
+
+    def __init__(self, cursor: Iterator[Sequence[object]], header: list[str]) -> None:
+        self._lines = self._render(cursor, header)
+
+    @staticmethod
+    def _render(cursor: Iterator[Sequence[object]], header: list[str]) -> Iterator[str]:
+        out = io.StringIO(newline="")
+        writer = csv.writer(out)
+        writer.writerow(header)
+        yield out.getvalue()
+        for row in cursor:
+            out.seek(0)
+            out.truncate(0)
+            writer.writerow(["" if value is None else str(value) for value in row])
+            yield out.getvalue()
+
+    def __iter__(self) -> Iterator[str]:
+        return self._lines
+
+    def readline(self) -> str:
+        return next(self._lines, "")
+
+    def read(self, size: int = -1) -> str:
+        return "".join(self._lines)

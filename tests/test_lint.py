@@ -412,6 +412,58 @@ def test_rpr007_suppression(tmp_path):
 
 
 # --------------------------------------------------------------------- #
+# RPR008 — snapshot bypass
+# --------------------------------------------------------------------- #
+
+def test_rpr008_flags_snapshot_calls_outside_legacy(tmp_path):
+    result = lint(tmp_path, {"service/persist.py": """\
+        from repro.store.legacy import load_snapshot, save_snapshot
+
+        def checkpoint(path, datasets, jobs):
+            save_snapshot(path, datasets, jobs)
+
+        def restore(path):
+            return load_snapshot(path)
+    """}, select=["RPR008"])
+    assert codes(result) == ["RPR008", "RPR008"]
+    assert "storage connector" in result.findings[0].message
+
+
+def test_rpr008_allows_legacy_module_and_connector_usage(tmp_path):
+    result = lint(tmp_path, {
+        # The shims' home module may of course define and call them.
+        "store/legacy.py": """\
+            def save_snapshot(path, datasets, jobs):
+                pass
+
+            def _self_test(path):
+                save_snapshot(path, None, None)
+        """,
+        # The sanctioned pattern: persist through a connector.
+        "service/persist2.py": """\
+            from repro.store import open_store
+
+            def checkpoint(path, payload):
+                store = open_store(path)
+                store.put("datasets", "demo", payload)
+                store.close()
+        """,
+    }, select=["RPR008"])
+    assert codes(result) == []
+
+
+def test_rpr008_suppression(tmp_path):
+    result = lint(tmp_path, {"service/persist.py": """\
+        from repro.store.legacy import save_snapshot
+
+        def checkpoint(path, datasets, jobs):
+            save_snapshot(path, datasets, jobs)  # repro-lint: ignore[RPR008]
+    """}, select=["RPR008"])
+    assert codes(result) == []
+    assert result.suppressed == 1
+
+
+# --------------------------------------------------------------------- #
 # Suppressions
 # --------------------------------------------------------------------- #
 
@@ -493,7 +545,7 @@ def test_rule_registry_covers_contract_codes():
     # Importing repro.lint.rules registers the full contract set.
     import repro.lint.rules  # noqa: F401
 
-    assert {f"RPR00{i}" for i in range(1, 8)} <= set(RULES)
+    assert {f"RPR00{i}" for i in range(1, 9)} <= set(RULES)
     for rule in RULES.values():
         assert rule.code and rule.name and rule.description
 

@@ -1,0 +1,465 @@
+"""Unit and concurrency tests of the ``repro.store`` connectors.
+
+Covers the connector contract (transactions, optimistic versioning, typed
+conflicts, counters) uniformly across the SQLite, memory and JSON-snapshot
+backends; SQLite-specific concurrency (threads and processes hammering one
+database file with no lost updates); backend resolution and the legacy
+JSON→SQLite migration; and service-level restart persistence (datasets,
+jobs, group-index caches and delta states reloading from one store).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import sqlite3
+import threading
+
+import pytest
+
+from repro.store import (
+    COUNTER_JOB_IDS,
+    NS_DATASETS,
+    JsonSnapshotConnector,
+    MemoryConnector,
+    SqliteConnector,
+    StoreError,
+    VersionConflictError,
+    copy_store,
+    migrate_json_to_sqlite,
+    open_store,
+)
+
+
+@pytest.fixture(params=["memory", "sqlite", "json"])
+def store(request, tmp_path):
+    """One open connector per backend; closed after the test."""
+    if request.param == "memory":
+        connector = MemoryConnector()
+    elif request.param == "sqlite":
+        connector = SqliteConnector(tmp_path / "store.db")
+    else:
+        connector = JsonSnapshotConnector(tmp_path / "store.json")
+    connector.open()
+    yield connector
+    connector.close()
+
+
+class TestConnectorContract:
+    def test_put_get_roundtrip_and_version_bump(self, store):
+        assert store.get("ns", "k") is None
+        assert store.put("ns", "k", {"a": 1}) == 1
+        stored = store.get("ns", "k")
+        assert stored.value == {"a": 1}
+        assert stored.version == 1
+        assert store.put("ns", "k", [1, 2]) == 2
+        assert store.get("ns", "k").value == [1, 2]
+
+    def test_canonical_json_semantics(self, store):
+        # Tuples become lists and non-string keys become strings in every
+        # backend, so payloads are portable across connectors.
+        store.put("ns", "k", {"t": (1, 2), 3: "x"})
+        assert store.get("ns", "k").value == {"t": [1, 2], "3": "x"}
+
+    def test_unserialisable_value_is_typed_error(self, store):
+        with pytest.raises(StoreError, match="JSON-serialisable"):
+            store.put("ns", "k", object())
+
+    def test_create_only_conflict(self, store):
+        store.put("ns", "k", 1, expected_version=0)
+        with pytest.raises(VersionConflictError, match="already exists") as excinfo:
+            store.put("ns", "k", 2, expected_version=0)
+        assert (excinfo.value.namespace, excinfo.value.key) == ("ns", "k")
+        assert excinfo.value.expected == 0
+        assert store.get("ns", "k").value == 1
+
+    def test_update_at_version_conflict(self, store):
+        store.put("ns", "k", "v1")
+        store.put("ns", "k", "v2", expected_version=1)
+        with pytest.raises(VersionConflictError, match="expected version 1, found 2"):
+            store.put("ns", "k", "v3", expected_version=1)
+        assert store.get("ns", "k").value == "v2"
+
+    def test_delete_with_and_without_expected_version(self, store):
+        store.put("ns", "k", 1)
+        with pytest.raises(VersionConflictError):
+            store.delete("ns", "k", expected_version=7)
+        assert store.delete("ns", "k", expected_version=1) is True
+        assert store.delete("ns", "k") is False
+        assert store.get("ns", "k") is None
+
+    def test_listings_are_sorted(self, store):
+        for key in ("b", "a", "c"):
+            store.put("zoo", key, key.upper())
+        store.put("ark", "x", 0)
+        assert store.keys("zoo") == ["a", "b", "c"]
+        assert [k for k, _ in store.items("zoo")] == ["a", "b", "c"]
+        assert store.namespaces() == ["ark", "zoo"]
+
+    def test_counters_are_monotonic_and_peekable(self, store):
+        assert store.peek("seq") == 0
+        assert [store.next_value("seq") for _ in range(3)] == [1, 2, 3]
+        assert store.peek("seq") == 3
+
+    def test_transaction_rolls_back_on_error(self, store):
+        store.put("ns", "k", "before")
+        with pytest.raises(RuntimeError, match="boom"):
+            with store.transaction(write=True) as txn:
+                txn.put("ns", "k", "during")
+                txn.next_value("seq")
+                raise RuntimeError("boom")
+        assert store.get("ns", "k").value == "before"
+        assert store.peek("seq") == 0
+
+    def test_read_transaction_rejects_writes(self, store):
+        with store.transaction() as txn:
+            with pytest.raises(StoreError, match="write transaction"):
+                txn.put("ns", "k", 1)
+            with pytest.raises(StoreError, match="write transaction"):
+                txn.next_value("seq")
+
+    def test_closed_store_rejects_access(self, store):
+        store.close()
+        with pytest.raises(StoreError, match="not open"):
+            store.get("ns", "k")
+        store.open()  # idempotent reopen for the fixture teardown
+
+    def test_empty_names_rejected(self, store):
+        with pytest.raises(StoreError, match="namespace"):
+            store.put("", "k", 1)
+        with pytest.raises(StoreError, match="key"):
+            store.put("ns", "", 1)
+
+    def test_copy_store_preserves_versions_and_counters(self, store, tmp_path):
+        store.put("ns", "k", "v1")
+        store.put("ns", "k", "v2")
+        store.next_value("seq")
+        target = SqliteConnector(tmp_path / "copy.db").open()
+        try:
+            copy_store(store, target)
+            assert target.get("ns", "k").version == 2
+            assert target.peek("seq") == 1
+            # Optimistic writers that read before the copy still conflict.
+            with pytest.raises(VersionConflictError):
+                target.put("ns", "k", "v3", expected_version=1)
+        finally:
+            target.close()
+
+
+class TestDurabilityAcrossReopen:
+    @pytest.mark.parametrize("backend", ["sqlite", "json"])
+    def test_file_backends_survive_close_and_reopen(self, tmp_path, backend):
+        path = tmp_path / ("s.db" if backend == "sqlite" else "s.json")
+        first = open_store(path)
+        first.put("ns", "k", {"x": 1})
+        first.next_value(COUNTER_JOB_IDS)
+        first.close()
+        second = open_store(path)
+        try:
+            assert second.backend == backend
+            assert second.get("ns", "k").value == {"x": 1}
+            assert second.peek(COUNTER_JOB_IDS) == 1
+        finally:
+            second.close()
+
+
+class TestOpenStoreResolution:
+    def test_none_path_is_memory(self):
+        store = open_store(None)
+        assert store.backend == "memory"
+        store.close()
+
+    def test_json_suffix_gets_json_backend(self, tmp_path):
+        store = open_store(tmp_path / "state.json")
+        assert store.backend == "json"
+        store.close()
+
+    def test_other_suffix_gets_sqlite(self, tmp_path):
+        store = open_store(tmp_path / "state.db")
+        assert store.backend == "sqlite"
+        store.close()
+
+    def test_existing_sqlite_file_sniffed_regardless_of_suffix(self, tmp_path):
+        path = tmp_path / "state.json"  # lying suffix
+        made = SqliteConnector(path).open()
+        made.put("ns", "k", 1)
+        made.close()
+        store = open_store(path)
+        try:
+            assert store.backend == "sqlite"
+            assert store.get("ns", "k").value == 1
+        finally:
+            store.close()
+
+    def test_unknown_backend_rejected(self, tmp_path):
+        with pytest.raises(StoreError, match="unknown store backend"):
+            open_store(tmp_path / "x.db", backend="postgres")
+        with pytest.raises(StoreError, match="requires a path"):
+            open_store(None, backend="sqlite")
+
+    def test_garbage_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.db"
+        path.write_bytes(b"\x00\x01 not a store")
+        with pytest.raises(StoreError, match="neither"):
+            open_store(path)
+
+
+def _legacy_v1_payload():
+    from repro.service.models import table_to_json
+    from repro.dataset.adult import generate_adult
+
+    return {
+        "version": 1,
+        "datasets": {"demo": table_to_json(generate_adult(40, seed=1))},
+        "jobs": [],
+        "next_job_id": 5,
+    }
+
+
+class TestLegacyMigration:
+    def test_v1_json_loads_through_connector(self, tmp_path):
+        path = tmp_path / "state.json"
+        path.write_text(json.dumps(_legacy_v1_payload()))
+        store = open_store(path)
+        try:
+            assert store.backend == "json"
+            assert store.keys(NS_DATASETS) == ["demo"]
+            # next_job_id 5 means ids 1..4 were issued: the counter resumes at 5.
+            assert store.next_value(COUNTER_JOB_IDS) == 5
+        finally:
+            store.close()
+
+    def test_v1_json_at_db_path_migrates_in_place(self, tmp_path):
+        path = tmp_path / "state.db"
+        path.write_text(json.dumps(_legacy_v1_payload()))
+        store = open_store(path)
+        try:
+            assert store.backend == "sqlite"
+            assert store.keys(NS_DATASETS) == ["demo"]
+            assert store.peek(COUNTER_JOB_IDS) == 4
+        finally:
+            store.close()
+        # The original snapshot survives as a backup beside the database.
+        backup = tmp_path / "state.db.pre-store.json"
+        assert backup.exists()
+        assert json.loads(backup.read_text())["version"] == 1
+        assert sqlite3.connect(path).execute("SELECT COUNT(*) FROM kv").fetchone()[0] == 1
+
+    def test_explicit_migration_to_new_path(self, tmp_path):
+        source = tmp_path / "state.json"
+        source.write_text(json.dumps(_legacy_v1_payload()))
+        target = tmp_path / "migrated.db"
+        store = migrate_json_to_sqlite(source, target)
+        try:
+            assert store.keys(NS_DATASETS) == ["demo"]
+            assert source.exists()  # explicit-target migration keeps the source
+        finally:
+            store.close()
+
+    def test_unsupported_snapshot_version_rejected(self, tmp_path):
+        path = tmp_path / "state.json"
+        path.write_text(json.dumps({"version": 99}))
+        with pytest.raises(StoreError, match="unsupported snapshot version"):
+            open_store(path)
+
+
+# --------------------------------------------------------------------- #
+# Concurrency: no lost updates, monotonic ids, typed conflicts
+# --------------------------------------------------------------------- #
+
+def _alloc_ids_in_process(path: str, count: int, queue) -> None:
+    store = SqliteConnector(path).open()
+    try:
+        values = [store.next_value(COUNTER_JOB_IDS) for _ in range(count)]
+    finally:
+        store.close()
+    queue.put(values)
+
+
+class TestSqliteConcurrency:
+    def test_threads_share_one_counter_without_duplicates(self, tmp_path):
+        store = SqliteConnector(tmp_path / "c.db").open()
+        results: list[list[int]] = []
+        lock = threading.Lock()
+
+        def worker():
+            values = [store.next_value("seq") for _ in range(25)]
+            with lock:
+                results.append(values)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        store.close()
+        flat = [v for values in results for v in values]
+        assert len(flat) == len(set(flat)) == 200
+        assert max(flat) == 200
+        for values in results:  # each thread sees strictly increasing values
+            assert values == sorted(values)
+
+    def test_threads_optimistic_writes_have_one_winner_per_round(self, tmp_path):
+        store = SqliteConnector(tmp_path / "o.db").open()
+        store.put("ns", "doc", {"round": 0})
+        conflicts = []
+        lock = threading.Lock()
+
+        def contender(name: str):
+            for _ in range(10):
+                stored = store.get("ns", "doc")
+                try:
+                    store.put(
+                        "ns", "doc", {"writer": name},
+                        expected_version=stored.version,
+                    )
+                except VersionConflictError as exc:
+                    with lock:
+                        conflicts.append(exc)
+
+        threads = [
+            threading.Thread(target=contender, args=(f"w{i}",)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        final = store.get("ns", "doc")
+        store.close()
+        # Every attempt either won (bumped the version) or raised typed.
+        assert final.version == 1 + 40 - len(conflicts)
+        assert all(isinstance(c, VersionConflictError) for c in conflicts)
+
+    def test_processes_share_one_counter_without_duplicates(self, tmp_path):
+        path = tmp_path / "p.db"
+        SqliteConnector(path).open().close()  # create the schema up front
+        ctx = multiprocessing.get_context("spawn")
+        queue = ctx.Queue()
+        procs = [
+            ctx.Process(target=_alloc_ids_in_process, args=(str(path), 20, queue))
+            for _ in range(4)
+        ]
+        for p in procs:
+            p.start()
+        collected = [queue.get(timeout=60) for _ in procs]
+        for p in procs:
+            p.join(timeout=60)
+        flat = [v for values in collected for v in values]
+        assert len(flat) == len(set(flat)) == 80
+        assert max(flat) == 80
+        store = SqliteConnector(path).open()
+        assert store.peek(COUNTER_JOB_IDS) == 80
+        store.close()
+
+    def test_two_job_stores_issue_globally_monotonic_ids(self, tmp_path):
+        from repro.service.registry import JobStore
+
+        path = tmp_path / "jobs.db"
+        first = SqliteConnector(path).open()
+        second = SqliteConnector(path).open()
+        try:
+            a, b = JobStore(store=first), JobStore(store=second)
+            ids = [a.new_job_id(), b.new_job_id(), a.new_job_id(), b.new_job_id()]
+            assert ids == ["job-0001", "job-0002", "job-0003", "job-0004"]
+        finally:
+            first.close()
+            second.close()
+
+
+# --------------------------------------------------------------------- #
+# Service over a store: restart resumes with everything intact
+# --------------------------------------------------------------------- #
+
+class TestServiceRestartPersistence:
+    def test_datasets_jobs_and_caches_survive_restart(self, tmp_path, skewed_binary_table):
+        from repro.service.engine import AnonymizationService
+
+        path = tmp_path / "service.db"
+        svc = AnonymizationService(snapshot_path=path)
+        svc.register_table("skewed", skewed_binary_table)
+        record = svc.publish("skewed", "sps", seed=3)
+        assert svc.datasets.get("skewed").group_index_misses == 1
+        svc.close()
+
+        restored = AnonymizationService(snapshot_path=path)
+        try:
+            entry = restored.datasets.get("skewed")
+            assert entry.table == skewed_binary_table
+            # The persisted group-index cache restores without a rebuild.
+            index, elapsed, cached = entry.groups()
+            assert cached is True and elapsed == 0.0
+            assert len(index) == 3
+            loaded = restored.job(record.job_id)
+            assert loaded.spec == record.spec
+            assert loaded.status == "completed"
+            next_record = restored.publish("skewed", "uniform", seed=0)
+            assert next_record.job_id > record.job_id  # ids continue
+        finally:
+            restored.close()
+
+    def test_delta_dataset_survives_restart_and_stays_appendable(self, tmp_path):
+        from repro.service.engine import AnonymizationService
+
+        src = tmp_path / "base.csv"
+        rows = ["City,Disease"] + [
+            f"c{i % 3},d{i % 2}" for i in range(60)
+        ]
+        src.write_text("\n".join(rows) + "\n", newline="")
+        out = tmp_path / "published.csv"
+        path = tmp_path / "service.db"
+
+        svc = AnonymizationService(snapshot_path=path)
+        svc.publish_delta_base("living", src, "Disease", "sps", out, seed=5)
+        assert "living" in svc.deltas
+        base_rows = svc.deltas["living"].n_rows
+        svc.close()
+
+        restored = AnonymizationService(snapshot_path=path)
+        try:
+            assert "living" in restored.deltas
+            assert restored.deltas["living"].n_rows == base_rows
+            record = restored.append_rows("living", rows=[["c0", "d1"], ["c9", "d0"]])
+            assert record.status == "completed"
+            assert restored.deltas["living"].n_rows == base_rows + 2
+        finally:
+            restored.close()
+
+    def test_running_job_restores_as_interrupted(self, tmp_path):
+        from repro.service.models import JobRecord, JobSpec
+        from repro.service.registry import JobStore
+
+        path = tmp_path / "jobs.db"
+        store = SqliteConnector(path).open()
+        jobs = JobStore(store=store)
+        record = JobRecord(
+            job_id=jobs.new_job_id(),
+            spec=JobSpec(dataset="d", backend="sps", params={}, seed=0),
+            status="running",
+        )
+        jobs.add(record)  # the owning process "dies" here
+        store.close()
+
+        reopened = SqliteConnector(path).open()
+        try:
+            restored = JobStore(store=reopened)
+            loaded = restored.get(record.job_id)
+            assert loaded.status == "interrupted"
+            assert "restarted" in loaded.error
+        finally:
+            reopened.close()
+
+    def test_register_conflict_across_shared_store_is_typed(self, tmp_path, skewed_binary_table):
+        from repro.service.registry import DatasetRegistry, ServiceError
+
+        path = tmp_path / "shared.db"
+        first = SqliteConnector(path).open()
+        second = SqliteConnector(path).open()
+        try:
+            a, b = DatasetRegistry(store=first), DatasetRegistry(store=second)
+            a.register("demo", skewed_binary_table)
+            # b's in-memory view predates a's write: the store still rejects.
+            with pytest.raises(ServiceError, match="already registered"):
+                b.register("demo", skewed_binary_table)
+        finally:
+            first.close()
+            second.close()

@@ -1,0 +1,192 @@
+"""Property tests: documents round-trip through every storage connector.
+
+For arbitrary JSON documents, tables, job records and delta states,
+hypothesis asserts the value read back from a connector equals the value
+written — across the memory, SQLite and JSON-snapshot backends, and across
+the legacy JSON→SQLite migration (which must also reproduce versions and
+counters exactly).  Because :func:`repro.store.base.encode_value` canonises
+at the transaction boundary, all backends are held to the *same* round-trip,
+not three backend-specific ones.
+
+Profiles mirror ``tests/test_delta_properties.py``: CI runs the
+``derandomize=True`` profile for reproducible runs; locally hypothesis keeps
+its randomized search.
+"""
+
+import json
+import os
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.delta.state import DeltaState  # noqa: E402
+from repro.dataset.adult import generate_adult  # noqa: E402
+from repro.service.models import (  # noqa: E402
+    JobRecord,
+    JobSpec,
+    table_from_json,
+    table_to_json,
+)
+from repro.store import (  # noqa: E402
+    JsonSnapshotConnector,
+    MemoryConnector,
+    SqliteConnector,
+    migrate_json_to_sqlite,
+)
+
+settings.register_profile("ci", derandomize=True, max_examples=25, deadline=None)
+settings.register_profile("local", max_examples=50, deadline=None)
+settings.load_profile(
+    "ci" if os.environ.get("CI") else os.environ.get("HYPOTHESIS_PROFILE", "local")
+)
+
+# JSON-safe scalars: ints within the exact-float window, finite floats, text.
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=20),
+)
+documents = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(min_size=1, max_size=8), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789_-.", min_size=1, max_size=12
+)
+
+
+@contextmanager
+def _fresh_backends():
+    """One connector per backend over a per-example scratch directory.
+
+    hypothesis shares pytest fixtures across examples, so each example gets
+    its own temporary directory instead of ``tmp_path``.
+    """
+    with tempfile.TemporaryDirectory() as tmp:
+        base = Path(tmp)
+        yield [
+            MemoryConnector(),
+            SqliteConnector(base / "prop.db"),
+            JsonSnapshotConnector(base / "prop.json"),
+        ]
+
+
+@given(key=names, value=documents)
+def test_documents_round_trip_identically_through_every_backend(key, value):
+    canonical = json.loads(json.dumps(value))
+    with _fresh_backends() as backends:
+        for connector in backends:
+            connector.open()
+            connector.put("docs", key, value)
+            assert connector.get("docs", key).value == canonical
+            connector.close()
+
+
+@given(n=st.integers(min_value=1, max_value=60), seed=st.integers(0, 50))
+def test_tables_round_trip_through_every_backend(n, seed):
+    table = generate_adult(n, seed=seed)
+    with _fresh_backends() as backends:
+        for connector in backends:
+            connector.open()
+            connector.put("datasets", "t", table_to_json(table))
+            restored = table_from_json(connector.get("datasets", "t").value)
+            assert restored == table
+            connector.close()
+
+
+job_specs = st.builds(
+    JobSpec,
+    dataset=names,
+    backend=st.sampled_from(["sps", "uniform", "dp-laplace"]),
+    params=st.dictionaries(names, st.floats(0.01, 1.0, allow_nan=False), max_size=3),
+    seed=st.integers(0, 2**31),
+    chunk_size=st.integers(1, 10_000),
+    max_workers=st.integers(1, 16),
+)
+
+
+@given(spec=job_specs, status=st.sampled_from(["completed", "failed", "interrupted"]))
+def test_job_records_round_trip_through_every_backend(spec, status):
+    record = JobRecord(job_id="job-0042", spec=spec, status=status)
+    with _fresh_backends() as backends:
+        for connector in backends:
+            connector.open()
+            connector.put("jobs", record.job_id, record.to_json())
+            restored = JobRecord.from_json(connector.get("jobs", record.job_id).value)
+            assert restored == record
+            connector.close()
+
+
+delta_states = st.builds(
+    DeltaState,
+    strategy=st.sampled_from(["sps", "dp-laplace"]),
+    params=st.dictionaries(names, st.floats(0.01, 1.0, allow_nan=False), max_size=2),
+    seed=st.integers(0, 2**31),
+    chunk_size=st.integers(1, 500),
+    chunk_rows=st.integers(1, 500),
+    n_rows=st.integers(1, 10_000),
+    sensitive=st.just("Disease"),
+    header=st.just(("City", "Disease")),
+    groups=st.lists(
+        st.tuples(
+            st.tuples(st.sampled_from(["athens", "bergen", "cairo"])),
+            st.dictionaries(
+                st.sampled_from(["cold", "flu"]), st.integers(1, 99),
+                min_size=1, max_size=2,
+            ),
+        ),
+        max_size=4,
+    ).map(tuple),
+    chunk_row_counts=st.lists(st.integers(0, 50), max_size=6).map(tuple),
+    output=st.just("published.csv"),
+)
+
+
+@given(state=delta_states)
+def test_delta_states_round_trip_through_every_backend(state):
+    with _fresh_backends() as backends:
+        for connector in backends:
+            connector.open()
+            connector.put("deltas", "living", state.to_json())
+            restored = DeltaState.from_json(connector.get("deltas", "living").value)
+            assert restored == state
+            connector.close()
+
+
+@given(
+    entries=st.dictionaries(names, documents, min_size=1, max_size=5),
+    next_job_id=st.integers(1, 1000),
+)
+def test_legacy_v1_migration_preserves_documents_and_counter(entries, next_job_id):
+    with tempfile.TemporaryDirectory() as tmp:
+        source = Path(tmp) / "legacy.json"
+        source.write_text(json.dumps({
+            "version": 1,
+            "datasets": entries,
+            "jobs": [],
+            "next_job_id": next_job_id,
+        }))
+        store = migrate_json_to_sqlite(source, Path(tmp) / "migrated.db")
+        try:
+            canonical = json.loads(json.dumps(entries))
+            for key, value in canonical.items():
+                stored = store.get("datasets", key)
+                assert stored.value == value
+                assert stored.version == 1
+            # next_job_id N means ids 1..N-1 were issued; the next id is N.
+            assert store.next_value("job_ids") == next_job_id
+        finally:
+            store.close()
