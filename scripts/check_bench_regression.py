@@ -12,6 +12,11 @@ Four checks, in order (CI's ``perf-gate`` job runs this on every push):
    scenario must report ``ops.byte_identical == true`` (``delta`` scenarios
    additionally ``ops.audits_agree == true``), and scenarios differing only
    in their worker count must publish identical record/group counts.
+   ``serve`` audit scenarios must report ``byte_identical`` (cached vs
+   uncached vs post-invalidation responses), ``invalidation_observed`` and a
+   response-cache speedup of at least 5x; ``serve`` backpressure scenarios
+   must shed load (some 429s, zero hangs/unexpected statuses, every
+   rejection carrying ``Retry-After``).
 4. **Throughput** — each scenario's best-of-repeats seconds is compared
    against the committed baseline of the same name
    (``benchmarks/baselines/BENCH_<suite>.json``); slower by more than the
@@ -26,7 +31,7 @@ Four checks, in order (CI's ``perf-gate`` job runs this on every push):
 
 Usage::
 
-    python scripts/check_bench_regression.py [--suites core service stream parallel delta]
+    python scripts/check_bench_regression.py [--suites core service stream parallel delta serve]
         [--baseline-dir benchmarks/baselines] [--output-dir bench-gate]
         [--tolerance 0.25] [--skip-throughput]
 
@@ -49,7 +54,14 @@ from repro.bench.schema import validate_report  # noqa: E402
 from repro.bench.timing import TimingSpec  # noqa: E402
 
 #: Suites the gate runs by default (``paper`` is minutes-scale, not gated).
-DEFAULT_SUITES = ("core", "service", "stream", "parallel", "delta")
+DEFAULT_SUITES = ("core", "service", "stream", "parallel", "delta", "serve")
+
+#: Minimum response-cache speedup a serve audit scenario must demonstrate.
+#: Cached hits are sub-millisecond dictionary lookups while uncached audits
+#: recompute the reconstruction attack, so even a loaded 1-core CI runner
+#: clears this by an order of magnitude; falling below it means the cache
+#: stopped being consulted.
+SERVE_MIN_CACHE_SPEEDUP = 5.0
 
 #: Default throughput tolerance: fail when best-of-repeats is this fraction
 #: slower than the committed baseline.
@@ -97,6 +109,51 @@ def check_identity(report: dict) -> list[str]:
                 f"({counts} != {reference['counts']}); output depends on the worker count"
             )
     return problems
+
+
+def check_serve(report: dict) -> tuple[list[str], list[str]]:
+    """(problems, notes) enforcing the serve suite's load-benchmark verdicts."""
+    problems: list[str] = []
+    notes: list[str] = []
+    for entry in report.get("scenarios", []):
+        name = entry.get("name", "?")
+        ops = entry.get("ops", {})
+        if entry.get("strategy") == "audit":
+            if ops.get("byte_identical") is not True:
+                problems.append(
+                    f"serve:{name}: byte_identical is {ops.get('byte_identical')!r} "
+                    "(cached, uncached and post-invalidation responses diverged)"
+                )
+            if ops.get("invalidation_observed") is not True:
+                problems.append(
+                    f"serve:{name}: invalidation_observed is "
+                    f"{ops.get('invalidation_observed')!r} (re-register served a stale hit)"
+                )
+            speedup = ops.get("cache_speedup")
+            if not isinstance(speedup, (int, float)) or speedup < SERVE_MIN_CACHE_SPEEDUP:
+                problems.append(
+                    f"serve:{name}: cache_speedup {speedup!r} is below the "
+                    f"{SERVE_MIN_CACHE_SPEEDUP:g}x floor"
+                )
+        elif entry.get("strategy") == "backpressure":
+            if ops.get("shed_load") is not True:
+                problems.append(
+                    f"serve:{name}: shed_load is {ops.get('shed_load')!r} "
+                    f"(completed={ops.get('completed')!r} rejected={ops.get('rejected')!r} "
+                    f"unexpected={ops.get('unexpected_statuses')!r})"
+                )
+            if ops.get("all_rejections_have_retry_after") is not True:
+                problems.append(
+                    f"serve:{name}: a 429 response was missing its Retry-After header"
+                )
+    cpu_count = report.get("environment", {}).get("cpu_count")
+    if cpu_count == 1:
+        notes.append(
+            "serve: environment.cpu_count is 1 — absolute throughput/latency numbers "
+            "come from a single-core container; trust the ratios (cache_speedup, "
+            "hit ratio, shed_load), not the rps"
+        )
+    return problems, notes
 
 
 def check_determinism(first: dict, second: dict) -> list[str]:
@@ -202,6 +259,12 @@ def main(argv: list[str] | None = None) -> int:
             problems.extend(f"{suite}: {line}" for line in str(exc).splitlines())
             continue
         problems.extend(check_identity(report))
+
+        if suite == "serve":
+            serve_problems, serve_notes = check_serve(report)
+            problems.extend(serve_problems)
+            for note in serve_notes:
+                print(f"   {note}")
 
         if suite == "core":
             print("== core: re-running for the determinism check")

@@ -59,6 +59,7 @@ setup(
             "repro-stream=repro.stream.cli:main",
             "repro-lint=repro.lint.cli:main",
             "repro-delta=repro.delta.cli:main",
+            "repro-serve=repro.serve.cli:main",
         ],
     },
     classifiers=[

@@ -29,7 +29,7 @@ from repro.bench.scenarios import matrix_for
 from repro.bench.timing import TimingSpec
 from repro.utils.textplot import render_listing, render_table
 
-SUITES = ("core", "service", "paper", "stream", "parallel", "delta")
+SUITES = ("core", "service", "paper", "stream", "parallel", "delta", "serve")
 
 _log = logging.getLogger("repro.bench")
 
@@ -74,6 +74,25 @@ def _listing_text(suite: str | None, tiny: bool) -> str:
             ]
             blocks.append(
                 render_listing(rows, title=f"delta scenarios ({scale} scale, {len(rows)} scenarios)")
+            )
+            continue
+        if name == "serve":
+            from repro.bench.serve import serve_scenarios
+
+            scale = "tiny" if tiny else "default"
+            rows = [
+                (
+                    s.name,
+                    f"{s.strategy} load on {s.dataset} ({s.rows} rows), "
+                    f"{s.params['clients']} clients x "
+                    f"{s.params['requests_per_client']} requests, "
+                    f"server workers={s.workers}, "
+                    f"queue_limit={s.params['queue_limit']}",
+                )
+                for s in serve_scenarios(tiny)
+            ]
+            blocks.append(
+                render_listing(rows, title=f"serve scenarios ({scale} scale, {len(rows)} scenarios)")
             )
             continue
         if name == "parallel":

@@ -20,7 +20,12 @@ Three suites:
 * ``delta`` — incremental vs full re-publish over shrinking append
   fractions (:mod:`repro.bench.delta`): ``speedup_vs_full``, the
   dirty-chunk fraction and a per-scenario byte-identity verdict of the
-  spliced output against a from-scratch re-publish.
+  spliced output against a from-scratch re-publish;
+* ``serve`` — concurrent clients against a live
+  :class:`~repro.serve.frontend.ServingFrontend` (:mod:`repro.bench.serve`):
+  throughput, p50/p95/p99 latency, cache hit ratio, ``cache_speedup`` of the
+  response cache, queue-rejection counts and a byte-identity verdict across
+  cached/uncached/post-invalidation responses.
 
 Determinism contract: for a fixed ``(suite, tiny, seed, filter)`` the
 scenario set, every scenario's operation counts and the published bytes
@@ -276,6 +281,13 @@ def run_suite(
                     entries.append(
                         run_delta_scenario(scenario, table, seed, timing, workdir)
                     )
+    elif suite == "serve":
+        from repro.bench.serve import run_serve_scenario, serve_scenarios
+
+        scenarios = _filter_scenarios(serve_scenarios(tiny), scenario_filter)
+        for scenario in scenarios:
+            with span(scenario.name, kind="scenario", suite=suite):
+                entries.append(run_serve_scenario(scenario, seed, timing))
     elif suite == "service":
         from repro.service import AnonymizationService, JobStore
 
@@ -292,7 +304,7 @@ def run_suite(
     else:
         raise ValueError(
             f"unknown suite {suite!r}; choose core, service, paper, stream, "
-            "parallel or delta"
+            "parallel, delta or serve"
         )
 
     report: dict[str, Any] = {

@@ -2,8 +2,8 @@
 
 The benchmark runner emits one JSON document per suite at the repo root
 (``BENCH_core.json``, ``BENCH_service.json``, ``BENCH_paper.json``,
-``BENCH_stream.json``, ``BENCH_parallel.json``, ``BENCH_delta.json``) so the
-performance trajectory is diffable across PRs.  The document is
+``BENCH_stream.json``, ``BENCH_parallel.json``, ``BENCH_delta.json``,
+``BENCH_serve.json``) so the performance trajectory is diffable across PRs.  The document is
 schema-versioned; :func:`validate_report` is the single source of truth for
 what a well-formed report looks like and is run by CI's bench-smoke job on
 every emitted file.
@@ -21,7 +21,17 @@ from typing import Any
 SCHEMA_VERSION = 1
 
 #: Suites a report may declare.
-SUITES = ("core", "service", "paper", "stream", "parallel", "delta")
+SUITES = ("core", "service", "paper", "stream", "parallel", "delta", "serve")
+
+#: Ops fields every serve-suite scenario must report (numbers).
+SERVE_REQUIRED_OPS = (
+    "throughput_rps",
+    "p50_seconds",
+    "p95_seconds",
+    "p99_seconds",
+    "cache_hit_ratio",
+    "queue_rejections",
+)
 
 _NUMBER = (int, float)
 
@@ -64,7 +74,7 @@ def _check_scenario(problems: list[str], entry: Any, where: str, suite: str) -> 
     if not _check(problems, isinstance(entry, dict), f"{where} must be an object"):
         return
     _check(problems, isinstance(entry.get("name"), str) and entry.get("name"), f"{where}.name must be a non-empty string")
-    if suite in ("core", "service", "stream", "parallel", "delta"):
+    if suite in ("core", "service", "stream", "parallel", "delta", "serve"):
         for key in ("strategy", "dataset"):
             _check(problems, isinstance(entry.get(key), str), f"{where}.{key} must be a string")
         for key in ("rows", "chunk_size", "workers"):
@@ -74,7 +84,7 @@ def _check_scenario(problems: list[str], entry: Any, where: str, suite: str) -> 
                 f"{where}.{key} must be an integer",
             )
         _check(problems, isinstance(entry.get("params"), dict), f"{where}.params must be an object")
-    if "ops" in entry or suite in ("core", "service", "stream", "parallel", "delta"):
+    if "ops" in entry or suite in ("core", "service", "stream", "parallel", "delta", "serve"):
         ops = entry.get("ops")
         if _check(problems, isinstance(ops, dict), f"{where}.ops must be an object"):
             for key, item in ops.items():
@@ -83,6 +93,14 @@ def _check_scenario(problems: list[str], entry: Any, where: str, suite: str) -> 
                     isinstance(item, (int, float, bool, str)),
                     f"{where}.ops.{key} must be a scalar",
                 )
+            if suite == "serve":
+                # The load-benchmark verdict fields the perf gate reads.
+                for key in SERVE_REQUIRED_OPS:
+                    _check(
+                        problems,
+                        isinstance(ops.get(key), _NUMBER) and not isinstance(ops.get(key), bool),
+                        f"{where}.ops.{key} must be a number (serve suite)",
+                    )
     _check_seconds(problems, entry.get("seconds"), f"{where}.seconds")
     if "stages" in entry:
         _check_mapping_of_numbers(problems, entry["stages"], f"{where}.stages")

@@ -310,6 +310,39 @@ STORE_TXNS = REGISTRY.counter(
     labelnames=("backend", "write"),
 )
 
+#: Wall-clock seconds per request served by the serving front end, by
+#: top-level endpoint (``audit``, ``publish``, ``datasets``, ...).
+SERVE_REQUEST_SECONDS = REGISTRY.histogram(
+    "repro_serve_request_seconds",
+    "Wall-clock seconds per request served by the serving front end.",
+    labelnames=("endpoint",),
+)
+
+#: Requests currently waiting in the serving front end's bounded job queue.
+SERVE_QUEUE_DEPTH = REGISTRY.gauge(
+    "repro_serve_queue_depth",
+    "Requests currently waiting in the serving front end's bounded queue.",
+)
+
+#: Requests rejected with 429 because the bounded job queue was full.
+SERVE_QUEUE_REJECTIONS = REGISTRY.counter(
+    "repro_serve_queue_rejections_total",
+    "Requests rejected with 429 because the bounded job queue was full.",
+)
+
+#: Response-cache lookups by result (``hit`` or ``miss``).
+SERVE_CACHE_HITS = REGISTRY.counter(
+    "repro_serve_cache_hits_total",
+    "Response-cache lookups by the serving front end, by result (hit/miss).",
+    labelnames=("result",),
+)
+
+#: Response-cache entries dropped because their dataset changed.
+SERVE_CACHE_INVALIDATIONS = REGISTRY.counter(
+    "repro_serve_cache_invalidations_total",
+    "Response-cache entries invalidated by dataset re-registers and appends.",
+)
+
 #: Peak traced allocation of the most recent ``track_memory`` streaming run.
 TRACEMALLOC_PEAK = REGISTRY.gauge(
     "repro_tracemalloc_peak_bytes",

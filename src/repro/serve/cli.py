@@ -1,0 +1,123 @@
+"""``repro-serve``: run the asyncio serving front end from the shell.
+
+The scale-out counterpart of ``repro-service serve``: the same API and
+state files, plus the bounded job queue, worker pool and persisted
+response cache of :class:`~repro.serve.frontend.ServingFrontend`::
+
+    repro-serve --store state.db --port 8080 --workers 8 --queue-limit 128
+
+Human-facing output (the listen banner, errors) goes to stderr through
+stdlib logging; ``--verbose``/``--quiet`` set the level.
+"""
+
+from __future__ import annotations
+
+import argparse
+import logging
+import sys
+from collections.abc import Sequence
+
+from repro import __version__
+from repro.obs import configure_cli_logging
+from repro.serve.frontend import ServingFrontend
+from repro.serve.queue import DEFAULT_QUEUE_LIMIT, DEFAULT_RETRY_AFTER, DEFAULT_WORKERS
+from repro.service.engine import AnonymizationService
+from repro.service.registry import ServiceError
+
+_log = logging.getLogger("repro.serve")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description=(
+            "High-concurrency serving front end for the anonymization service: "
+            "asyncio connections, a bounded worker queue (429 + Retry-After on "
+            "overload) and a persisted response cache."
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    volume = parser.add_mutually_exclusive_group()
+    volume.add_argument(
+        "--verbose", action="store_true", help="debug-level logging on stderr"
+    )
+    volume.add_argument(
+        "--quiet", action="store_true", help="errors only on stderr"
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080)
+    parser.add_argument(
+        "--store",
+        metavar="PATH",
+        default=None,
+        help=(
+            "state file: SQLite store (durable default) or legacy *.json "
+            "snapshot; datasets, jobs and cached responses persist write-through"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=DEFAULT_WORKERS,
+        help=f"request worker threads (default {DEFAULT_WORKERS})",
+    )
+    parser.add_argument(
+        "--queue-limit",
+        type=int,
+        default=DEFAULT_QUEUE_LIMIT,
+        help=(
+            "max requests waiting for a worker before new ones get 429 "
+            f"(default {DEFAULT_QUEUE_LIMIT})"
+        ),
+    )
+    parser.add_argument(
+        "--retry-after",
+        type=int,
+        default=DEFAULT_RETRY_AFTER,
+        help=f"Retry-After seconds on 429 responses (default {DEFAULT_RETRY_AFTER})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the response cache (every read recomputes)",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    configure_cli_logging(verbose=args.verbose, quiet=args.quiet)
+    try:
+        service = AnonymizationService(snapshot_path=args.store)
+    except ServiceError as exc:
+        _log.error("error: %s", exc)
+        return 2
+    frontend = ServingFrontend(
+        service,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        retry_after=args.retry_after,
+        enable_cache=not args.no_cache,
+    )
+    try:
+        frontend.serve_forever()
+    except ServiceError as exc:
+        _log.error("error: %s", exc)
+        return 2
+    finally:
+        if service.snapshot_path is not None:
+            # Every mutation was persisted write-through as it happened; this
+            # is a final checkpoint (a flush for the JSON backend, a no-op
+            # for SQLite) before the store closes.
+            path = service.save()
+            _log.info("state saved to %s", path)
+        service.close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -21,7 +21,10 @@ import threading
 import time
 from pathlib import Path
 from collections.abc import Mapping
-from typing import IO, Any
+from typing import IO, TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.cache import ResponseCache
 
 from repro import __version__
 from repro.core.criterion import PrivacySpec
@@ -107,6 +110,7 @@ class AnonymizationService:
         self.deltas = DeltaStateStore(self._store)
         self._delta_locks: dict[str, threading.Lock] = {}
         self._delta_locks_guard = threading.Lock()
+        self._response_cache: "ResponseCache | None" = None
         self._started = time.perf_counter()
 
     @property
@@ -129,11 +133,35 @@ class AnonymizationService:
             return self._delta_locks.setdefault(name, threading.Lock())
 
     # ------------------------------------------------------------------ #
+    # Response cache (serving layer)
+    # ------------------------------------------------------------------ #
+    @property
+    def response_cache(self) -> "ResponseCache | None":
+        """The attached serving-layer response cache, if any."""
+        return self._response_cache
+
+    def attach_response_cache(self, cache: "ResponseCache") -> None:
+        """Bind a :class:`repro.serve.cache.ResponseCache` to this service.
+
+        Once attached, every dataset mutation — re-register, delta base
+        publish, delta append — invalidates that dataset's cached responses,
+        and :meth:`stats` reports the cache's counters.
+        """
+        self._response_cache = cache
+
+    def _notify_dataset_changed(self, name: str) -> None:
+        """Invalidate cached responses after a dataset-mutating operation."""
+        if self._response_cache is not None:
+            self._response_cache.invalidate(name)
+
+    # ------------------------------------------------------------------ #
     # Dataset registration
     # ------------------------------------------------------------------ #
     def register_table(self, name: str, table: Table, replace: bool = False) -> DatasetEntry:
         """Register an in-memory :class:`Table` under ``name``."""
-        return self.datasets.register(name, table, replace=replace)
+        entry = self.datasets.register(name, table, replace=replace)
+        self._notify_dataset_changed(name)
+        return entry
 
     def register_csv(
         self,
@@ -527,6 +555,7 @@ class AnonymizationService:
         # "running"→"interrupted" record, never the reverse.
         self._advance_delta_state(name, report.state, state_version, record, start)
         self._finish_delta_job(record, report, start)
+        self._notify_dataset_changed(name)
         return record
 
     def _advance_delta_state(
@@ -661,6 +690,7 @@ class AnonymizationService:
         assert report.state is not None
         self._advance_delta_state(name, report.state, state_version, record, start)
         self._finish_delta_job(record, report, start)
+        self._notify_dataset_changed(name)
         return record
 
     def _finish_delta_job(self, record: JobRecord, report: Any, start: float) -> None:
@@ -774,7 +804,7 @@ class AnonymizationService:
         for record in records:
             by_backend[record.spec.backend] = by_backend.get(record.spec.backend, 0) + 1
         entries = self.datasets.entries()
-        return {
+        payload: dict[str, Any] = {
             "version": __version__,
             "uptime_seconds": time.perf_counter() - self._started,
             "n_datasets": len(self.datasets),
@@ -792,6 +822,12 @@ class AnonymizationService:
             "backends": backend_descriptions(),
             "strategies": strategy_descriptions(),
         }
+        if self._response_cache is not None:
+            # The serving layer's request-level response cache, when one is
+            # attached; existing keys are untouched so /stats consumers keep
+            # working unchanged.
+            payload["response_cache"] = self._response_cache.stats_payload()
+        return payload
 
     def describe(self) -> dict[str, Any]:
         """One-call overview used by the CLI and the ``/`` endpoint."""

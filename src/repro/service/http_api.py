@@ -1,7 +1,12 @@
 """Stdlib JSON-over-HTTP front end for the anonymization service.
 
 Built on ``http.server.ThreadingHTTPServer`` only — no third-party web
-framework — so the service runs anywhere the library does.
+framework — so the service runs anywhere the library does.  The routing
+table itself lives in :class:`repro.serve.router.ServiceRouter`, shared
+with the asyncio serving front end (:mod:`repro.serve.frontend`); this
+module is just the threading transport around it.  Attach a
+:class:`repro.serve.cache.ResponseCache` to the service and this front end
+serves cached audit/dataset reads too.
 
 Endpoints
 ---------
@@ -40,73 +45,25 @@ Client errors surface as ``{"error": ...}`` with status 400 (bad request) or
 
 from __future__ import annotations
 
-import csv
-import io
-import json
 import logging
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from pathlib import Path
-from typing import Any
-from urllib.parse import parse_qs, urlparse
+from typing import TYPE_CHECKING, Any
 
 from repro import __version__
-from repro.obs.environment import record_build_info
-from repro.obs.export import render_prometheus
 from repro.service.engine import AnonymizationService
-from repro.service.parallel import DEFAULT_CHUNK_SIZE
-from repro.service.registry import NotFoundError, ServiceError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    # Imported lazily at runtime: repro.serve.router itself imports the
+    # service engine, and this module is pulled in by repro.service's
+    # package init — a module-level import here would re-enter that
+    # half-initialised package when repro.serve is imported first.
+    from repro.serve.router import ServiceRouter
 
 _log = logging.getLogger("repro.service")
 
 
-def _as_int(value: Any, name: str) -> int:
-    """Coerce a JSON field to int, mapping bad types to a client error."""
-    try:
-        return int(value)
-    except (TypeError, ValueError):
-        raise ServiceError(f"{name!r} must be an integer, got {value!r}") from None
-
-
-def _as_float(value: Any, name: str) -> float:
-    """Coerce a JSON field to float, mapping bad types to a client error."""
-    try:
-        return float(value)
-    except (TypeError, ValueError):
-        raise ServiceError(f"{name!r} must be a number, got {value!r}") from None
-
-
-def _workers_field(body: dict[str, Any]) -> Any:
-    """The request's worker count: ``workers``, or legacy ``max_workers``."""
-    if "workers" in body:
-        return body["workers"]
-    return body.get("max_workers", 1)
-
-
-class _LimitedReader(io.RawIOBase):
-    """Raw stream exposing at most ``limit`` bytes of an underlying file."""
-
-    def __init__(self, raw: Any, limit: int) -> None:
-        self._raw = raw
-        self._remaining = max(0, int(limit))
-
-    def readable(self) -> bool:
-        return True
-
-    def readinto(self, buffer: Any) -> int:  # type: ignore[override]
-        if self._remaining <= 0:
-            return 0
-        view = memoryview(buffer)[: self._remaining]
-        chunk = self._raw.read(len(view))
-        if not chunk:
-            self._remaining = 0
-            return 0
-        view[: len(chunk)] = chunk
-        self._remaining -= len(chunk)
-        return len(chunk)
-
-
 class ServiceRequestHandler(BaseHTTPRequestHandler):
-    """Routes HTTP requests to the owning server's :class:`AnonymizationService`."""
+    """Routes HTTP requests to the owning server's :class:`ServiceRouter`."""
 
     protocol_version = "HTTP/1.1"
     server_version = f"repro-service/{__version__}"
@@ -115,51 +72,14 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     def service(self) -> AnonymizationService:
         return self.server.service  # type: ignore[attr-defined]
 
+    @property
+    def router(self) -> "ServiceRouter":
+        return self.server.router  # type: ignore[attr-defined]
+
     def log_message(self, format: str, *args: Any) -> None:
         if getattr(self.server, "verbose", False):
             super().log_message(format, *args)
 
-    # ------------------------------------------------------------------ #
-    # Response helpers
-    # ------------------------------------------------------------------ #
-    def _send_json(self, payload: Any, status: int = 200) -> None:
-        body = json.dumps(payload).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
-
-    def _send_error_json(self, message: str, status: int) -> None:
-        # An error can fire before the request body was consumed (e.g. a CSV
-        # upload rejected on its query parameters); a reused keep-alive
-        # connection would then parse the leftover body as the next request
-        # line.  Closing the connection keeps the protocol state clean.
-        self.close_connection = True
-        body = json.dumps({"error": message}).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.send_header("Connection", "close")
-        self.end_headers()
-        self.wfile.write(body)
-
-    def _read_json_body(self) -> dict[str, Any]:
-        length = int(self.headers.get("Content-Length") or 0)
-        if length <= 0:
-            return {}
-        raw = self.rfile.read(length)
-        try:
-            data = json.loads(raw.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise ServiceError(f"request body is not valid JSON: {exc}") from exc
-        if not isinstance(data, dict):
-            raise ServiceError("request body must be a JSON object")
-        return data
-
-    # ------------------------------------------------------------------ #
-    # Dispatch
-    # ------------------------------------------------------------------ #
     def do_GET(self) -> None:  # noqa: N802 - http.server naming
         self._dispatch("GET")
 
@@ -167,241 +87,19 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self._dispatch("POST")
 
     def _dispatch(self, method: str) -> None:
-        url = urlparse(self.path)
-        parts = [part for part in url.path.split("/") if part]
-        query = {key: values[-1] for key, values in parse_qs(url.query).items()}
-        try:
-            handled = self._route(method, parts, query)
-        except NotFoundError as exc:
-            self._send_error_json(str(exc), 404)
-            return
-        except ServiceError as exc:
-            self._send_error_json(str(exc), 400)
-            return
-        except ValueError as exc:
-            self._send_error_json(str(exc), 400)
-            return
-        if not handled:
-            self._send_error_json(f"no route for {method} {url.path}", 404)
-
-    def _route(self, method: str, parts: list[str], query: dict[str, str]) -> bool:
-        if method == "GET":
-            if not parts:
-                self._send_json(self.service.describe())
-                return True
-            if parts in (["health"], ["healthz"]):
-                self._send_json({"status": "ok", "version": __version__})
-                return True
-            if parts == ["stats"]:
-                self._send_json(self.service.stats())
-                return True
-            if parts == ["metrics"]:
-                self._send_metrics()
-                return True
-            if parts == ["datasets"]:
-                self._send_json(
-                    [entry.to_json() for entry in self.service.datasets.entries()]
-                )
-                return True
-            if len(parts) == 2 and parts[0] == "datasets":
-                self._send_json(self.service.datasets.get(parts[1]).to_json())
-                return True
-            if parts == ["jobs"]:
-                self._send_json(
-                    [record.to_json() for record in self.service.jobs.records()]
-                )
-                return True
-            if len(parts) == 2 and parts[0] == "jobs":
-                self._send_json(self.service.job(parts[1]).to_json())
-                return True
-            if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "table.csv":
-                self._send_published_csv(parts[1])
-                return True
-            if parts == ["audit"]:
-                self._handle_audit(query)
-                return True
-            return False
-        if method == "POST":
-            if parts == ["datasets"]:
-                self._handle_register(query)
-                return True
-            if len(parts) == 3 and parts[0] == "datasets" and parts[2] == "rows":
-                self._handle_append_rows(parts[1])
-                return True
-            if parts == ["publish"]:
-                self._handle_publish()
-                return True
-            if parts == ["audit"]:
-                self._handle_audit(self._read_json_body())
-                return True
-            return False
-        return False
-
-    # ------------------------------------------------------------------ #
-    # Endpoint bodies
-    # ------------------------------------------------------------------ #
-    def _handle_register(self, query: dict[str, str]) -> None:
-        name = query.get("name")
-        sensitive = query.get("sensitive")
-        if not name or not sensitive:
-            raise ServiceError(
-                "POST /datasets requires ?name= and ?sensitive= query parameters "
-                "and a CSV request body"
-            )
-        replace = query.get("replace", "").lower() in {"1", "true", "yes"}
         length = int(self.headers.get("Content-Length") or 0)
-        if length <= 0:
-            raise ServiceError("POST /datasets requires a non-empty CSV body")
-        stream = io.TextIOWrapper(
-            io.BufferedReader(_LimitedReader(self.rfile, length)),
-            encoding="utf-8",
-            newline="",
-        )
-        entry = self.service.register_csv(name, stream, sensitive, replace=replace)
-        self._send_json(entry.to_json(), status=201)
-
-    def _handle_append_rows(self, name: str) -> None:
-        body = self._read_json_body()
-        rows = body.get("rows")
-        source = body.get("source")
-        if rows is not None:
-            if not isinstance(rows, list) or not all(
-                isinstance(row, list) and all(isinstance(v, str) for v in row)
-                for row in rows
-            ):
-                raise ServiceError(
-                    "'rows' must be a list of rows (lists of strings) in the "
-                    "dataset's header column order"
-                )
-        record = self.service.append_rows(
-            name,
-            rows=rows,
-            source=str(source) if source is not None else None,
-            workers=_as_int(_workers_field(body), "workers"),
-        )
-        self._send_json(record.to_json(), status=201)
-
-    def _handle_publish(self) -> None:
-        body = self._read_json_body()
-        backend = body.get("backend")
-        params = body.get("params") or {}
-        if not isinstance(params, dict):
-            raise ServiceError("'params' must be a JSON object")
-        if body.get("delta"):
-            # Delta base publish: like a stream job, but the service keeps
-            # the resulting DeltaState so POST /datasets/<name>/rows can
-            # splice appends into the published CSV incrementally.
-            name = body.get("name")
-            source = body.get("source")
-            sensitive = body.get("sensitive")
-            output = body.get("output")
-            if not name or not source or not sensitive or not backend or not output:
-                raise ServiceError(
-                    "delta publish requires 'name', 'source', 'sensitive', "
-                    "'backend' and 'output' fields"
-                )
-            chunk_rows = body.get("chunk_rows")
-            record = self.service.publish_delta_base(
-                name=str(name),
-                source=str(source),
-                sensitive=str(sensitive),
-                backend=str(backend),
-                output=str(output),
-                params=params,
-                seed=_as_int(body.get("seed", 0), "seed"),
-                chunk_size=_as_int(body.get("chunk_size", DEFAULT_CHUNK_SIZE), "chunk_size"),
-                chunk_rows=_as_int(chunk_rows, "chunk_rows") if chunk_rows is not None else None,
-                workers=_as_int(_workers_field(body), "workers"),
-                replace=bool(body.get("replace", False)),
-            )
-            self._send_json(record.to_json(), status=201)
-            return
-        if body.get("stream"):
-            # Out-of-core job mode: publish straight from a server-side CSV
-            # path in bounded-memory chunks; GET /jobs/<id> shows progress
-            # while the job runs.  Paths resolve on the server with the
-            # service's privileges (same trust level as the CLI); at least
-            # refuse to clobber existing files so a client cannot truncate
-            # an arbitrary path by naming it as 'output'.
-            source = body.get("source")
-            sensitive = body.get("sensitive")
-            if not source or not sensitive or not backend:
-                raise ServiceError(
-                    "stream publish requires 'source', 'sensitive' and 'backend' fields"
-                )
-            output = body.get("output")
-            if output and Path(output).exists():
-                raise ServiceError(
-                    f"output path {str(output)!r} already exists on the server; "
-                    "stream jobs only write new files"
-                )
-            chunk_rows = body.get("chunk_rows")
-            record = self.service.publish_stream(
-                source=str(source),
-                sensitive=str(sensitive),
-                backend=str(backend),
-                params=params,
-                seed=_as_int(body.get("seed", 0), "seed"),
-                chunk_size=_as_int(body.get("chunk_size", DEFAULT_CHUNK_SIZE), "chunk_size"),
-                chunk_rows=_as_int(chunk_rows, "chunk_rows") if chunk_rows is not None else None,
-                workers=_as_int(_workers_field(body), "workers"),
-                output=output,
-            )
-            self._send_json(record.to_json(), status=201)
-            return
-        dataset = body.get("dataset")
-        if not dataset or not backend:
-            raise ServiceError("POST /publish requires 'dataset' and 'backend' fields")
-        record = self.service.publish(
-            dataset=str(dataset),
-            backend=str(backend),
-            params=params,
-            seed=_as_int(body.get("seed", 0), "seed"),
-            chunk_size=_as_int(body.get("chunk_size", DEFAULT_CHUNK_SIZE), "chunk_size"),
-            max_workers=_as_int(_workers_field(body), "workers"),
-        )
-        self._send_json(record.to_json(), status=201)
-
-    def _handle_audit(self, args: dict[str, Any]) -> None:
-        dataset = args.get("dataset")
-        if not dataset:
-            raise ServiceError("audit requires a 'dataset' argument")
-        self._send_json(
-            self.service.audit(
-                dataset=str(dataset),
-                lam=_as_float(args.get("lam", 0.3), "lam"),
-                delta=_as_float(args.get("delta", 0.3), "delta"),
-                retention_probability=_as_float(
-                    args.get("retention_probability", args.get("p", 0.5)),
-                    "retention_probability",
-                ),
-            )
-        )
-
-    def _send_metrics(self) -> None:
-        """Render the process metrics registry as Prometheus text exposition."""
-        # Refresh the info gauge on every scrape: cheap, and it guarantees
-        # the environment labels are present even on a cold process.
-        record_build_info()
-        body = render_prometheus().encode("utf-8")
-        self.send_response(200)
-        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-        self.send_header("Content-Length", str(len(body)))
+        # The socket file streams straight into the router, so large CSV
+        # uploads never buffer fully in memory.
+        result = self.router.handle(method, self.path, self.rfile, length)
+        if result.close:
+            self.close_connection = True
+        self.send_response(result.status)
+        self.send_header("Content-Type", result.content_type)
+        self.send_header("Content-Length", str(result.content_length))
+        for name, value in result.headers:
+            self.send_header(name, value)
         self.end_headers()
-        self.wfile.write(body)
-
-    def _send_published_csv(self, job_id: str) -> None:
-        table = self.service.published_table(job_id)
-        buffer = io.StringIO()
-        writer = csv.writer(buffer)
-        writer.writerow(list(table.schema.public_names) + [table.schema.sensitive_name])
-        writer.writerows(table.records())
-        body = buffer.getvalue().encode("utf-8")
-        self.send_response(200)
-        self.send_header("Content-Type", "text/csv")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
+        self.wfile.write(result.body)
 
 
 def make_server(
@@ -415,8 +113,11 @@ def make_server(
     Pass ``port=0`` to bind an ephemeral port; the chosen port is available
     as ``server.server_address[1]``.
     """
+    from repro.serve.router import ServiceRouter
+
     server = ThreadingHTTPServer((host, port), ServiceRequestHandler)
     server.service = service  # type: ignore[attr-defined]
+    server.router = ServiceRouter(service)  # type: ignore[attr-defined]
     server.verbose = verbose  # type: ignore[attr-defined]
     return server
 

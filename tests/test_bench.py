@@ -144,6 +144,49 @@ class TestSchema:
         with pytest.raises(SchemaError):
             validate_report([1, 2, 3])
 
+    def _serve_report(self):
+        scenario = {
+            "name": "serve/audit/adult-2000/c4",
+            "suite": "serve",
+            "strategy": "audit",
+            "dataset": "adult",
+            "rows": 2000,
+            "chunk_size": 256,
+            "workers": 4,
+            "params": {"clients": 4, "requests_per_client": 10, "queue_limit": 64},
+            "ops": {
+                "throughput_rps": 1000.0,
+                "p50_seconds": 0.001,
+                "p95_seconds": 0.002,
+                "p99_seconds": 0.003,
+                "cache_hit_ratio": 1.0,
+                "queue_rejections": 0,
+                "byte_identical": True,
+            },
+            "seconds": {"best": 0.01, "mean": 0.01, "std": 0.0, "repeats": [0.01]},
+        }
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "suite": "serve",
+            "scale": "tiny",
+            "seed": 1,
+            "timing": {"warmup": 1, "repeats": 3},
+            "environment": {
+                "python": "3", "numpy": "2", "platform": "x", "repro_version": "1",
+                "cpu_count": 1,
+            },
+            "scenarios": [scenario],
+        }
+
+    def test_serve_report_validates(self):
+        validate_report(self._serve_report())  # must not raise
+
+    def test_serve_report_requires_latency_percentiles(self):
+        report = self._serve_report()
+        del report["scenarios"][0]["ops"]["p95_seconds"]
+        with pytest.raises(SchemaError, match="p95_seconds"):
+            validate_report(report)
+
 
 class TestRunnerDeterminism:
     def test_core_suite_same_seed_same_scenarios_and_ops(self):

@@ -1,0 +1,315 @@
+"""End-to-end tests of the asyncio serving front end on an ephemeral port."""
+
+import http.client
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve import ServingFrontend
+from repro.service.engine import AnonymizationService
+
+CSV_BODY = "Job,City,Income\n" + "\n".join(
+    f"{'eng' if i % 2 else 'artist'},c{i % 3},{'high' if i % 4 == 0 else 'low'}"
+    for i in range(120)
+)
+
+
+@pytest.fixture()
+def frontend():
+    service = AnonymizationService()
+    service.register_synthetic("adult", "adult", n_records=300, seed=1)
+    front = ServingFrontend(service, port=0, workers=2, queue_limit=8)
+    front.start()
+    try:
+        yield front
+    finally:
+        front.stop()
+        service.close()
+
+
+def get(url: str) -> tuple[int, dict, bytes]:
+    try:
+        with urllib.request.urlopen(url, timeout=30) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), exc.read()
+
+
+def get_json(url: str):
+    status, _, body = get(url)
+    return status, json.loads(body)
+
+
+def post_json(url: str, payload: dict) -> tuple[int, dict, bytes]:
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode(),
+        method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), exc.read()
+
+
+class TestRoutingParity:
+    """The asyncio front end serves the same routing table as the threading one."""
+
+    def test_health_stats_and_describe(self, frontend):
+        status, health = get_json(f"{frontend.base_url}/healthz")
+        assert status == 200 and health["status"] == "ok"
+        status, stats = get_json(f"{frontend.base_url}/stats")
+        assert status == 200 and stats["n_datasets"] == 1
+        assert stats["response_cache"]["enabled"] is True
+        status, describe = get_json(f"{frontend.base_url}/")
+        assert status == 200 and "backends" in describe
+
+    def test_datasets_listing(self, frontend):
+        status, listing = get_json(f"{frontend.base_url}/datasets")
+        assert status == 200
+        assert [entry["name"] for entry in listing] == ["adult"]
+
+    def test_unknown_route_is_404(self, frontend):
+        status, _, body = get(f"{frontend.base_url}/nope")
+        assert status == 404
+        assert "error" in json.loads(body)
+
+    def test_unknown_dataset_is_404(self, frontend):
+        status, _, _ = get(f"{frontend.base_url}/audit?dataset=ghost")
+        assert status == 404
+
+    def test_malformed_json_is_400(self, frontend):
+        request = urllib.request.Request(
+            f"{frontend.base_url}/audit", data=b"{not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+
+    def test_unsupported_method_is_405(self, frontend):
+        request = urllib.request.Request(f"{frontend.base_url}/stats", method="PUT")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 405
+
+    def test_publish_end_to_end(self, frontend):
+        status, _, body = post_json(
+            f"{frontend.base_url}/publish",
+            {"dataset": "adult", "backend": "dp-laplace", "seed": 3},
+        )
+        assert status == 201
+        job = json.loads(body)
+        assert job["status"] == "completed"
+        status, record = get_json(f"{frontend.base_url}/jobs/{job['job_id']}")
+        assert status == 200 and record["job_id"] == job["job_id"]
+
+
+class TestResponseCaching:
+    def test_audit_cache_serves_byte_identical_responses(self, frontend):
+        url = f"{frontend.base_url}/audit?dataset=adult"
+        _, headers1, _ = get(url)  # cold: builds the group index, not stored
+        assert headers1["X-Cache"] == "miss"
+        _, headers2, warm_body = get(url)  # warm recompute: fills the cache
+        assert headers2["X-Cache"] == "miss"
+        _, headers3, cached_body = get(url)
+        assert headers3["X-Cache"] == "hit"
+        assert cached_body == warm_body
+
+    def test_post_audit_shares_the_get_cache_key(self, frontend):
+        url = f"{frontend.base_url}/audit?dataset=adult"
+        get(url)
+        _, _, warm_body = get(url)
+        status, headers, body = post_json(
+            f"{frontend.base_url}/audit", {"dataset": "adult"}
+        )
+        assert status == 200
+        assert headers["X-Cache"] == "hit"  # same resolved params, same key
+        assert body == warm_body
+
+    def test_distinct_params_get_distinct_entries(self, frontend):
+        base = f"{frontend.base_url}/audit?dataset=adult"
+        get(base)
+        get(base)
+        _, headers, _ = get(f"{base}&lam=0.4")
+        assert headers["X-Cache"] == "miss"  # different resolved params
+
+    def test_dataset_detail_is_cached(self, frontend):
+        url = f"{frontend.base_url}/datasets/adult"
+        _, headers1, first = get(url)
+        assert headers1["X-Cache"] == "miss"
+        _, headers2, second = get(url)
+        assert headers2["X-Cache"] == "hit"
+        assert second == first
+
+    def test_reregister_invalidates_and_recomputes(self, frontend):
+        url = f"{frontend.base_url}/audit?dataset=adult"
+        get(url)
+        get(url)
+        _, headers, _ = get(url)
+        assert headers["X-Cache"] == "hit"
+        frontend.service.register_synthetic(
+            "adult", "adult", n_records=300, seed=2, replace=True
+        )
+        _, headers, _ = get(url)
+        assert headers["X-Cache"] == "miss"  # never a stale hit
+        assert frontend.cache.invalidations >= 1
+
+    def test_invalidation_leaves_other_datasets_untouched(self, frontend):
+        frontend.service.register_synthetic("other", "adult", n_records=300, seed=5)
+        for name in ("adult", "other"):
+            url = f"{frontend.base_url}/audit?dataset={name}"
+            get(url)
+            get(url)
+        frontend.service.register_synthetic(
+            "adult", "adult", n_records=300, seed=2, replace=True
+        )
+        _, headers, _ = get(f"{frontend.base_url}/audit?dataset=other")
+        assert headers["X-Cache"] == "hit"  # the other dataset's entry survived
+        _, headers, _ = get(f"{frontend.base_url}/audit?dataset=adult")
+        assert headers["X-Cache"] == "miss"
+
+    def test_delta_append_invalidates_the_dataset_keys(self, frontend, tmp_path):
+        source = tmp_path / "base.csv"
+        source.write_text(CSV_BODY + "\n")
+        url = f"{frontend.base_url}/audit?dataset=adult"
+        get(url)
+        get(url)
+        # A delta dataset under the same name: its base publish and every
+        # append bump the name's delta version and invalidate its keys.
+        frontend.service.publish_delta_base(
+            "adult",
+            source,
+            sensitive="Income",
+            backend="sps",
+            output=tmp_path / "out.csv",
+            seed=7,
+        )
+        _, headers, _ = get(url)
+        assert headers["X-Cache"] == "miss"  # base publish invalidated
+        _, headers, _ = get(url)
+        assert headers["X-Cache"] == "hit"
+        status, _, _ = post_json(
+            f"{frontend.base_url}/datasets/adult/rows",
+            {"rows": [["eng", "c1", "low"], ["artist", "c2", "high"]]},
+        )
+        assert status == 201
+        _, headers, _ = get(url)
+        assert headers["X-Cache"] == "miss"  # the append invalidated again
+
+    def test_stats_counts_cache_traffic(self, frontend):
+        url = f"{frontend.base_url}/audit?dataset=adult"
+        get(url)
+        get(url)
+        get(url)
+        _, stats = get_json(f"{frontend.base_url}/stats")
+        block = stats["response_cache"]
+        assert block["hits"] >= 1 and block["misses"] >= 2
+        assert block["entries"] >= 1
+
+
+class TestPersistence:
+    def test_cache_survives_a_restart_with_identical_bytes(self, tmp_path):
+        path = tmp_path / "serve.db"
+        service = AnonymizationService(snapshot_path=path)
+        service.register_synthetic("adult", "adult", n_records=300, seed=1)
+        with ServingFrontend(service, port=0, workers=2) as front:
+            url = f"{front.base_url}/audit?dataset=adult"
+            get(url)
+            _, _, warm_body = get(url)
+        service.close()
+
+        revived = AnonymizationService(snapshot_path=path)
+        with ServingFrontend(revived, port=0, workers=2) as front:
+            _, headers, body = get(f"{front.base_url}/audit?dataset=adult")
+            assert headers["X-Cache"] == "hit"  # served from the persisted entry
+            assert body == warm_body
+        revived.close()
+
+    def test_restart_revalidates_against_dataset_versions(self, tmp_path):
+        path = tmp_path / "serve.db"
+        service = AnonymizationService(snapshot_path=path)
+        service.register_synthetic("adult", "adult", n_records=300, seed=1)
+        with ServingFrontend(service, port=0, workers=2) as front:
+            url = f"{front.base_url}/audit?dataset=adult"
+            get(url)
+            get(url)
+        service.close()
+
+        # The dataset changes while no server (and no cache) is running.
+        mutated = AnonymizationService(snapshot_path=path)
+        mutated.register_synthetic(
+            "adult", "adult", n_records=300, seed=2, replace=True
+        )
+        mutated.close()
+
+        revived = AnonymizationService(snapshot_path=path)
+        with ServingFrontend(revived, port=0, workers=2) as front:
+            _, headers, _ = get(f"{front.base_url}/audit?dataset=adult")
+            assert headers["X-Cache"] == "miss"  # the stale entry was dropped
+        revived.close()
+
+
+class TestBackpressure:
+    def test_queue_full_is_429_with_retry_after(self):
+        service = AnonymizationService()
+        service.register_synthetic("adult", "adult", n_records=300, seed=1)
+        front = ServingFrontend(
+            service, port=0, workers=1, queue_limit=1, retry_after=3
+        )
+        release = threading.Event()
+        with front:
+            front.dispatcher.submit(release.wait)  # occupies the single worker
+            deadline = time.monotonic() + 5
+            while front.dispatcher.depth and time.monotonic() < deadline:
+                time.sleep(0.005)
+            front.dispatcher.submit(release.wait)  # fills the single queue slot
+            status, headers, body = get(f"{front.base_url}/stats")
+            assert status == 429
+            assert headers["Retry-After"] == "3"
+            assert "error" in json.loads(body)
+            # Probes and scrapes bypass the queue even under full overload.
+            status, _, _ = get(f"{front.base_url}/healthz")
+            assert status == 200
+            status, _, metrics = get(f"{front.base_url}/metrics")
+            assert status == 200
+            assert b"repro_serve_queue_rejections_total" in metrics
+            release.set()
+            status, _, _ = get(f"{front.base_url}/stats")  # the queue drained
+            assert status == 200
+        service.close()
+
+    def test_no_cache_mode_serves_uncached(self):
+        service = AnonymizationService()
+        service.register_synthetic("adult", "adult", n_records=300, seed=1)
+        with ServingFrontend(service, port=0, enable_cache=False) as front:
+            url = f"{front.base_url}/audit?dataset=adult"
+            get(url)
+            _, headers, _ = get(url)
+            assert "X-Cache" not in headers
+            assert front.cache is None
+        service.close()
+
+
+class TestConnectionHandling:
+    def test_keep_alive_reuses_the_connection(self, frontend):
+        connection = http.client.HTTPConnection(
+            frontend.host, frontend.port, timeout=30
+        )
+        try:
+            for _ in range(3):
+                connection.request("GET", "/healthz")
+                response = connection.getresponse()
+                assert response.status == 200
+                response.read()
+        finally:
+            connection.close()
+
+    def test_server_header_names_the_front_end(self, frontend):
+        _, headers, _ = get(f"{frontend.base_url}/healthz")
+        assert headers["Server"].startswith("repro-serve/")
